@@ -1,0 +1,160 @@
+// Command characterize regenerates the Section III artifacts: Tables I,
+// III and IV and Figs. 1–4.
+//
+// Usage:
+//
+//	characterize -table 1|3|4        print one table
+//	characterize -fig 1|2|3|4        print one figure
+//	characterize -all                print everything (default)
+//	characterize -csv                emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/characterize"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/report"
+	"gpuperf/internal/workloads"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print Table 1, 3 or 4")
+	suite := flag.Bool("suite", false, "print the Table II workload characterization summary")
+	fig := flag.Int("fig", 0, "print Fig. 1, 2, 3 or 4")
+	all := flag.Bool("all", false, "print every Section III artifact")
+	csv := flag.Bool("csv", false, "emit CSV where available")
+	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
+	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	flag.Parse()
+
+	if *table == 0 && *fig == 0 && !*suite {
+		*all = true
+	}
+	boards := arch.AllBoards()
+	emit := func(t *report.Table) {
+		switch {
+		case *csv:
+			fmt.Print(t.CSV())
+		case *md:
+			fmt.Println(t.Markdown())
+		default:
+			fmt.Println(t.String())
+		}
+	}
+
+	if *suite {
+		emit(suiteSummary())
+	}
+	if *all || *table == 1 {
+		emit(report.Table1(boards))
+	}
+	if *all || *table == 3 {
+		emit(report.Table3(boards))
+	}
+
+	figBench := map[int]string{1: "backprop", 2: "streamcluster", 3: "gaussian"}
+	for n := 1; n <= 3; n++ {
+		if !*all && *fig != n {
+			continue
+		}
+		name := figBench[n]
+		for _, spec := range boards {
+			results, err := characterize.SweepBoard(spec.Name, []*workloads.Benchmark{workloads.ByName(name)}, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			curves := characterize.Curves(results[0], spec)
+			title := fmt.Sprintf("Fig. %d — Performance and power efficiency of %s on %s", n, name, spec.Name)
+			emit(report.FigCurves(title, spec, curves))
+			if !*csv && !*md {
+				// Paper-style panels: one chart per metric.
+				perf := report.NewChart(title+" — performance", "core MHz", "perf vs (H-H)")
+				eff := report.NewChart(title+" — power efficiency", "core MHz", "1/energy vs (H-H)")
+				for _, c := range curves {
+					var xs, perfY, effY []float64
+					for _, p := range c.Points {
+						xs = append(xs, p.CoreMHz)
+						perfY = append(perfY, p.Perf)
+						effY = append(effY, p.Efficiency)
+					}
+					label := "Mem-" + c.MemLevel.String()
+					if err := perf.AddSeries(label, xs, perfY); err != nil {
+						fatal(err)
+					}
+					if err := eff.AddSeries(label, xs, effY); err != nil {
+						fatal(err)
+					}
+				}
+				fmt.Println(perf.String())
+				fmt.Println(eff.String())
+			}
+		}
+	}
+
+	if *all || *table == 4 || *fig == 4 {
+		results, err := characterize.Table4(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *all || *table == 4 {
+			emit(report.Table4(boards, results))
+		}
+		if *all || *fig == 4 {
+			fmt.Println(report.Fig4(boards, results))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}
+
+// suiteSummary characterizes every Table II benchmark on the GTX 480 at
+// the default clocks: binding resource, GPU runtime, host fraction and
+// whether it appears in the Table IV / modeling sets.
+func suiteSummary() *report.Table {
+	t := report.NewTable("TABLE II — workload characterization (GTX 480, (H-H))",
+		"Benchmark", "Suite", "Bound by", "GPU ms/iter", "Host %", "Table IV", "Modeled")
+	spec := arch.GTX480()
+	dev, err := driver.OpenSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	for _, b := range workloads.All() {
+		var gpuTime float64
+		bound := ""
+		var boundDur float64
+		for _, k := range b.Kernels(1) {
+			an, err := dev.Analyze(k)
+			if err != nil {
+				fatal(err)
+			}
+			gpuTime += an.Time
+			for _, p := range an.Phases {
+				if p.Duration > boundDur {
+					boundDur = p.Duration
+					bound = p.Bottleneck
+				}
+			}
+		}
+		host := b.HostGap(1)
+		hostPct := host / (host + gpuTime) * 100
+		t.AddRowf(b.Name, b.Suite.String(), bound,
+			fmt.Sprintf("%.1f", gpuTime*1e3),
+			fmt.Sprintf("%.0f", hostPct),
+			yesNo(b.InTable4), yesNo(b.Modeled))
+	}
+	return t
+}
+
+func yesNo(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "-"
+}

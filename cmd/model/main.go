@@ -1,0 +1,183 @@
+// Command model regenerates the Section IV artifacts: Tables V–VIII and
+// Figs. 5–11 — the unified statistical power and performance models.
+//
+// Usage:
+//
+//	model                      print Tables V–VIII (default)
+//	model -fig 5|6|7|8|9|10|11 print one figure
+//	model -board "GTX 680"     restrict figures to one board
+//	model -vars 15             override the 10-variable cap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/core"
+	"gpuperf/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "print Fig. 5–11 instead of the tables")
+	board := flag.String("board", "", "restrict figures to one board (default: all)")
+	vars := flag.Int("vars", core.MaxVariables, "explanatory-variable cap")
+	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	saveDir := flag.String("save", "", "directory to write trained models and datasets as JSON")
+	diagnose := flag.Bool("diagnose", false, "print per-variable VIF and standardized coefficients")
+	flag.Parse()
+
+	boards := arch.AllBoards()
+	if *board != "" {
+		spec := arch.BoardByName(*board)
+		if spec == nil {
+			fatal(fmt.Errorf("unknown board %q", *board))
+		}
+		boards = []*arch.Spec{spec}
+	}
+
+	datasets := map[string]*core.Dataset{}
+	for _, spec := range boards {
+		ds, err := core.CollectAll(spec.Name, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		datasets[spec.Name] = ds
+	}
+
+	switch *fig {
+	case 0:
+		r2 := map[string][2]float64{}
+		evals := map[string][2]*core.Eval{}
+		for _, spec := range boards {
+			ds := datasets[spec.Name]
+			pm := train(ds, core.Power, *vars)
+			tm := train(ds, core.Time, *vars)
+			pe, te := pm.Evaluate(ds.Rows), tm.Evaluate(ds.Rows)
+			r2[spec.Name] = [2]float64{pe.AdjR2, te.AdjR2}
+			evals[spec.Name] = [2]*core.Eval{pe, te}
+			if *saveDir != "" {
+				persist(*saveDir, spec.Name, ds, pm, tm)
+			}
+		}
+		fmt.Println(report.Table56(r2, boards).String())
+		fmt.Println(report.Table78(evals, boards).String())
+		if *diagnose {
+			for _, spec := range boards {
+				ds := datasets[spec.Name]
+				for _, kind := range []core.Kind{core.Power, core.Time} {
+					m := train(ds, kind, *vars)
+					diags, err := m.Diagnose(ds.Rows)
+					if err != nil {
+						fatal(err)
+					}
+					cond, err := m.SelectionConditionNumber(ds.Rows)
+					if err != nil {
+						fatal(err)
+					}
+					t := report.NewTable(
+						fmt.Sprintf("Diagnostics — %s model (%s), condition number %.1f", kind, spec.Name, cond),
+						"Variable", "VIF", "Std. coef")
+					for _, d := range diags {
+						t.AddRowf(d.Variable, fmt.Sprintf("%.1f", d.VIF), fmt.Sprintf("%+.3f", d.StdCoef))
+					}
+					fmt.Println(t.String())
+				}
+			}
+		}
+
+	case 5, 6:
+		kind := core.Power
+		if *fig == 6 {
+			kind = core.Time
+		}
+		for _, spec := range boards {
+			ds := datasets[spec.Name]
+			m := train(ds, kind, *vars)
+			title := fmt.Sprintf("Fig. %d — %s-model error distribution on %s", *fig, kind, spec.Name)
+			fmt.Println(report.Fig56(title, m.PerBenchmarkErrors(ds.Rows)).String())
+		}
+
+	case 7, 8:
+		kind := core.Power
+		if *fig == 8 {
+			kind = core.Time
+		}
+		for _, spec := range boards {
+			points, err := core.VariableSweep(datasets[spec.Name], kind, 5, 20)
+			if err != nil {
+				fatal(err)
+			}
+			title := fmt.Sprintf("Fig. %d — impact of explanatory variables on the %s model (%s)", *fig, kind, spec.Name)
+			fmt.Println(report.Fig78(title, points).String())
+		}
+
+	case 9, 10:
+		kind := core.Power
+		if *fig == 10 {
+			kind = core.Time
+		}
+		for _, spec := range boards {
+			cols, err := core.PerPairComparison(datasets[spec.Name], kind, *vars)
+			if err != nil {
+				fatal(err)
+			}
+			title := fmt.Sprintf("Fig. %d — per-pair vs unified %s models (%s)", *fig, kind, spec.Name)
+			fmt.Println(report.Fig910(title, cols))
+		}
+
+	case 11:
+		for _, spec := range boards {
+			ds := datasets[spec.Name]
+			for _, kind := range []core.Kind{core.Power, core.Time} {
+				m := train(ds, kind, *vars)
+				title := fmt.Sprintf("Fig. 11 — selected variables and influence, %s model (%s)", kind, spec.Name)
+				fmt.Println(report.Fig11(title, m.Influences(ds.Rows)).String())
+			}
+		}
+
+	default:
+		fatal(fmt.Errorf("no Fig. %d in the paper's Section IV (want 5–11)", *fig))
+	}
+}
+
+func train(ds *core.Dataset, kind core.Kind, vars int) *core.Model {
+	m, err := core.Train(ds, kind, vars)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+// persist writes the dataset and both trained models under dir, named by
+// board (e.g. "gtx-680.power.json").
+func persist(dir, board string, ds *core.Dataset, pm, tm *core.Model) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	slug := strings.ToLower(strings.ReplaceAll(board, " ", "-"))
+	write := func(name string, save func(io.Writer) error) {
+		path := filepath.Join(dir, slug+"."+name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	write("dataset", ds.Save)
+	write("power", pm.Save)
+	write("time", tm.Save)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "model:", err)
+	os.Exit(1)
+}

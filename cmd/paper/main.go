@@ -1,0 +1,61 @@
+// Command paper runs the complete reproduction — every table and figure of
+// the paper, the ablations and the Radeon future-work extension — and
+// writes one consolidated text report.
+//
+// Usage:
+//
+//	paper                      full report to stdout (~10 s)
+//	paper -o report.txt        write to a file
+//	paper -quick               characterization only (seconds)
+//	paper -board "GTX 680"     restrict to one board
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuperf/internal/reproduce"
+)
+
+func main() {
+	out := flag.String("o", "", "write the report to a file instead of stdout")
+	quick := flag.Bool("quick", false, "characterization only (skip modeling, ablations, future work)")
+	board := flag.String("board", "", "restrict to one board")
+	artifacts := flag.String("artifacts", "", "also write per-table/figure CSVs into this directory")
+	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	flag.Parse()
+
+	opts := reproduce.DefaultOptions()
+	opts.Seed = *seed
+	if *quick {
+		opts.Modeling = false
+		opts.Ablations = false
+		opts.FutureWork = false
+		opts.SelfCheck = false
+	}
+	if *board != "" {
+		opts.Boards = []string{*board}
+	}
+	opts.ArtifactsDir = *artifacts
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	res, err := reproduce.Run(opts, w)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", res.Elapsed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paper:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command sched plans a batch of benchmarks under an energy budget or a
+// deadline: it sweeps each job's frequency pairs on the chosen board, then
+// solves the discrete time/energy tradeoff exactly.
+//
+// Usage:
+//
+//	sched -board "GTX 680" -jobs backprop,sgemm,lbm -budget 80
+//	sched -jobs backprop,sgemm -deadline 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpuperf"
+)
+
+func main() {
+	board := flag.String("board", "GTX 680", "board name (Table I)")
+	jobsArg := flag.String("jobs", "backprop,streamcluster,sgemm", "comma-separated benchmark names")
+	budget := flag.Float64("budget", 0, "total energy budget in joules (0 = unlimited)")
+	deadline := flag.Float64("deadline", 0, "total time deadline in seconds (alternative to -budget)")
+	flag.Parse()
+
+	jobs := strings.Split(*jobsArg, ",")
+	for i := range jobs {
+		jobs[i] = strings.TrimSpace(jobs[i])
+	}
+
+	dev, err := gpuperf.OpenDevice(*board)
+	if err != nil {
+		fatal(err)
+	}
+
+	var plan *gpuperf.BatchPlan
+	switch {
+	case *deadline > 0:
+		plan, err = gpuperf.PlanBatchUnderDeadline(dev, jobs, *deadline)
+	default:
+		plan, err = gpuperf.PlanBatchUnderEnergy(dev, jobs, *budget)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if !plan.Feasible {
+		fmt.Printf("constraint infeasible; showing the floor configuration:\n")
+	}
+	fmt.Printf("%-16s %-7s %12s %12s\n", "job", "pair", "time", "energy")
+	for _, a := range plan.Assignments {
+		fmt.Printf("%-16s %-7s %9.1f ms %9.2f J\n",
+			a.Job, a.Option.Pair, a.Option.TimeS*1e3, a.Option.EnergyJ)
+	}
+	fmt.Printf("%-16s %-7s %9.1f ms %9.2f J\n", "TOTAL", "", plan.TotalTimeS*1e3, plan.TotalEnergyJ)
+	if !plan.Feasible {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sched:", err)
+	os.Exit(1)
+}

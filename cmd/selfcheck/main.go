@@ -1,0 +1,33 @@
+// Command selfcheck verifies the simulated apparatus end to end: VBIOS
+// round trips, energy conservation through the meter, DVFS monotonicity,
+// profiler determinism, the Fig. 4 generation ladder and model sanity.
+// Exit status 0 means every invariant holds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuperf/internal/selfcheck"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	flag.Parse()
+
+	results := selfcheck.Run(*seed)
+	failed := 0
+	for _, r := range results {
+		status := "ok  "
+		if !r.OK {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s  %-36s %s\n", status, r.Name, r.Detail)
+	}
+	fmt.Printf("\n%d checks, %d failed\n", len(results), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Command vbios builds, inspects and patches synthetic VBIOS images — the
+// clock-control path of Section II-B. A board's available frequency pairs
+// live in the image's performance table; forcing boot clocks means patching
+// the image and fixing its checksum, exactly as the paper does on real
+// driver binaries.
+//
+// Usage:
+//
+//	vbios -build "GTX 680" -o gtx680.rom     synthesize a pristine image
+//	vbios -inspect gtx680.rom                decode and print an image
+//	vbios -patch M-L gtx680.rom              set the boot performance level
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/bios"
+	"gpuperf/internal/clock"
+)
+
+func main() {
+	build := flag.String("build", "", "board name to synthesize an image for")
+	out := flag.String("o", "vbios.rom", "output path for -build")
+	inspect := flag.String("inspect", "", "image path to decode and print")
+	patch := flag.String("patch", "", "boot pair (e.g. M-L) to patch into the image argument")
+	flag.Parse()
+
+	switch {
+	case *build != "":
+		spec := arch.BoardByName(*build)
+		if spec == nil {
+			fatal(fmt.Errorf("unknown board %q", *build))
+		}
+		img := bios.Build(spec)
+		if err := os.WriteFile(*out, img, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes) for %s\n", *out, len(img), spec.Name)
+
+	case *inspect != "":
+		img, err := os.ReadFile(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		decoded, err := bios.Parse(img)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("board       %s (%s)\n", decoded.BoardName, decoded.Generation)
+		fmt.Printf("boot clocks %s\n", decoded.Boot)
+		fmt.Printf("checksum    ok\n")
+		fmt.Printf("perf table:\n")
+		for _, l := range arch.Levels() {
+			e := decoded.Table[l]
+			fmt.Printf("  %s: core %4.0f MHz @ %d mV, mem %4.0f MHz @ %d mV, pair mask %03b\n",
+				l, e.CoreMHz, e.CoreMV, e.MemMHz, e.MemMV, e.PairMask)
+		}
+		fmt.Printf("valid pairs:")
+		for _, p := range decoded.ValidPairs() {
+			fmt.Printf(" %s", p)
+		}
+		fmt.Println()
+
+	case *patch != "":
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-patch needs the image path as argument"))
+		}
+		path := flag.Arg(0)
+		pair, err := clock.ParsePair(*patch)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bios.PatchBootPair(img, pair); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, img, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("patched %s: boot clocks now %s\n", path, pair)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vbios:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+package gpuperf_test
+
+import (
+	"fmt"
+	"log"
+
+	"gpuperf"
+)
+
+// Open a board, run a benchmark, reprogram the clocks the way the paper
+// does (VBIOS patch + reboot), and compare energies.
+func Example() {
+	dev, err := gpuperf.OpenDevice("GTX 680")
+	if err != nil {
+		log.Fatal(err)
+	}
+	def, err := gpuperf.RunBenchmark(dev, "backprop", 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.SetClocks(gpuperf.MustPair("M-L")); err != nil {
+		log.Fatal(err)
+	}
+	low, err := gpuperf.RunBenchmark(dev, "backprop", 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("energy drops at (M-L): %v\n", low.EnergyPerIterJ < def.EnergyPerIterJ)
+	// Output:
+	// energy drops at (M-L): true
+}
+
+// Enumerate the frequency pairs a board's BIOS exposes (Table III).
+func ExampleValidPairs() {
+	spec := gpuperf.Board("GTX 680")
+	for _, p := range gpuperf.ValidPairs(spec) {
+		fmt.Print(p, " ")
+	}
+	fmt.Println()
+	// Output:
+	// (H-H) (H-M) (H-L) (M-H) (M-M) (M-L) (L-H)
+}
+
+// Find the minimum-energy frequency pair for a workload — one cell of the
+// paper's Table IV.
+func ExampleBestPair() {
+	dev, err := gpuperf.OpenDevice("GTX 285")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair, _, err := gpuperf.BestPair(dev, "streamcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("memory-bound workloads keep Mem-H: %v\n", pair.Mem == gpuperf.High)
+	// Output:
+	// memory-bound workloads keep Mem-H: true
+}
+
+// Parse the paper's pair notation.
+func ExampleParsePair() {
+	p, err := gpuperf.ParsePair("(H-L)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.Core, p.Mem)
+	// Output:
+	// H L
+}
+
+// Train the paper's unified models (Eq. 1 and Eq. 2) and check the Table
+// V/VI relationship: the performance model's R̄² is far above the power
+// model's.
+func ExampleTrainModel() {
+	ds, err := gpuperf.CollectDataset("GTX 680", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	power, err := gpuperf.TrainModel(ds, gpuperf.PowerModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time, err := gpuperf.TrainModel(ds, gpuperf.TimeModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one unified model per GPU, %d variables each\n", 10)
+	fmt.Printf("power R̄² below time R̄²: %v\n", power.AdjR2() < time.AdjR2())
+	// Output:
+	// one unified model per GPU, 10 variables each
+	// power R̄² below time R̄²: true
+}
+
+// Plan a batch of jobs under an energy budget (the related-work
+// power-constrained scheduling problem, on measured operating points).
+func ExamplePlanBatchUnderEnergy() {
+	dev, err := gpuperf.OpenDevice("GTX 680")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := gpuperf.PlanBatchUnderEnergy(dev, []string{"backprop", "sgemm"}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tight, err := gpuperf.PlanBatchUnderEnergy(dev, []string{"backprop", "sgemm"}, fast.TotalEnergyJ*0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tighter budget is feasible: %v, and no faster: %v\n",
+		tight.Feasible, tight.TotalTimeS >= fast.TotalTimeS)
+	// Output:
+	// tighter budget is feasible: true, and no faster: true
+}

@@ -1,0 +1,46 @@
+// Batch: energy-budgeted batch scheduling — the power-constrained
+// throughput optimization of the paper's related work (Lee et al.), built
+// on measured per-pair operating points. Five jobs run back to back on a
+// GTX 680; the planner picks each job's frequency pair to minimize total
+// time under a shrinking total energy budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuperf"
+)
+
+func main() {
+	dev, err := gpuperf.OpenDevice("GTX 680")
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := []string{"backprop", "streamcluster", "gaussian", "sgemm", "lbm"}
+
+	fast, err := gpuperf.PlanBatchUnderEnergy(dev, jobs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all-fast batch: %.0f ms, %.1f J\n\n", fast.TotalTimeS*1e3, fast.TotalEnergyJ)
+
+	for _, frac := range []float64{1.0, 0.85, 0.7, 0.55} {
+		budget := fast.TotalEnergyJ * frac
+		plan, err := gpuperf.PlanBatchUnderEnergy(dev, jobs, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("budget %.1f J (%.0f%% of all-fast):", budget, frac*100)
+		if !plan.Feasible {
+			fmt.Printf(" INFEASIBLE — floor is %.1f J\n", plan.TotalEnergyJ)
+			continue
+		}
+		fmt.Printf(" %.0f ms, %.1f J\n", plan.TotalTimeS*1e3, plan.TotalEnergyJ)
+		for _, a := range plan.Assignments {
+			fmt.Printf("  %-14s %s  %6.1f ms  %6.2f J\n",
+				a.Job, a.Option.Pair, a.Option.TimeS*1e3, a.Option.EnergyJ)
+		}
+		fmt.Println()
+	}
+}

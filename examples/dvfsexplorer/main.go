@@ -1,0 +1,52 @@
+// DVFS explorer: sweep one benchmark over every BIOS-exposed frequency
+// pair on all four boards and print a per-pair energy/performance table
+// with the best pair highlighted — the per-benchmark slice of the paper's
+// Table IV experiment, usable as a tuning tool.
+//
+// Usage: dvfsexplorer [benchmark]   (default: streamcluster)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpuperf"
+)
+
+func main() {
+	bench := "streamcluster"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	if gpuperf.BenchmarkByName(bench) == nil {
+		log.Fatalf("unknown benchmark %q; pick one of %v", bench, gpuperf.Benchmarks())
+	}
+
+	for _, board := range gpuperf.Boards() {
+		dev, err := gpuperf.OpenDevice(board)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweep, err := gpuperf.Sweep(dev, bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := sweep.Best()
+
+		fmt.Printf("\n%s — %s\n", board, bench)
+		fmt.Printf("  %-7s %12s %10s %12s %12s\n", "pair", "time/iter", "power", "energy/iter", "vs (H-H)")
+		def := sweep.Default()
+		for _, pr := range sweep.Pairs {
+			marker := " "
+			if pr.Pair == best.Pair {
+				marker = "*"
+			}
+			gain := (def.EnergyPerIter/pr.EnergyPerIter - 1) * 100
+			fmt.Printf("%s %-7s %9.1f ms %7.0f W %9.2f J %+11.1f%%\n",
+				marker, pr.Pair, pr.TimePerIter*1e3, pr.AvgWatts, pr.EnergyPerIter, gain)
+		}
+		fmt.Printf("  best: %s (+%.1f%% efficiency, %.1f%% slower)\n",
+			best.Pair, sweep.ImprovementPct(), sweep.PerfLossPct())
+	}
+}

@@ -1,0 +1,79 @@
+// Governor: the paper's motivating application (Section V conclusion) —
+// dynamic power/performance management built on the unified models. For
+// each incoming kernel the governor profiles it once at the default clocks,
+// predicts power and execution time at *every* frequency pair from the one
+// unified model per GPU (no per-pair model instances, the paper's key
+// advantage), and programs the pair that minimizes predicted energy while
+// keeping predicted wall power under a cap.
+//
+// Usage: governor [wall-power-cap-in-watts]   (default: 230)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"gpuperf"
+)
+
+const board = "GTX 680"
+
+func main() {
+	powerCap := 230.0
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseFloat(os.Args[1], 64)
+		if err != nil {
+			log.Fatalf("bad power cap %q", os.Args[1])
+		}
+		powerCap = v
+	}
+
+	// Offline: train the unified models once.
+	ds, err := gpuperf.CollectDataset(board, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	powerModel, err := gpuperf.TrainModel(ds, gpuperf.PowerModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeModel, err := gpuperf.TrainModel(ds, gpuperf.TimeModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dev, err := gpuperf.OpenDevice(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gov, err := gpuperf.NewGovernor(dev, powerModel, timeModel, gpuperf.GovernorPolicy{
+		Objective:     gpuperf.MinEnergy,
+		PowerCapWatts: powerCap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("governor on %s, wall-power cap %.0f W\n", board, powerCap)
+	fmt.Printf("models: power R̄² %.2f, time R̄² %.2f (one unified model each)\n\n",
+		powerModel.AdjR2(), timeModel.AdjR2())
+
+	for _, bench := range []string{"backprop", "streamcluster", "gaussian", "sgemm", "lbm"} {
+		out, err := gpuperf.RunTuned(gov, bench, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "within cap"
+		if out.MeasuredWatts > powerCap {
+			status = "CAP MISS"
+		}
+		if !out.Feasible {
+			status = "no feasible pair; fell back to (H-H)"
+		}
+		fmt.Printf("%-14s → %s  predicted %5.1f W / %6.1f ms, measured %5.1f W / %6.1f ms  (%s)\n",
+			bench, out.Pair, out.PredictedWatts, out.PredictedTime*1e3,
+			out.MeasuredWatts, out.MeasuredTime*1e3, status)
+	}
+}

@@ -1,0 +1,272 @@
+package gpuperf
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBoardsAndLookup(t *testing.T) {
+	boards := Boards()
+	if len(boards) != 4 {
+		t.Fatalf("%d boards, want 4", len(boards))
+	}
+	for _, name := range boards {
+		if Board(name) == nil {
+			t.Errorf("Board(%q) = nil", name)
+		}
+	}
+	if Board("nope") != nil {
+		t.Error("Board of unknown name should be nil")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 37 {
+		t.Fatalf("%d benchmarks, want 37", len(bs))
+	}
+	if BenchmarkByName(bs[0]) == nil {
+		t.Error("BenchmarkByName failed for listed benchmark")
+	}
+}
+
+func TestMustPair(t *testing.T) {
+	if MustPair("H-L") != (Pair{Core: High, Mem: Low}) {
+		t.Error("MustPair parsed wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPair should panic on bad input")
+		}
+	}()
+	MustPair("nope")
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	dev, err := OpenDevice("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunBenchmark(dev, "backprop", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Board != "GTX 680" || run.Pair != DefaultPair() {
+		t.Errorf("run metadata wrong: %+v", run)
+	}
+	if run.TimePerIterS <= 0 || run.AvgWatts <= 0 || run.EnergyPerIterJ <= 0 {
+		t.Errorf("run measurements not positive: %+v", run)
+	}
+
+	if err := dev.SetClocks(MustPair("M-L")); err != nil {
+		t.Fatal(err)
+	}
+	run2, err := RunBenchmark(dev, "backprop", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.EnergyPerIterJ >= run.EnergyPerIterJ {
+		t.Error("Kepler (M-L) should cut backprop energy vs (H-H)")
+	}
+	if run2.TimePerIterS <= run.TimePerIterS {
+		t.Error("(M-L) should be slower than (H-H)")
+	}
+}
+
+func TestRunBenchmarkUnknown(t *testing.T) {
+	dev, err := OpenDevice("GTX 460")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBenchmark(dev, "doom", 1); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	if _, err := Sweep(dev, "doom"); err == nil {
+		t.Error("unknown benchmark sweep should fail")
+	}
+}
+
+func TestBestPairFlow(t *testing.T) {
+	dev, err := OpenDevice("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, imp, err := BestPair(dev, "backprop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair == DefaultPair() {
+		t.Error("GTX 680 backprop best pair should not be the default")
+	}
+	if imp <= 0 {
+		t.Errorf("improvement %.1f%%, want positive", imp)
+	}
+	if dev.Clocks() != DefaultPair() {
+		t.Error("BestPair should leave the device at (H-H)")
+	}
+}
+
+func TestModelingFlow(t *testing.T) {
+	ds, err := CollectDataset("GTX 680", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := TrainModel(ds, PowerModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := TrainModel(ds, TimeModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pErr := PredictAll(pm, ds); pErr <= 0 || pErr > 40 {
+		t.Errorf("power model error %.1f%% out of expected range", pErr)
+	}
+	if tErr := PredictAll(tm, ds); tErr <= 0 || tErr > 80 {
+		t.Errorf("time model error %.1f%% out of expected range", tErr)
+	}
+}
+
+func TestGovernorFlow(t *testing.T) {
+	ds, err := CollectDataset("GTX 680", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := TrainModel(ds, PowerModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := TrainModel(ds, TimeModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := OpenDevice("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov, err := NewGovernor(dev, pm, tm, GovernorPolicy{Objective: MinEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunTuned(gov, "backprop", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Feasible {
+		t.Error("unconstrained policy should always be feasible")
+	}
+	if out.Pair == DefaultPair() {
+		t.Error("governor kept default clocks on Kepler backprop")
+	}
+	if _, err := RunTuned(gov, "doom", 1); err == nil {
+		t.Error("RunTuned accepted unknown benchmark")
+	}
+}
+
+func TestModelPersistenceFlow(t *testing.T) {
+	ds, err := CollectBenchmarks("GTX 460", []string{"sgemm", "lbm", "gaussian"}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainModel(ds, PowerModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Predict(&ds.Rows[0]), m.Predict(&ds.Rows[0]); got != want {
+		t.Errorf("prediction %g != %g after round trip", got, want)
+	}
+	var dbuf bytes.Buffer
+	if err := SaveDataset(ds, &dbuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(&dbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(ds.Rows) {
+		t.Error("dataset rows lost in round trip")
+	}
+}
+
+func TestCrossValidateFlow(t *testing.T) {
+	ds, err := CollectBenchmarks("GTX 680", []string{"sgemm", "lbm", "gaussian", "spmv"}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := CrossValidate(ds, TimeModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Folds) != 4 {
+		t.Errorf("%d folds, want 4", len(cv.Folds))
+	}
+	if cv.MeanAbsPct <= 0 {
+		t.Error("non-positive CV error")
+	}
+}
+
+func TestThermalFlow(t *testing.T) {
+	dev, err := OpenDevice("GTX 480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BenchmarkByName("lavaMD")
+	rr, err := dev.RunMetered(b.Name, b.Kernels(2), b.HostGap(2), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultThermalParams(dev.Spec())
+	res, err := SimulateThermal(rr.Trace, params, params.AmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxC <= params.AmbientC {
+		t.Error("a loaded GF100 should heat above ambient")
+	}
+	if res.ExtraLeakJoules <= 0 {
+		t.Error("no leakage surcharge on a hot run")
+	}
+}
+
+func TestBatchPlanningFlow(t *testing.T) {
+	dev, err := OpenDevice("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"backprop", "sgemm"}
+	fast, err := PlanBatchUnderEnergy(dev, names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Feasible || len(fast.Assignments) != 2 {
+		t.Fatalf("unconstrained plan broken: %+v", fast)
+	}
+	tight, err := PlanBatchUnderEnergy(dev, names, fast.TotalEnergyJ*0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Feasible && tight.TotalTimeS < fast.TotalTimeS {
+		t.Error("tighter energy budget produced a faster plan")
+	}
+	dl, err := PlanBatchUnderDeadline(dev, names, fast.TotalTimeS*1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dl.Feasible {
+		t.Error("relaxed deadline should be feasible")
+	}
+	if dl.TotalEnergyJ > fast.TotalEnergyJ+1e-9 {
+		t.Error("deadline plan should not use more energy than the all-fast plan")
+	}
+	if _, err := PlanBatchUnderEnergy(dev, []string{"doom"}, 0); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,272 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerationString(t *testing.T) {
+	cases := map[Generation]string{
+		Tesla:          "Tesla",
+		Fermi:          "Fermi",
+		Kepler:         "Kepler",
+		Generation(42): "Generation(42)",
+	}
+	for g, want := range cases {
+		if got := g.String(); got != want {
+			t.Errorf("Generation(%d).String() = %q, want %q", int(g), got, want)
+		}
+	}
+}
+
+func TestFreqLevelString(t *testing.T) {
+	cases := map[FreqLevel]string{
+		FreqLow:      "L",
+		FreqMid:      "M",
+		FreqHigh:     "H",
+		FreqLevel(9): "FreqLevel(9)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("FreqLevel(%d).String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestLevelsAscending(t *testing.T) {
+	ls := Levels()
+	if len(ls) != 3 {
+		t.Fatalf("Levels() returned %d levels, want 3", len(ls))
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			t.Errorf("Levels()[%d] = %v not above Levels()[%d] = %v", i, ls[i], i-1, ls[i-1])
+		}
+	}
+}
+
+func TestAllBoardsValidate(t *testing.T) {
+	boards := AllBoards()
+	if len(boards) != 4 {
+		t.Fatalf("AllBoards() returned %d boards, want 4", len(boards))
+	}
+	for _, s := range boards {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v", s.Name, err)
+		}
+	}
+}
+
+func TestTableISpecs(t *testing.T) {
+	cases := []struct {
+		spec      *Spec
+		gen       Generation
+		cores     int
+		gflops    float64
+		bwGBs     float64
+		tdp       float64
+		coreFreqs [3]float64
+		memFreqs  [3]float64
+	}{
+		{GTX285(), Tesla, 240, 933, 159.0, 183, [3]float64{600, 800, 1296}, [3]float64{100, 300, 1284}},
+		{GTX460(), Fermi, 336, 907, 115.2, 160, [3]float64{100, 810, 1350}, [3]float64{135, 324, 1800}},
+		{GTX480(), Fermi, 480, 1350, 177.0, 250, [3]float64{100, 810, 1400}, [3]float64{135, 324, 1848}},
+		{GTX680(), Kepler, 1536, 3090, 192.2, 195, [3]float64{648, 1080, 1411}, [3]float64{324, 810, 3004}},
+	}
+	for _, c := range cases {
+		s := c.spec
+		if s.Generation != c.gen {
+			t.Errorf("%s: generation %v, want %v", s.Name, s.Generation, c.gen)
+		}
+		if got := s.TotalCores(); got != c.cores {
+			t.Errorf("%s: %d cores, want %d", s.Name, got, c.cores)
+		}
+		if s.PeakGFLOPS != c.gflops {
+			t.Errorf("%s: %g GFLOPS, want %g", s.Name, s.PeakGFLOPS, c.gflops)
+		}
+		if s.MemBandwidthGBs != c.bwGBs {
+			t.Errorf("%s: %g GB/s, want %g", s.Name, s.MemBandwidthGBs, c.bwGBs)
+		}
+		if s.TDPWatts != c.tdp {
+			t.Errorf("%s: TDP %g W, want %g", s.Name, s.TDPWatts, c.tdp)
+		}
+		if s.CoreFreqsMHz != c.coreFreqs {
+			t.Errorf("%s: core freqs %v, want %v", s.Name, s.CoreFreqsMHz, c.coreFreqs)
+		}
+		if s.MemFreqsMHz != c.memFreqs {
+			t.Errorf("%s: mem freqs %v, want %v", s.Name, s.MemFreqsMHz, c.memFreqs)
+		}
+	}
+}
+
+func TestTableIIIPairCounts(t *testing.T) {
+	// Table III: GTX 285 exposes 8 pairs, the others 7.
+	want := map[string]int{"GTX 285": 8, "GTX 460": 7, "GTX 480": 7, "GTX 680": 7}
+	for _, s := range AllBoards() {
+		n := 0
+		for _, c := range Levels() {
+			for _, m := range Levels() {
+				if s.PairValid(c, m) {
+					n++
+				}
+			}
+		}
+		if n != want[s.Name] {
+			t.Errorf("%s: %d valid pairs, want %d", s.Name, n, want[s.Name])
+		}
+	}
+}
+
+func TestTableIIISpecificPairs(t *testing.T) {
+	g285, g460, g480, g680 := GTX285(), GTX460(), GTX480(), GTX680()
+	// Rows of Table III that differ between boards.
+	if !g285.PairValid(FreqLow, FreqHigh) || !g680.PairValid(FreqLow, FreqHigh) {
+		t.Error("(Core-L, Mem-H) should be valid on GTX 285 and GTX 680")
+	}
+	if g460.PairValid(FreqLow, FreqHigh) || g480.PairValid(FreqLow, FreqHigh) {
+		t.Error("(Core-L, Mem-H) should be invalid on the Fermi boards")
+	}
+	if !g285.PairValid(FreqLow, FreqMid) {
+		t.Error("(Core-L, Mem-M) should be valid on GTX 285")
+	}
+	if g285.PairValid(FreqLow, FreqLow) {
+		t.Error("(Core-L, Mem-L) should be invalid on GTX 285")
+	}
+	if !g460.PairValid(FreqLow, FreqLow) || !g480.PairValid(FreqLow, FreqLow) {
+		t.Error("(Core-L, Mem-L) should be valid on the Fermi boards")
+	}
+	if g680.PairValid(FreqLow, FreqLow) || g680.PairValid(FreqLow, FreqMid) {
+		t.Error("(Core-L, Mem-L/M) should be invalid on GTX 680")
+	}
+}
+
+func TestVoltageMonotone(t *testing.T) {
+	for _, s := range AllBoards() {
+		prevC, prevM := 0.0, 0.0
+		for _, l := range Levels() {
+			vc, vm := s.CoreVoltage(l), s.MemVoltage(l)
+			if vc < prevC {
+				t.Errorf("%s: core voltage not monotone at level %v", s.Name, l)
+			}
+			if vm < prevM {
+				t.Errorf("%s: mem voltage not monotone at level %v", s.Name, l)
+			}
+			prevC, prevM = vc, vm
+		}
+		if got := s.CoreVoltage(FreqHigh); got != s.CoreVoltHigh {
+			t.Errorf("%s: CoreVoltage(H) = %g, want %g", s.Name, got, s.CoreVoltHigh)
+		}
+		if got := s.CoreVoltage(FreqLow); got != s.CoreVoltLow {
+			t.Errorf("%s: CoreVoltage(L) = %g, want %g", s.Name, got, s.CoreVoltLow)
+		}
+	}
+}
+
+func TestKeplerVoltagePremium(t *testing.T) {
+	// The Kepler curve is convex: the mid-level voltage must sit below
+	// the linear interpolation between Low and High, i.e. the top bin
+	// pays a premium. This is the enabler of the paper's 75% result.
+	s := GTX680()
+	fL, fM, fH := s.CoreFreqsMHz[FreqLow], s.CoreFreqsMHz[FreqMid], s.CoreFreqsMHz[FreqHigh]
+	tt := (fM - fL) / (fH - fL)
+	linear := s.CoreVoltLow + tt*(s.CoreVoltHigh-s.CoreVoltLow)
+	if got := s.CoreVoltage(FreqMid); got >= linear {
+		t.Errorf("GTX 680 CoreVoltage(M) = %g, want below linear %g", got, linear)
+	}
+	// Tesla is linear by construction.
+	s285 := GTX285()
+	fL, fM, fH = s285.CoreFreqsMHz[FreqLow], s285.CoreFreqsMHz[FreqMid], s285.CoreFreqsMHz[FreqHigh]
+	tt = (fM - fL) / (fH - fL)
+	linear = s285.CoreVoltLow + tt*(s285.CoreVoltHigh-s285.CoreVoltLow)
+	if got := s285.CoreVoltage(FreqMid); !closeTo(got, linear, 1e-12) {
+		t.Errorf("GTX 285 CoreVoltage(M) = %g, want linear %g", got, linear)
+	}
+}
+
+func TestDerivedBandwidthMatchesTableI(t *testing.T) {
+	for _, s := range AllBoards() {
+		got := s.DerivedBandwidthGBs(FreqHigh)
+		if ratio := got / s.MemBandwidthGBs; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: derived bandwidth %.1f GB/s vs Table I %.1f GB/s", s.Name, got, s.MemBandwidthGBs)
+		}
+	}
+}
+
+func TestDerivedBandwidthScalesWithMemClock(t *testing.T) {
+	s := GTX680()
+	bwH := s.DerivedBandwidthGBs(FreqHigh)
+	bwL := s.DerivedBandwidthGBs(FreqLow)
+	wantRatio := s.MemFreqsMHz[FreqLow] / s.MemFreqsMHz[FreqHigh]
+	if got := bwL / bwH; !closeTo(got, wantRatio, 1e-9) {
+		t.Errorf("bandwidth ratio L/H = %g, want %g", got, wantRatio)
+	}
+}
+
+func TestBoardByName(t *testing.T) {
+	for _, s := range AllBoards() {
+		got := BoardByName(s.Name)
+		if got == nil || got.Name != s.Name {
+			t.Errorf("BoardByName(%q) failed", s.Name)
+		}
+	}
+	if BoardByName("GTX 9999") != nil {
+		t.Error("BoardByName of unknown board should be nil")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"zero SMs", func(s *Spec) { s.SMCount = 0 }},
+		{"zero warp size", func(s *Spec) { s.WarpSize = 0 }},
+		{"zero line size", func(s *Spec) { s.LineSize = 0 }},
+		{"descending core freqs", func(s *Spec) { s.CoreFreqsMHz = [3]float64{1400, 810, 100} }},
+		{"descending mem freqs", func(s *Spec) { s.MemFreqsMHz = [3]float64{1848, 324, 135} }},
+		{"zero low freq", func(s *Spec) { s.CoreFreqsMHz[FreqLow] = 0 }},
+		{"invalid default pair", func(s *Spec) { s.ValidPairs[FreqHigh][FreqHigh] = false }},
+		{"inverted core voltage", func(s *Spec) { s.CoreVoltLow = s.CoreVoltHigh + 1 }},
+		{"zero mem voltage", func(s *Spec) { s.MemVoltLow = 0 }},
+		{"bandwidth mismatch", func(s *Spec) { s.MemBusWidthBits /= 2 }},
+		{"fermi without caches", func(s *Spec) { s.L2Size = 0 }},
+	}
+	for _, m := range mutations {
+		s := GTX480()
+		m.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate() accepted spec with %s", m.name)
+		}
+	}
+}
+
+func closeTo(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestVoltageInterpolationProperty(t *testing.T) {
+	// Property: for any frequency level the voltage lies within
+	// [VoltLow, VoltHigh] on every board.
+	f := func(li uint8) bool {
+		l := FreqLevel(int(li) % 3)
+		for _, s := range AllBoards() {
+			vc := s.CoreVoltage(l)
+			if vc < s.CoreVoltLow-1e-12 || vc > s.CoreVoltHigh+1e-12 {
+				return false
+			}
+			vm := s.MemVoltage(l)
+			if vm < s.MemVoltLow-1e-12 || vm > s.MemVoltHigh+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package arch
+
+import "testing"
+
+func TestRadeonSpecValidates(t *testing.T) {
+	s := RadeonHD7970()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Generation != GCN {
+		t.Errorf("generation %v, want GCN", s.Generation)
+	}
+	if s.Generation.String() != "GCN" {
+		t.Errorf("GCN.String() = %q", s.Generation.String())
+	}
+	if got := s.TotalCores(); got != 2048 {
+		t.Errorf("%d stream processors, want 2048", got)
+	}
+	if s.WarpSize != 64 {
+		t.Errorf("wavefront size %d, want 64", s.WarpSize)
+	}
+}
+
+func TestRadeonNotInPaperBoardSet(t *testing.T) {
+	// The paper's tables cover the four GeForce boards only; the Radeon
+	// is the future-work extension and must not leak into AllBoards.
+	for _, s := range AllBoards() {
+		if s.Generation == GCN {
+			t.Fatalf("AllBoards contains the future-work board %s", s.Name)
+		}
+	}
+	if BoardByName("Radeon HD 7970") != nil {
+		t.Error("BoardByName should not resolve the Radeon (paper set only)")
+	}
+}
+
+func TestRadeonVoltageHeadroomBetweenFermiAndKepler(t *testing.T) {
+	// 28 nm like Kepler: its mid-level core energy scale should sit well
+	// below Tesla's (headroom exists) but need not match Kepler's.
+	r := RadeonHD7970()
+	vm := r.CoreVoltage(FreqMid) / r.CoreVoltHigh
+	if vm*vm > 0.85 {
+		t.Errorf("Radeon mid-level V² ratio %.2f: no DVFS headroom modeled", vm*vm)
+	}
+}
+
+func TestRadeonBandwidthDerivation(t *testing.T) {
+	r := RadeonHD7970()
+	got := r.DerivedBandwidthGBs(FreqHigh)
+	if ratio := got / r.MemBandwidthGBs; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("derived bandwidth %.1f GB/s vs spec %.1f GB/s", got, r.MemBandwidthGBs)
+	}
+}

@@ -1,0 +1,74 @@
+package bios
+
+import (
+	"bytes"
+	"fmt"
+
+	"gpuperf/internal/clock"
+)
+
+// The paper does not patch a bare VBIOS file: the image is *embedded in the
+// proprietary driver's binary*, and the method (Section II-B, the Gdev
+// documentation it cites) is to locate the image inside that blob, patch
+// the boot level in place, and fix the checksum. These helpers reproduce
+// the blob workflow: scan an arbitrary byte blob for embedded images,
+// validate candidates, and patch in place.
+
+// FindImages scans a blob for embedded VBIOS images and returns the byte
+// offsets of every *valid* image (magic found, checksum and structure
+// verified). Invalid magic hits — strings that merely look like the magic —
+// are skipped, as the real method must.
+func FindImages(blob []byte) []int {
+	var out []int
+	for at := 0; ; {
+		i := bytes.Index(blob[at:], []byte(Magic))
+		if i < 0 {
+			return out
+		}
+		pos := at + i
+		if pos+ImageSize <= len(blob) {
+			if _, err := Parse(blob[pos : pos+ImageSize]); err == nil {
+				out = append(out, pos)
+			}
+		}
+		at = pos + 1
+	}
+}
+
+// EmbedImage builds a synthetic "driver blob": the image surrounded by
+// opaque padding, as test rigs and demos need. pre and post are the pad
+// sizes. Padding bytes avoid accidental magic collisions.
+func EmbedImage(img []byte, pre, post int) []byte {
+	blob := make([]byte, 0, pre+len(img)+post)
+	pad := func(n int, salt byte) []byte {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = byte(i)*7 + salt
+			if p[i] == Magic[0] {
+				p[i]++
+			}
+		}
+		return p
+	}
+	blob = append(blob, pad(pre, 3)...)
+	blob = append(blob, img...)
+	blob = append(blob, pad(post, 11)...)
+	return blob
+}
+
+// PatchBlob locates the single embedded VBIOS image in a driver blob and
+// patches its boot pair in place. It fails if the blob contains no valid
+// image or more than one (patching the wrong one would brick the boot —
+// the caller must disambiguate).
+func PatchBlob(blob []byte, p clock.Pair) error {
+	offsets := FindImages(blob)
+	switch len(offsets) {
+	case 0:
+		return fmt.Errorf("bios: no valid VBIOS image embedded in %d-byte blob", len(blob))
+	case 1:
+	default:
+		return fmt.Errorf("bios: %d VBIOS images embedded; refusing to guess", len(offsets))
+	}
+	img := blob[offsets[0] : offsets[0]+ImageSize]
+	return PatchBootPair(img, p)
+}

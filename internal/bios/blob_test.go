@@ -1,0 +1,97 @@
+package bios
+
+import (
+	"bytes"
+	"testing"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+)
+
+func TestFindImagesInBlob(t *testing.T) {
+	img := Build(arch.GTX680())
+	blob := EmbedImage(img, 4096, 2048)
+	offsets := FindImages(blob)
+	if len(offsets) != 1 {
+		t.Fatalf("found %d images, want 1", len(offsets))
+	}
+	if offsets[0] != 4096 {
+		t.Errorf("image at offset %d, want 4096", offsets[0])
+	}
+}
+
+func TestFindImagesSkipsFakeMagic(t *testing.T) {
+	// A blob containing the magic string but no valid image.
+	blob := append([]byte("....GVBS junk that is not an image...."), make([]byte, 256)...)
+	if got := FindImages(blob); len(got) != 0 {
+		t.Errorf("found %d images in junk, want 0", len(got))
+	}
+	// Magic too close to the end to hold an image.
+	tail := append(make([]byte, 10), []byte(Magic)...)
+	if got := FindImages(tail); len(got) != 0 {
+		t.Errorf("found %d images in truncated tail", len(got))
+	}
+}
+
+func TestFindImagesMultiple(t *testing.T) {
+	a := Build(arch.GTX460())
+	b := Build(arch.GTX680())
+	blob := append(EmbedImage(a, 100, 50), EmbedImage(b, 64, 64)...)
+	offsets := FindImages(blob)
+	if len(offsets) != 2 {
+		t.Fatalf("found %d images, want 2", len(offsets))
+	}
+}
+
+func TestPatchBlob(t *testing.T) {
+	img := Build(arch.GTX680())
+	blob := EmbedImage(img, 1000, 1000)
+	target := clock.Pair{Core: arch.FreqMid, Mem: arch.FreqLow}
+	if err := PatchBlob(blob, target); err != nil {
+		t.Fatal(err)
+	}
+	offsets := FindImages(blob)
+	if len(offsets) != 1 {
+		t.Fatal("patched blob lost its image")
+	}
+	decoded, err := Parse(blob[offsets[0] : offsets[0]+ImageSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Boot != target {
+		t.Errorf("boot pair %s after blob patch, want %s", decoded.Boot, target)
+	}
+}
+
+func TestPatchBlobRefusesAmbiguity(t *testing.T) {
+	a := EmbedImage(Build(arch.GTX460()), 10, 10)
+	b := EmbedImage(Build(arch.GTX460()), 10, 10)
+	blob := append(a, b...)
+	if err := PatchBlob(blob, clock.DefaultPair()); err == nil {
+		t.Error("PatchBlob accepted a blob with two images")
+	}
+	if err := PatchBlob([]byte("no image here"), clock.DefaultPair()); err == nil {
+		t.Error("PatchBlob accepted an imageless blob")
+	}
+}
+
+func TestPatchBlobRejectsUnexposedPair(t *testing.T) {
+	blob := EmbedImage(Build(arch.GTX680()), 128, 128)
+	before := append([]byte(nil), blob...)
+	if err := PatchBlob(blob, clock.Pair{Core: arch.FreqLow, Mem: arch.FreqLow}); err == nil {
+		t.Error("PatchBlob accepted (L-L) on GTX 680")
+	}
+	if !bytes.Equal(blob, before) {
+		t.Error("failed blob patch modified the blob")
+	}
+}
+
+func TestEmbedImagePaddingAvoidsMagic(t *testing.T) {
+	img := Build(arch.GTX285())
+	blob := EmbedImage(img, 8192, 8192)
+	// The only magic occurrence must be the embedded image itself.
+	count := bytes.Count(blob, []byte(Magic))
+	if count != 1 {
+		t.Errorf("%d magic occurrences in blob, want 1", count)
+	}
+}

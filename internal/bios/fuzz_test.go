@@ -1,0 +1,49 @@
+package bios
+
+import (
+	"bytes"
+	"testing"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+)
+
+// FuzzParse drives the VBIOS decoder with arbitrary bytes: it must reject
+// or accept without panicking, and anything it accepts must satisfy the
+// decoder's own invariants (round-trip through patch included).
+func FuzzParse(f *testing.F) {
+	for _, spec := range arch.AllBoards() {
+		f.Add(Build(spec))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("GVBS"))
+	f.Add(bytes.Repeat([]byte{0xFF}, ImageSize))
+	corrupted := Build(arch.GTX680())
+	corrupted[40] = 200
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, img []byte) {
+		decoded, err := Parse(img)
+		if err != nil {
+			return
+		}
+		// Accepted images must be internally consistent.
+		if !ChecksumOK(img) {
+			t.Fatal("accepted image with bad checksum")
+		}
+		if !decoded.PairValid(decoded.Boot) {
+			t.Fatal("accepted image whose boot pair is not exposed")
+		}
+		// Patching to any exposed pair must keep the image parseable.
+		own := append([]byte(nil), img...)
+		for _, p := range decoded.ValidPairs() {
+			if err := PatchBootPair(own, p); err != nil {
+				t.Fatalf("patch to exposed pair %s failed: %v", p, err)
+			}
+			if _, err := Parse(own); err != nil {
+				t.Fatalf("patched image unparseable: %v", err)
+			}
+		}
+		_ = clock.Pair(decoded.Boot)
+	})
+}

@@ -1,0 +1,225 @@
+// Package characterize implements the Section III experiments: sweep every
+// benchmark over every BIOS-exposed frequency pair on every board, measure
+// execution time and wall energy with the simulated power meter, and derive
+// the per-benchmark best-efficiency pair (Table IV), the improvement over
+// the default (H-H) pair (Fig. 4) and the performance/power-efficiency
+// curves of Figs. 1–3.
+package characterize
+
+import (
+	"fmt"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/workloads"
+)
+
+// MinRunSeconds mirrors the paper's floor: kernels are repeated until the
+// run covers 500 ms so the meter sees at least 10 samples.
+const MinRunSeconds = 0.5
+
+// PairResult is one (benchmark, board, frequency pair) measurement.
+type PairResult struct {
+	Pair          clock.Pair
+	TimePerIter   float64 // seconds per kernel-sequence iteration
+	AvgWatts      float64 // measured wall power
+	EnergyPerIter float64 // joules per iteration
+}
+
+// Efficiency returns the paper's power-efficiency metric, the reciprocal of
+// energy consumption.
+func (p *PairResult) Efficiency() float64 {
+	if p.EnergyPerIter <= 0 {
+		return 0
+	}
+	return 1 / p.EnergyPerIter
+}
+
+// BenchResult is one benchmark swept over all pairs of one board.
+type BenchResult struct {
+	Benchmark string
+	Board     string
+	Pairs     []PairResult // in Table III row order (H-H first)
+}
+
+// ByPair finds the measurement for a pair, or nil.
+func (r *BenchResult) ByPair(p clock.Pair) *PairResult {
+	for i := range r.Pairs {
+		if r.Pairs[i].Pair == p {
+			return &r.Pairs[i]
+		}
+	}
+	return nil
+}
+
+// Best returns the pair with maximum power efficiency (minimum energy).
+// Ties resolve to the earlier Table III row, which puts (H-H) first —
+// matching the paper's convention of reporting the default on a tie.
+func (r *BenchResult) Best() *PairResult {
+	if len(r.Pairs) == 0 {
+		return nil
+	}
+	best := &r.Pairs[0]
+	for i := range r.Pairs {
+		if r.Pairs[i].Efficiency() > best.Efficiency() {
+			best = &r.Pairs[i]
+		}
+	}
+	return best
+}
+
+// Default returns the (H-H) measurement.
+func (r *BenchResult) Default() *PairResult { return r.ByPair(clock.DefaultPair()) }
+
+// ImprovementPct returns the Fig. 4 metric: the power-efficiency gain of
+// the best pair over the default pair, in percent.
+func (r *BenchResult) ImprovementPct() float64 {
+	def, best := r.Default(), r.Best()
+	if def == nil || best == nil || def.Efficiency() <= 0 {
+		return 0
+	}
+	return (best.Efficiency()/def.Efficiency() - 1) * 100
+}
+
+// PerfLossPct returns the performance loss of the best pair relative to the
+// default pair, in percent (the paper quotes 2%, 2%, 0.1% and 30% for
+// Backprop). Performance is 1/time, so the loss is 1 − t_default/t_best.
+func (r *BenchResult) PerfLossPct() float64 {
+	def, best := r.Default(), r.Best()
+	if def == nil || best == nil || best.TimePerIter == 0 {
+		return 0
+	}
+	return (1 - def.TimePerIter/best.TimePerIter) * 100
+}
+
+// SweepBenchmark measures one benchmark at every valid frequency pair of
+// the given device. The device is left at the default pair.
+func SweepBenchmark(dev *driver.Device, b *workloads.Benchmark) (*BenchResult, error) {
+	out := &BenchResult{Benchmark: b.Name, Board: dev.Spec().Name}
+	kernels := b.Kernels(1)
+	hostGap := b.HostGap(1)
+	for _, p := range clock.ValidPairs(dev.Spec()) {
+		if err := dev.SetClocks(p); err != nil {
+			return nil, fmt.Errorf("characterize: %s: %v", b.Name, err)
+		}
+		rr, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
+		if err != nil {
+			return nil, fmt.Errorf("characterize: %s at %s: %v", b.Name, p, err)
+		}
+		out.Pairs = append(out.Pairs, PairResult{
+			Pair:          p,
+			TimePerIter:   rr.TimePerIteration(),
+			AvgWatts:      rr.Measurement.AvgWatts,
+			EnergyPerIter: rr.EnergyPerIteration(),
+		})
+	}
+	if err := dev.SetClocks(clock.DefaultPair()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepBoard sweeps a set of benchmarks on one board.
+func SweepBoard(boardName string, benches []*workloads.Benchmark, seed int64) ([]*BenchResult, error) {
+	dev, err := driver.OpenBoard(boardName)
+	if err != nil {
+		return nil, err
+	}
+	dev.Seed(seed)
+	var out []*BenchResult
+	for _, b := range benches {
+		r, err := SweepBenchmark(dev, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Table4 runs the full Table IV experiment: every Table IV benchmark on
+// every board, returning results indexed [board][benchmark]. The four
+// boards are swept concurrently — each sweep owns its device, and each
+// board's noise stream is seeded independently, so the results are
+// identical to sequential execution.
+func Table4(seed int64) (map[string][]*BenchResult, error) {
+	boards := arch.AllBoards()
+	type sweep struct {
+		board string
+		res   []*BenchResult
+		err   error
+	}
+	results := make(chan sweep, len(boards))
+	for _, spec := range boards {
+		go func(name string) {
+			res, err := SweepBoard(name, workloads.Table4(), seed)
+			results <- sweep{board: name, res: res, err: err}
+		}(spec.Name)
+	}
+	out := make(map[string][]*BenchResult, len(boards))
+	for range boards {
+		s := <-results
+		if s.err != nil {
+			return nil, s.err
+		}
+		out[s.board] = s.res
+	}
+	return out, nil
+}
+
+// MeanImprovementPct averages the Fig. 4 metric over a board's results.
+func MeanImprovementPct(results []*BenchResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range results {
+		s += r.ImprovementPct()
+	}
+	return s / float64(len(results))
+}
+
+// CurvePoint is one point of a Fig. 1–3 panel.
+type CurvePoint struct {
+	CoreMHz    float64
+	Perf       float64 // 1 / time-per-iteration, normalized to (H-H)
+	Efficiency float64 // 1 / energy-per-iteration, normalized to (H-H)
+}
+
+// Curve is one line of a Fig. 1–3 panel: one memory level, swept over the
+// valid core levels.
+type Curve struct {
+	MemLevel arch.FreqLevel
+	MemMHz   float64
+	Points   []CurvePoint // ascending core frequency
+}
+
+// Curves reshapes a sweep into the Figs. 1–3 form: one line per memory
+// frequency, the x-axis being the core frequency, both metrics normalized
+// to the default (H-H) measurement.
+func Curves(r *BenchResult, spec *arch.Spec) []Curve {
+	def := r.Default()
+	if def == nil {
+		return nil
+	}
+	var out []Curve
+	for _, mem := range arch.Levels() {
+		c := Curve{MemLevel: mem, MemMHz: spec.MemFreqMHz(mem)}
+		for _, core := range arch.Levels() {
+			pr := r.ByPair(clock.Pair{Core: core, Mem: mem})
+			if pr == nil {
+				continue
+			}
+			c.Points = append(c.Points, CurvePoint{
+				CoreMHz:    spec.CoreFreqMHz(core),
+				Perf:       def.TimePerIter / pr.TimePerIter,
+				Efficiency: def.EnergyPerIter / pr.EnergyPerIter,
+			})
+		}
+		if len(c.Points) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

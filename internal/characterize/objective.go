@@ -1,0 +1,73 @@
+package characterize
+
+import "fmt"
+
+// Objective selects what a frequency-pair search minimizes. The paper's
+// Section III minimizes energy (maximizes "power efficiency"); real
+// governors often trade performance explicitly via energy-delay products,
+// so the library exposes those too (an optimization-extension knob).
+type Objective int
+
+const (
+	// MinEnergy minimizes energy per iteration (the paper's objective).
+	MinEnergy Objective = iota
+	// MinEDP minimizes energy × delay.
+	MinEDP
+	// MinED2P minimizes energy × delay² (performance-leaning).
+	MinED2P
+	// MinTime maximizes performance regardless of energy.
+	MinTime
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinEnergy:
+		return "energy"
+	case MinEDP:
+		return "EDP"
+	case MinED2P:
+		return "ED2P"
+	case MinTime:
+		return "time"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// CostOf evaluates the objective over an (energy, delay) pair; lower is
+// better. Works on measured or predicted values.
+func (o Objective) CostOf(energy, delay float64) float64 {
+	switch o {
+	case MinEnergy:
+		return energy
+	case MinEDP:
+		return energy * delay
+	case MinED2P:
+		return energy * delay * delay
+	case MinTime:
+		return delay
+	default:
+		return energy
+	}
+}
+
+// Cost evaluates the objective for one measured pair; lower is better.
+func (o Objective) Cost(p *PairResult) float64 {
+	return o.CostOf(p.EnergyPerIter, p.TimePerIter)
+}
+
+// BestBy returns the pair minimizing the objective; ties resolve to the
+// earlier Table III row (the default pair first).
+func (r *BenchResult) BestBy(o Objective) *PairResult {
+	if len(r.Pairs) == 0 {
+		return nil
+	}
+	best := &r.Pairs[0]
+	for i := range r.Pairs {
+		if o.Cost(&r.Pairs[i]) < o.Cost(best) {
+			best = &r.Pairs[i]
+		}
+	}
+	return best
+}

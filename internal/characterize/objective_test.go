@@ -1,0 +1,74 @@
+package characterize
+
+import (
+	"testing"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+)
+
+func objResult() *BenchResult {
+	return &BenchResult{
+		Benchmark: "x",
+		Pairs: []PairResult{
+			{Pair: clock.DefaultPair(), TimePerIter: 1.0, EnergyPerIter: 200},                                // fast, hungry
+			{Pair: clock.Pair{Core: arch.FreqMid, Mem: arch.FreqHigh}, TimePerIter: 1.3, EnergyPerIter: 140}, // slow, frugal
+			{Pair: clock.Pair{Core: arch.FreqMid, Mem: arch.FreqMid}, TimePerIter: 1.1, EnergyPerIter: 160},  // middle
+		},
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	cases := map[Objective]string{
+		MinEnergy: "energy", MinEDP: "EDP", MinED2P: "ED2P", MinTime: "time",
+		Objective(9): "Objective(9)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+func TestBestByObjectives(t *testing.T) {
+	r := objResult()
+	// Energy: (M-H) wins (140 J).
+	if got := r.BestBy(MinEnergy).Pair; got != (clock.Pair{Core: arch.FreqMid, Mem: arch.FreqHigh}) {
+		t.Errorf("MinEnergy best = %s", got)
+	}
+	// Time: (H-H) wins.
+	if got := r.BestBy(MinTime).Pair; got != clock.DefaultPair() {
+		t.Errorf("MinTime best = %s", got)
+	}
+	// EDP: 200, 182, 176 → (M-M) wins.
+	if got := r.BestBy(MinEDP).Pair; got != (clock.Pair{Core: arch.FreqMid, Mem: arch.FreqMid}) {
+		t.Errorf("MinEDP best = %s", got)
+	}
+	// ED2P: 200, 236.6, 193.6 → (M-M) wins.
+	if got := r.BestBy(MinED2P).Pair; got != (clock.Pair{Core: arch.FreqMid, Mem: arch.FreqMid}) {
+		t.Errorf("MinED2P best = %s", got)
+	}
+}
+
+func TestBestByMatchesBestForEnergy(t *testing.T) {
+	r := objResult()
+	if r.BestBy(MinEnergy).Pair != r.Best().Pair {
+		t.Error("BestBy(MinEnergy) should agree with Best()")
+	}
+	var empty BenchResult
+	if empty.BestBy(MinEDP) != nil {
+		t.Error("BestBy on empty result should be nil")
+	}
+}
+
+func TestObjectiveOrderingOnRealSweep(t *testing.T) {
+	// On a real sweep, the time objective never picks a slower pair than
+	// the energy objective, and EDP sits between them.
+	r := sweepOne(t, "GTX 680", "gaussian")
+	tTime := r.BestBy(MinTime).TimePerIter
+	tEDP := r.BestBy(MinEDP).TimePerIter
+	tEnergy := r.BestBy(MinEnergy).TimePerIter
+	if tTime > tEDP+1e-12 || tEDP > tEnergy+1e-12 {
+		t.Errorf("objective ordering violated: time %.4g, EDP %.4g, energy %.4g", tTime, tEDP, tEnergy)
+	}
+}

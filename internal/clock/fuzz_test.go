@@ -1,0 +1,20 @@
+package clock
+
+import "testing"
+
+// FuzzParsePair: never panic; accepted strings round-trip through String.
+func FuzzParsePair(f *testing.F) {
+	for _, s := range []string{"(H-H)", "H-L", "m-h", "", "X-Y", "((H-H))", "H-"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePair(s)
+		if err != nil {
+			return
+		}
+		back, err := ParsePair(p.String())
+		if err != nil || back != p {
+			t.Fatalf("accepted pair %q does not round-trip: %v", s, err)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"gpuperf/internal/regress"
+)
+
+// Cross-validation: the paper evaluates its models on the data they were
+// trained on. For a deployed predictor the interesting number is the error
+// on *unseen workloads*, so the library adds leave-one-benchmark-out
+// cross-validation: every benchmark is predicted by a model trained on all
+// the others. (Leaving out rows rather than benchmarks would leak — the
+// same benchmark at another size or pair is nearly the same point.)
+
+// CVFold is one held-out benchmark's result.
+type CVFold struct {
+	Benchmark  string
+	Rows       int
+	MeanAbsPct float64
+	MeanAbsRaw float64
+}
+
+// CVResult summarizes a leave-one-benchmark-out run.
+type CVResult struct {
+	Kind  Kind
+	Folds []CVFold // sorted by error, ascending
+	// MeanAbsPct is the row-weighted mean over all held-out predictions.
+	MeanAbsPct float64
+	// TrainMeanAbsPct is the corresponding in-sample error (averaged over
+	// folds), for the generalization-gap comparison.
+	TrainMeanAbsPct float64
+}
+
+// CrossValidate runs leave-one-benchmark-out cross-validation over the
+// dataset.
+func CrossValidate(ds *Dataset, kind Kind, maxVars int) (*CVResult, error) {
+	if len(ds.Rows) == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	benchOrder := []string{}
+	seen := map[string]bool{}
+	for i := range ds.Rows {
+		if b := ds.Rows[i].Benchmark; !seen[b] {
+			seen[b] = true
+			benchOrder = append(benchOrder, b)
+		}
+	}
+	if len(benchOrder) < 2 {
+		return nil, errors.New("core: cross-validation needs at least two benchmarks")
+	}
+
+	out := &CVResult{Kind: kind}
+	var pctSum, trainSum float64
+	var n int
+	for _, held := range benchOrder {
+		train := &Dataset{Board: ds.Board, Spec: ds.Spec, Set: ds.Set}
+		var test []Observation
+		for i := range ds.Rows {
+			if ds.Rows[i].Benchmark == held {
+				test = append(test, ds.Rows[i])
+			} else {
+				train.Rows = append(train.Rows, ds.Rows[i])
+			}
+		}
+		m, err := Train(train, kind, maxVars)
+		if err != nil {
+			return nil, err
+		}
+		ev := m.Evaluate(test)
+		out.Folds = append(out.Folds, CVFold{
+			Benchmark:  held,
+			Rows:       len(test),
+			MeanAbsPct: ev.MeanAbsPct,
+			MeanAbsRaw: ev.MeanAbsRaw,
+		})
+		pctSum += ev.MeanAbsPct * float64(len(test))
+		n += len(test)
+		trainSum += m.Evaluate(train.Rows).MeanAbsPct
+	}
+	out.MeanAbsPct = pctSum / float64(n)
+	out.TrainMeanAbsPct = trainSum / float64(len(benchOrder))
+	sort.Slice(out.Folds, func(i, j int) bool { return out.Folds[i].MeanAbsPct < out.Folds[j].MeanAbsPct })
+	return out, nil
+}
+
+// Box returns the five-number summary of per-fold errors.
+func (r *CVResult) Box() regress.BoxStats {
+	vals := make([]float64, len(r.Folds))
+	for i, f := range r.Folds {
+		vals[i] = f.MeanAbsPct
+	}
+	return regress.Box(vals)
+}

@@ -1,0 +1,112 @@
+package core
+
+import "testing"
+
+func TestCrossValidateStructure(t *testing.T) {
+	ds := collectSmall(t, "GTX 480")
+	cv, err := CrossValidate(ds, Power, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Folds) != len(smallSet()) {
+		t.Fatalf("%d folds, want %d", len(cv.Folds), len(smallSet()))
+	}
+	var rows int
+	for i, f := range cv.Folds {
+		if f.MeanAbsPct < 0 {
+			t.Errorf("fold %s has negative error", f.Benchmark)
+		}
+		if i > 0 && f.MeanAbsPct < cv.Folds[i-1].MeanAbsPct {
+			t.Error("folds not sorted ascending")
+		}
+		rows += f.Rows
+	}
+	if rows != len(ds.Rows) {
+		t.Errorf("folds cover %d rows, want %d", rows, len(ds.Rows))
+	}
+	b := cv.Box()
+	if !(b.Min <= b.Median && b.Median <= b.Max) {
+		t.Errorf("box stats out of order: %+v", b)
+	}
+}
+
+func TestCrossValidateGeneralizationGap(t *testing.T) {
+	// Held-out error must be no better than (and usually above) training
+	// error — a basic sanity property of the implementation.
+	ds := collectSmall(t, "GTX 680")
+	cv, err := CrossValidate(ds, Time, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.MeanAbsPct < cv.TrainMeanAbsPct*0.8 {
+		t.Errorf("held-out error %.1f%% suspiciously below training error %.1f%%",
+			cv.MeanAbsPct, cv.TrainMeanAbsPct)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	if _, err := CrossValidate(&Dataset{}, Power, 5); err == nil {
+		t.Error("CrossValidate accepted empty dataset")
+	}
+	// Single-benchmark dataset cannot be cross-validated.
+	ds := collectSmall(t, "GTX 460")
+	single := &Dataset{Board: ds.Board, Spec: ds.Spec, Set: ds.Set}
+	for i := range ds.Rows {
+		if ds.Rows[i].Benchmark == "sgemm" {
+			single.Rows = append(single.Rows, ds.Rows[i])
+		}
+	}
+	if _, err := CrossValidate(single, Power, 5); err == nil {
+		t.Error("CrossValidate accepted single-benchmark dataset")
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	ds := collectSmall(t, "GTX 680")
+	m, err := Train(ds, Power, MaxVariables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := m.Diagnose(ds.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != len(m.Selection.Indices) {
+		t.Fatalf("%d diagnostics, want %d", len(diags), len(m.Selection.Indices))
+	}
+	for _, d := range diags {
+		if d.Variable == "" {
+			t.Error("unnamed variable in diagnostics")
+		}
+		if d.VIF < 1 {
+			t.Errorf("%s: VIF %g below 1", d.Variable, d.VIF)
+		}
+	}
+	cond, err := m.SelectionConditionNumber(ds.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond < 1 {
+		t.Errorf("condition number %g below 1", cond)
+	}
+	if _, err := m.Diagnose(nil); err == nil {
+		t.Error("Diagnose(nil) accepted")
+	}
+}
+
+func TestRidgeErrorOnDataset(t *testing.T) {
+	ds := collectSmall(t, "GTX 480")
+	adj, pct, err := RidgeError(ds, Power, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj <= 0 || adj > 1 {
+		t.Errorf("ridge AdjR2 %g out of (0,1]", adj)
+	}
+	if pct <= 0 || pct > 50 {
+		t.Errorf("ridge error %g%% implausible", pct)
+	}
+	if _, _, err := RidgeError(&Dataset{Set: ds.Set}, Power, 1); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}

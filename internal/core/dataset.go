@@ -1,0 +1,213 @@
+// Package core implements the paper's primary contribution (Section IV):
+// unified statistical power and performance models for GPU-accelerated
+// systems. One multiple-linear-regression model per board covers *every*
+// core/memory frequency pair by scaling each performance counter with the
+// frequency of its clock domain:
+//
+//	power    = Σ xᵢ·cᵢ·corefreq + Σ yⱼ·mⱼ·memfreq + z      (Eq. 1)
+//	exectime = Σ xᵢ·cᵢ/corefreq + Σ yⱼ·mⱼ/memfreq + z      (Eq. 2)
+//
+// where cᵢ are core-event counters and mⱼ memory-event counters. For the
+// power model the counters enter as per-second rates (Nagasaka et al.); for
+// the performance model as run totals (Hong & Kim). Variables are chosen by
+// forward selection maximizing adjusted R², capped at 10 (Figs. 7/8 sweep
+// 5–20).
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/counters"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/workloads"
+)
+
+// MaxVariables is the paper's cap on explanatory variables.
+const MaxVariables = 10
+
+// MinRunSeconds mirrors the characterization floor (≥ 10 meter samples).
+const MinRunSeconds = 0.5
+
+// Observation is one training/evaluation row: a (benchmark, input size)
+// sample measured at one frequency pair.
+type Observation struct {
+	Benchmark string
+	Scale     float64
+	Pair      clock.Pair
+	CoreGHz   float64
+	MemGHz    float64
+
+	// Counters holds per-iteration counter totals collected by the
+	// profiler at the default pair (the paper profiles each sample once).
+	Counters []float64
+
+	// TimeS is the measured execution time of one iteration at Pair.
+	TimeS float64
+	// PowerW is the measured average wall power at Pair.
+	PowerW float64
+}
+
+// Dataset is the full modeling corpus of one board.
+type Dataset struct {
+	Board   string
+	Spec    *arch.Spec
+	Set     *counters.Set
+	Samples int // distinct (benchmark, size) samples; the paper has 114
+	Rows    []Observation
+}
+
+// RowsAtPair filters the rows measured at one frequency pair.
+func (d *Dataset) RowsAtPair(p clock.Pair) []Observation {
+	var out []Observation
+	for _, r := range d.Rows {
+		if r.Pair == p {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Collect builds the modeling dataset for one board: every modeled
+// benchmark at every input size is profiled once at the default clocks and
+// then measured (time + wall power) at every valid frequency pair.
+//
+// Each benchmark's noise stream is seeded independently (seed ⊕ name), so
+// the dataset is identical whether benchmarks are collected sequentially
+// or concurrently (see CollectParallel).
+func Collect(boardName string, benches []*workloads.Benchmark, seed int64) (*Dataset, error) {
+	return collect(boardName, benches, seed, 1)
+}
+
+// CollectParallel is Collect with benchmarks gathered by a worker pool;
+// each worker boots its own device, so there is no shared mutable state.
+// It produces byte-identical datasets to Collect.
+func CollectParallel(boardName string, benches []*workloads.Benchmark, seed int64, workers int) (*Dataset, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return collect(boardName, benches, seed, workers)
+}
+
+func collect(boardName string, benches []*workloads.Benchmark, seed int64, workers int) (*Dataset, error) {
+	probe, err := driver.OpenBoard(boardName)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Board: boardName,
+		Spec:  probe.Spec(),
+		Set:   probe.CounterSet(),
+	}
+
+	type chunk struct {
+		idx     int
+		rows    []Observation
+		samples int
+		err     error
+	}
+	jobs := make(chan int)
+	results := make(chan chunk)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				rows, samples, err := collectBenchmark(boardName, benches[idx], seed)
+				results <- chunk{idx: idx, rows: rows, samples: samples, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range benches {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	ordered := make([]chunk, len(benches))
+	for c := range results {
+		if c.err != nil {
+			return nil, c.err
+		}
+		ordered[c.idx] = c
+	}
+	for _, c := range ordered {
+		ds.Rows = append(ds.Rows, c.rows...)
+		ds.Samples += c.samples
+	}
+	return ds, nil
+}
+
+// collectBenchmark gathers one benchmark's samples on its own device.
+func collectBenchmark(boardName string, b *workloads.Benchmark, seed int64) ([]Observation, int, error) {
+	dev, err := driver.OpenBoard(boardName)
+	if err != nil {
+		return nil, 0, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(b.Name))
+	dev.Seed(seed ^ int64(h.Sum64()))
+
+	pairs := clock.ValidPairs(dev.Spec())
+	var rows []Observation
+	samples := 0
+	sizes := b.Sizes
+	if len(sizes) == 0 {
+		sizes = []float64{1}
+	}
+	for _, scale := range sizes {
+		kernels := b.Kernels(scale)
+		hostGap := b.HostGap(scale)
+
+		// Profile once at the default pair, like the paper's single
+		// CUDA-profiler pass per sample.
+		if err := dev.SetClocks(clock.DefaultPair()); err != nil {
+			return nil, 0, err
+		}
+		dev.EnableProfiler()
+		prof, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
+		dev.DisableProfiler()
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: profiling %s: %v", b.Name, err)
+		}
+		perIter := make([]float64, len(prof.Counters))
+		for i, c := range prof.Counters {
+			perIter[i] = c / float64(prof.Iterations)
+		}
+
+		samples++
+		for _, p := range pairs {
+			if err := dev.SetClocks(p); err != nil {
+				return nil, 0, err
+			}
+			rr, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: measuring %s at %s: %v", b.Name, p, err)
+			}
+			rows = append(rows, Observation{
+				Benchmark: b.Name,
+				Scale:     scale,
+				Pair:      p,
+				CoreGHz:   dev.Spec().CoreFreqMHz(p.Core) / 1000,
+				MemGHz:    dev.Spec().MemFreqMHz(p.Mem) / 1000,
+				Counters:  perIter,
+				TimeS:     rr.TimePerIteration(),
+				PowerW:    rr.Measurement.AvgWatts,
+			})
+		}
+	}
+	return rows, samples, nil
+}
+
+// CollectAll builds the modeling dataset for the paper's full corpus (the
+// 33-benchmark, 114-sample modeling set) on one board.
+func CollectAll(boardName string, seed int64) (*Dataset, error) {
+	return Collect(boardName, workloads.ModelingSet(), seed)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+
+	"gpuperf/internal/regress"
+)
+
+// VariableDiagnostics summarizes one selected explanatory variable: its
+// collinearity with the other selected variables (VIF) and its
+// standardized coefficient (comparable across counter scales — the honest
+// version of Fig. 11's influence ranking).
+type VariableDiagnostics struct {
+	Variable string
+	VIF      float64
+	StdCoef  float64
+}
+
+// Diagnose computes per-variable diagnostics of the trained model over a
+// row set (normally the training rows).
+func (m *Model) Diagnose(rows []Observation) ([]VariableDiagnostics, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("core: no rows to diagnose over")
+	}
+	x, y := designMatrix(m.Kind, m.Set, rows)
+	sel := regress.Project(x, m.Selection.Indices)
+
+	stds, err := refitStandardized(sel, y)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VariableDiagnostics, len(m.Selection.Indices))
+	for i, idx := range m.Selection.Indices {
+		out[i] = VariableDiagnostics{Variable: m.Set.Defs[idx].Name, StdCoef: stds[i]}
+	}
+	if len(m.Selection.Indices) >= 2 {
+		vifs, err := regress.VIF(sel)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i].VIF = vifs[i]
+		}
+	} else if len(out) == 1 {
+		out[0].VIF = 1
+	}
+	return out, nil
+}
+
+// SelectionConditionNumber reports the condition number of the selected
+// design matrix — how numerically fragile the fitted coefficients are.
+func (m *Model) SelectionConditionNumber(rows []Observation) (float64, error) {
+	if len(rows) == 0 {
+		return 0, errors.New("core: no rows")
+	}
+	x, _ := designMatrix(m.Kind, m.Set, rows)
+	return regress.ConditionNumber(regress.Project(x, m.Selection.Indices))
+}
+
+// refitStandardized refits over the given rows to obtain a Fit bound to
+// this exact data (the persisted model may have been trained elsewhere)
+// and returns its standardized coefficients.
+func refitStandardized(sel [][]float64, y []float64) ([]float64, error) {
+	fit, err := regress.OLS(sel, y)
+	if err != nil {
+		return nil, err
+	}
+	return fit.StandardizedCoef(sel, y)
+}

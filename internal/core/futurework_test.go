@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/characterize"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/workloads"
+)
+
+// collectRadeonTiny builds a minimal Radeon modeling dataset (one
+// benchmark, its sizes, all pairs) for persistence tests.
+func collectRadeonTiny(t *testing.T) *Dataset {
+	t.Helper()
+	spec := arch.RadeonHD7970()
+	dev, err := driver.OpenSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Seed(42)
+	ds := &Dataset{Board: spec.Name, Spec: spec, Set: dev.CounterSet()}
+	b := workloads.ByName("sgemm")
+	for _, scale := range b.Sizes {
+		kernels := b.Kernels(scale)
+		if err := dev.SetClocks(clock.DefaultPair()); err != nil {
+			t.Fatal(err)
+		}
+		dev.EnableProfiler()
+		prof, err := dev.RunMetered(b.Name, kernels, b.HostGap(scale), MinRunSeconds)
+		dev.DisableProfiler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		perIter := make([]float64, len(prof.Counters))
+		for i, c := range prof.Counters {
+			perIter[i] = c / float64(prof.Iterations)
+		}
+		ds.Samples++
+		for _, p := range clock.ValidPairs(spec) {
+			if err := dev.SetClocks(p); err != nil {
+				t.Fatal(err)
+			}
+			rr, err := dev.RunMetered(b.Name, kernels, b.HostGap(scale), MinRunSeconds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds.Rows = append(ds.Rows, Observation{
+				Benchmark: b.Name, Scale: scale, Pair: p,
+				CoreGHz:  spec.CoreFreqMHz(p.Core) / 1000,
+				MemGHz:   spec.MemFreqMHz(p.Mem) / 1000,
+				Counters: perIter,
+				TimeS:    rr.TimePerIteration(),
+				PowerW:   rr.Measurement.AvgWatts,
+			})
+		}
+	}
+	return ds
+}
+
+// TestFutureWorkRadeon exercises the paper's proposed future work: the
+// whole pipeline — boot from VBIOS, DVFS sweep, counter profiling, unified
+// model training — on a non-NVIDIA (AMD GCN) board. The unified model form
+// (Eq. 1/2) only needs a classified counter set, so it carries over.
+func TestFutureWorkRadeon(t *testing.T) {
+	spec := arch.RadeonHD7970()
+	dev, err := driver.OpenSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Seed(42)
+	if got := dev.CounterSet().Len(); got != 48 {
+		t.Fatalf("GCN counter set has %d counters, want 48", got)
+	}
+
+	// Characterization slice: the compute/memory anchors behave the same
+	// way across vendors.
+	sweep, err := characterize.SweepBenchmark(dev, workloads.ByName("backprop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best := sweep.Best(); best.Pair.Mem == arch.FreqHigh {
+		t.Errorf("Radeon backprop best %s keeps Mem-H; compute-bound kernels should drop it", best.Pair)
+	}
+	if imp := sweep.ImprovementPct(); imp <= 0 {
+		t.Errorf("Radeon backprop improvement %.1f%%, want positive (28 nm headroom)", imp)
+	}
+
+	// Modeling slice on a small corpus.
+	var benches []*workloads.Benchmark
+	for _, n := range []string{"sgemm", "lbm", "gaussian", "spmv"} {
+		benches = append(benches, workloads.ByName(n))
+	}
+	ds := &Dataset{Board: spec.Name, Spec: spec, Set: dev.CounterSet()}
+	pairs := clock.ValidPairs(spec)
+	for _, b := range benches {
+		for _, scale := range b.Sizes {
+			kernels := b.Kernels(scale)
+			if err := dev.SetClocks(clock.DefaultPair()); err != nil {
+				t.Fatal(err)
+			}
+			dev.EnableProfiler()
+			prof, err := dev.RunMetered(b.Name, kernels, b.HostGap(scale), MinRunSeconds)
+			dev.DisableProfiler()
+			if err != nil {
+				t.Fatal(err)
+			}
+			perIter := make([]float64, len(prof.Counters))
+			for i, c := range prof.Counters {
+				perIter[i] = c / float64(prof.Iterations)
+			}
+			ds.Samples++
+			for _, p := range pairs {
+				if err := dev.SetClocks(p); err != nil {
+					t.Fatal(err)
+				}
+				rr, err := dev.RunMetered(b.Name, kernels, b.HostGap(scale), MinRunSeconds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds.Rows = append(ds.Rows, Observation{
+					Benchmark: b.Name, Scale: scale, Pair: p,
+					CoreGHz:  spec.CoreFreqMHz(p.Core) / 1000,
+					MemGHz:   spec.MemFreqMHz(p.Mem) / 1000,
+					Counters: perIter,
+					TimeS:    rr.TimePerIteration(),
+					PowerW:   rr.Measurement.AvgWatts,
+				})
+			}
+		}
+	}
+
+	pm, err := Train(ds, Power, MaxVariables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := Train(ds, Time, MaxVariables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, te := pm.Evaluate(ds.Rows), tm.Evaluate(ds.Rows)
+	if te.AdjR2 < 0.85 {
+		t.Errorf("Radeon time model R̄² = %.2f, want the paper's high-R̄² regime", te.AdjR2)
+	}
+	if pe.MeanAbsPct <= 0 || pe.MeanAbsPct > 40 {
+		t.Errorf("Radeon power model error %.1f%% implausible", pe.MeanAbsPct)
+	}
+	if te.MeanAbsPct <= pe.MeanAbsPct {
+		t.Errorf("time error %.1f%% should exceed power error %.1f%% (the paper's pattern)",
+			te.MeanAbsPct, pe.MeanAbsPct)
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gpuperf/internal/counters"
+	"gpuperf/internal/regress"
+)
+
+// Kind selects which dependent variable a model predicts.
+type Kind int
+
+const (
+	// Power is the Eq. 1 model: average wall power in watts.
+	Power Kind = iota
+	// Time is the Eq. 2 model: execution time in seconds.
+	Time
+)
+
+// String names the model kind.
+func (k Kind) String() string {
+	if k == Power {
+		return "power"
+	}
+	return "time"
+}
+
+// Model is one trained unified model (Eq. 1 or Eq. 2) for one board.
+type Model struct {
+	Kind      Kind
+	Board     string
+	Set       *counters.Set
+	Selection *regress.Selection
+
+	// naive marks a TrainNaive model, whose features ignore the clocks.
+	naive bool
+}
+
+// featureRow maps one observation to the Eq. 1 / Eq. 2 feature vector: one
+// feature per counter, scaled by its clock domain.
+//
+// Power (Eq. 1):  feature_i = (counter_i / exectime) × domainGHz
+// Time  (Eq. 2):  feature_i = counter_i / domainGHz
+func featureRow(kind Kind, set *counters.Set, o *Observation) []float64 {
+	out := make([]float64, set.Len())
+	for i, def := range set.Defs {
+		freq := o.CoreGHz
+		if def.Class == counters.MemEvent {
+			freq = o.MemGHz
+		}
+		c := o.Counters[i]
+		switch kind {
+		case Power:
+			// Per-second rate at this pair, scaled by domain frequency.
+			if o.TimeS > 0 {
+				out[i] = c / o.TimeS * freq
+			}
+		case Time:
+			out[i] = c / freq
+		}
+	}
+	return out
+}
+
+// target extracts the dependent variable.
+func target(kind Kind, o *Observation) float64 {
+	if kind == Power {
+		return o.PowerW
+	}
+	return o.TimeS
+}
+
+// designMatrix builds the full (unselected) feature matrix and target
+// vector over a row set.
+func designMatrix(kind Kind, set *counters.Set, rows []Observation) (x [][]float64, y []float64) {
+	x = make([][]float64, len(rows))
+	y = make([]float64, len(rows))
+	for i := range rows {
+		x[i] = featureRow(kind, set, &rows[i])
+		y[i] = target(kind, &rows[i])
+	}
+	return x, y
+}
+
+// Train fits a unified model over every row of the dataset with forward
+// selection up to maxVars variables (use MaxVariables for the paper's
+// configuration).
+func Train(ds *Dataset, kind Kind, maxVars int) (*Model, error) {
+	if len(ds.Rows) == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	x, y := designMatrix(kind, ds.Set, ds.Rows)
+	sel, err := regress.ForwardSelect(x, y, maxVars)
+	if err != nil {
+		return nil, fmt.Errorf("core: training %s model for %s: %v", kind, ds.Board, err)
+	}
+	return &Model{Kind: kind, Board: ds.Board, Set: ds.Set, Selection: sel}, nil
+}
+
+// TrainNaive fits a baseline model WITHOUT the paper's frequency coupling:
+// power is regressed on raw per-second counter rates and time on raw counter
+// totals, ignoring the programmed clocks entirely. It quantifies what Eq. 1
+// and Eq. 2's frequency terms buy (the ablation bench of DESIGN.md §6): a
+// naive model must average over frequency pairs it cannot distinguish.
+func TrainNaive(ds *Dataset, kind Kind, maxVars int) (*Model, error) {
+	if len(ds.Rows) == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	x := make([][]float64, len(ds.Rows))
+	y := make([]float64, len(ds.Rows))
+	for i := range ds.Rows {
+		o := &ds.Rows[i]
+		// Neutralize the frequency terms by pretending both domains run
+		// at 1 GHz; featureRow then degenerates to rates / totals.
+		neutral := *o
+		neutral.CoreGHz, neutral.MemGHz = 1, 1
+		x[i] = featureRow(kind, ds.Set, &neutral)
+		y[i] = target(kind, o)
+	}
+	sel, err := regress.ForwardSelect(x, y, maxVars)
+	if err != nil {
+		return nil, fmt.Errorf("core: training naive %s model for %s: %v", kind, ds.Board, err)
+	}
+	return &Model{Kind: kind, Board: ds.Board, Set: ds.Set, Selection: sel, naive: true}, nil
+}
+
+// RidgeError fits an all-variables ridge model (no selection, L2 penalty
+// lambda) over the dataset and returns its adjusted R² and mean absolute
+// percentage error — the "shrinkage instead of selection" baseline for the
+// forward-selection ablation.
+func RidgeError(ds *Dataset, kind Kind, lambda float64) (adjR2, meanAbsPct float64, err error) {
+	if len(ds.Rows) == 0 {
+		return 0, 0, errors.New("core: empty dataset")
+	}
+	x, y := designMatrix(kind, ds.Set, ds.Rows)
+	fit, err := regress.Ridge(x, y, lambda)
+	if err != nil {
+		return 0, 0, err
+	}
+	pred := make([]float64, len(y))
+	for i, row := range x {
+		pred[i] = fit.Predict(row)
+	}
+	return fit.AdjR2, regress.MeanAbsPctError(pred, y), nil
+}
+
+// TrainAtPair fits a single-pair baseline model (the per-configuration
+// models of Figs. 9 and 10) using only rows measured at pair p.
+func TrainAtPair(ds *Dataset, kind Kind, maxVars int, rows []Observation) (*Model, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("core: no rows for pair model")
+	}
+	x, y := designMatrix(kind, ds.Set, rows)
+	sel, err := regress.ForwardSelect(x, y, maxVars)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Kind: kind, Board: ds.Board, Set: ds.Set, Selection: sel}, nil
+}
+
+// AdjR2 returns the adjusted coefficient of determination of the fit
+// (Tables V and VI).
+func (m *Model) AdjR2() float64 { return m.Selection.Fit.AdjR2 }
+
+// Variables returns the selected counter names in selection order.
+func (m *Model) Variables() []string {
+	out := make([]string, len(m.Selection.Indices))
+	for i, idx := range m.Selection.Indices {
+		out[i] = m.Set.Defs[idx].Name
+	}
+	return out
+}
+
+// Predict evaluates the model on one observation (its Counters, clocks and
+// — for the power model — measured or predicted TimeS must be set).
+func (m *Model) Predict(o *Observation) float64 {
+	if m.naive {
+		neutral := *o
+		neutral.CoreGHz, neutral.MemGHz = 1, 1
+		o = &neutral
+	}
+	row := featureRow(m.Kind, m.Set, o)
+	sel := make([]float64, len(m.Selection.Indices))
+	for i, idx := range m.Selection.Indices {
+		sel[i] = row[idx]
+	}
+	return m.Selection.Fit.Predict(sel)
+}
+
+// Influence reports each selected variable's share of the model's output
+// magnitude over a row set (Fig. 11): mean |coefficient × feature| per
+// variable, normalized to sum to 1 together with the intercept.
+type Influence struct {
+	Variable string
+	Share    float64
+}
+
+// Influences computes the Fig. 11 breakdown over the given rows.
+func (m *Model) Influences(rows []Observation) []Influence {
+	sums := make([]float64, len(m.Selection.Indices)+1) // + intercept
+	for i := range rows {
+		row := featureRow(m.Kind, m.Set, &rows[i])
+		for k, idx := range m.Selection.Indices {
+			v := m.Selection.Fit.Coef[k] * row[idx]
+			if v < 0 {
+				v = -v
+			}
+			sums[k] += v
+		}
+	}
+	ic := m.Selection.Fit.Intercept * float64(len(rows))
+	if ic < 0 {
+		ic = -ic
+	}
+	sums[len(sums)-1] = ic
+
+	var total float64
+	for _, s := range sums {
+		total += s
+	}
+	out := make([]Influence, 0, len(sums))
+	for k, idx := range m.Selection.Indices {
+		share := 0.0
+		if total > 0 {
+			share = sums[k] / total
+		}
+		out = append(out, Influence{Variable: m.Set.Defs[idx].Name, Share: share})
+	}
+	share := 0.0
+	if total > 0 {
+		share = sums[len(sums)-1] / total
+	}
+	out = append(out, Influence{Variable: "(intercept)", Share: share})
+	return out
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/counters"
+	"gpuperf/internal/regress"
+)
+
+// Persistence: datasets take minutes to collect on real hardware (the
+// paper's 114 samples × 7 pairs × 4 boards is hours of bench time), and a
+// deployed governor needs its models without retraining. Both serialize to
+// JSON; models re-bind to their architecture's counter set on load and
+// refuse to load against a mismatched set.
+
+// datasetJSON is the stable on-disk form of a Dataset.
+type datasetJSON struct {
+	Version    int           `json:"version"`
+	Board      string        `json:"board"`
+	Generation string        `json:"generation"`
+	Counters   []string      `json:"counters"`
+	Samples    int           `json:"samples"`
+	Rows       []Observation `json:"rows"`
+}
+
+const persistVersion = 1
+
+// Save serializes the dataset as JSON.
+func (d *Dataset) Save(w io.Writer) error {
+	names := make([]string, d.Set.Len())
+	for i, def := range d.Set.Defs {
+		names[i] = def.Name
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(datasetJSON{
+		Version:    persistVersion,
+		Board:      d.Board,
+		Generation: d.Set.Generation.String(),
+		Counters:   names,
+		Samples:    d.Samples,
+		Rows:       d.Rows,
+	})
+}
+
+// ReadDataset deserializes a dataset written by Save. The named board
+// must still exist and its counter set must match the file's counter list
+// exactly (an incompatible library version must fail loudly, not predict
+// garbage).
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	var f datasetJSON
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: reading dataset: %v", err)
+	}
+	if f.Version != persistVersion {
+		return nil, fmt.Errorf("core: dataset version %d unsupported (want %d)", f.Version, persistVersion)
+	}
+	spec := arch.BoardByName(f.Board)
+	if spec == nil && f.Board == arch.RadeonHD7970().Name {
+		spec = arch.RadeonHD7970()
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("core: dataset for unknown board %q", f.Board)
+	}
+	set := counters.ForGeneration(spec.Generation)
+	if err := checkCounterList(set, f.Counters); err != nil {
+		return nil, err
+	}
+	for i := range f.Rows {
+		if len(f.Rows[i].Counters) != set.Len() {
+			return nil, fmt.Errorf("core: row %d has %d counters, want %d", i, len(f.Rows[i].Counters), set.Len())
+		}
+	}
+	return &Dataset{Board: f.Board, Spec: spec, Set: set, Samples: f.Samples, Rows: f.Rows}, nil
+}
+
+// modelJSON is the stable on-disk form of a Model.
+type modelJSON struct {
+	Version   int       `json:"version"`
+	Kind      string    `json:"kind"`
+	Board     string    `json:"board"`
+	Counters  []string  `json:"counters"` // full set, for compatibility checking
+	Selected  []string  `json:"selected"` // selection order
+	Coef      []float64 `json:"coef"`
+	Intercept float64   `json:"intercept"`
+	AdjR2     float64   `json:"adj_r2"`
+	Naive     bool      `json:"naive,omitempty"`
+}
+
+// Save serializes the trained model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	names := make([]string, m.Set.Len())
+	for i, def := range m.Set.Defs {
+		names[i] = def.Name
+	}
+	return json.NewEncoder(w).Encode(modelJSON{
+		Version:   persistVersion,
+		Kind:      m.Kind.String(),
+		Board:     m.Board,
+		Counters:  names,
+		Selected:  m.Variables(),
+		Coef:      m.Selection.Fit.Coef,
+		Intercept: m.Selection.Fit.Intercept,
+		AdjR2:     m.AdjR2(),
+		Naive:     m.naive,
+	})
+}
+
+// ReadModel deserializes a model written by Save, re-binding it to the
+// board's current counter set.
+func ReadModel(r io.Reader) (*Model, error) {
+	var f modelJSON
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: reading model: %v", err)
+	}
+	if f.Version != persistVersion {
+		return nil, fmt.Errorf("core: model version %d unsupported (want %d)", f.Version, persistVersion)
+	}
+	var kind Kind
+	switch f.Kind {
+	case "power":
+		kind = Power
+	case "time":
+		kind = Time
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %q", f.Kind)
+	}
+	spec := arch.BoardByName(f.Board)
+	if spec == nil && f.Board == arch.RadeonHD7970().Name {
+		spec = arch.RadeonHD7970()
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("core: model for unknown board %q", f.Board)
+	}
+	set := counters.ForGeneration(spec.Generation)
+	if err := checkCounterList(set, f.Counters); err != nil {
+		return nil, err
+	}
+	if len(f.Selected) != len(f.Coef) {
+		return nil, fmt.Errorf("core: %d selected variables vs %d coefficients", len(f.Selected), len(f.Coef))
+	}
+	indices := make([]int, len(f.Selected))
+	for i, name := range f.Selected {
+		idx := set.Index(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: model references unknown counter %q", name)
+		}
+		indices[i] = idx
+	}
+	sel := &regress.Selection{
+		Indices: indices,
+		Fit: &regress.Fit{
+			Coef:      f.Coef,
+			Intercept: f.Intercept,
+			AdjR2:     f.AdjR2,
+			R2:        f.AdjR2, // best available; exact R2 not persisted
+			P:         len(f.Coef),
+		},
+	}
+	return &Model{Kind: kind, Board: f.Board, Set: set, Selection: sel, naive: f.Naive}, nil
+}
+
+func checkCounterList(set *counters.Set, names []string) error {
+	if len(names) != set.Len() {
+		return fmt.Errorf("core: file has %d counters, library has %d", len(names), set.Len())
+	}
+	for i, n := range names {
+		if set.Defs[i].Name != n {
+			return fmt.Errorf("core: counter %d is %q in file but %q in library", i, n, set.Defs[i].Name)
+		}
+	}
+	return nil
+}

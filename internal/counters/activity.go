@@ -1,0 +1,100 @@
+// Package counters models the CUDA-profiler performance counters the paper
+// uses as regression inputs (Section IV-A: 32 counters on the Tesla-based
+// GTX 285, 74 on the Fermi boards, 108 on the Kepler board).
+//
+// The timing simulator produces a vector of base *activities* (instructions
+// issued, cache hits, DRAM transactions, stall cycles, …). Each
+// architecture exposes a Set of named counters; every counter is a linear
+// view over the activity vector plus a small multiplicative jitter that
+// models profiler nondeterminism. Counters are classified core-event or
+// memory-event, the classification Eq. (1)/(2) of the paper relies on.
+package counters
+
+// Activity indexes the base activity vector produced by one simulated
+// kernel run. All values are event totals over the run except the
+// explicitly named averages.
+type Activity int
+
+const (
+	// ActInstIssued counts warp instructions issued, including replays.
+	ActInstIssued Activity = iota
+	// ActInstExecuted counts warp instructions retired.
+	ActInstExecuted
+	// ActALU counts single-precision/integer warp instructions.
+	ActALU
+	// ActSFU counts transcendental warp instructions.
+	ActSFU
+	// ActDP counts double-precision warp instructions.
+	ActDP
+	// ActLSU counts global/local memory warp instructions.
+	ActLSU
+	// ActShared counts shared-memory warp accesses.
+	ActShared
+	// ActBranch counts branch warp instructions.
+	ActBranch
+	// ActDivergent counts divergent branch events.
+	ActDivergent
+	// ActGlobalLoadTxn counts global-load memory transactions.
+	ActGlobalLoadTxn
+	// ActGlobalStoreTxn counts global-store memory transactions.
+	ActGlobalStoreTxn
+	// ActL1Hit counts L1 data-cache hits (0 on Tesla).
+	ActL1Hit
+	// ActL1Miss counts L1 data-cache misses (0 on Tesla).
+	ActL1Miss
+	// ActL2Hit counts L2 hits (0 on Tesla).
+	ActL2Hit
+	// ActL2Miss counts L2 misses (0 on Tesla).
+	ActL2Miss
+	// ActDRAMRead counts DRAM read transactions.
+	ActDRAMRead
+	// ActDRAMWrite counts DRAM write transactions.
+	ActDRAMWrite
+	// ActActiveCycles counts core cycles with at least one resident warp,
+	// summed over SMs.
+	ActActiveCycles
+	// ActElapsedCycles counts elapsed core cycles (one SM's worth).
+	ActElapsedCycles
+	// ActStallMem counts scheduler slots stalled waiting on memory.
+	ActStallMem
+	// ActStallExec counts scheduler slots stalled on execution hazards.
+	ActStallExec
+	// ActWarpsLaunched counts warps launched.
+	ActWarpsLaunched
+	// ActBlocksLaunched counts thread blocks launched.
+	ActBlocksLaunched
+	// ActThreadsLaunched counts threads launched.
+	ActThreadsLaunched
+	// ActOccupancy is the average resident-warp fraction (0..1).
+	ActOccupancy
+
+	// NumActivities is the length of the activity vector.
+	NumActivities
+)
+
+// Vector is one kernel run's base activity totals.
+type Vector [NumActivities]float64
+
+// Add accumulates another vector into v (used to merge multi-kernel runs;
+// the average-valued ActOccupancy entry is maximed rather than summed).
+func (v *Vector) Add(o *Vector) {
+	for i := range v {
+		if Activity(i) == ActOccupancy {
+			if o[i] > v[i] {
+				v[i] = o[i]
+			}
+			continue
+		}
+		v[i] += o[i]
+	}
+}
+
+// Scale multiplies every event total by k (ActOccupancy excluded).
+func (v *Vector) Scale(k float64) {
+	for i := range v {
+		if Activity(i) == ActOccupancy {
+			continue
+		}
+		v[i] *= k
+	}
+}

@@ -1,0 +1,156 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"gpuperf/internal/gpu"
+)
+
+func smallKernel(name string, blocks int) *gpu.KernelDesc {
+	k := testKernel(blocks)
+	k.Name = name
+	return k
+}
+
+// alukernel is compute-bound with negligible memory traffic, so its time
+// scales cleanly with the SM count (no shared-L2 artifacts).
+func aluKernel(name string, blocks int) *gpu.KernelDesc {
+	return &gpu.KernelDesc{
+		Name:            name,
+		Blocks:          blocks,
+		ThreadsPerBlock: 256,
+		RegsPerThread:   20,
+		Phases: []gpu.PhaseDesc{{
+			Name: "p", WarpInstsPerWarp: 30000,
+			FracALU: 0.85, FracMem: 0.004, FracBranch: 0.04,
+			TxnPerMemInst: 1, L1Hit: 0.8, L2Hit: 0.8,
+			WorkingSetBytes: 4 << 10, MLP: 4, IssueEff: 0.9,
+		}},
+	}
+}
+
+func TestConcurrentOverlapBeatsSerial(t *testing.T) {
+	// Concurrent kernels pay off when each kernel underutilizes the
+	// machine (the concurrentKernels SDK sample's point): two kernels
+	// that each occupy a couple of SMs overlap almost perfectly.
+	d, err := OpenBoard("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := aluKernel("a", 16) // ~2 SMs' worth of blocks
+	b := aluKernel("b", 16)
+
+	la, err := d.Launch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := d.Launch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := la.Time + lb.Time
+
+	conc, err := d.LaunchConcurrent([]*gpu.KernelDesc{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Time >= serial {
+		t.Errorf("concurrent batch %.4g s not faster than serial %.4g s", conc.Time, serial)
+	}
+	// Each kernel on half the machine cannot beat its full-machine time.
+	for i, l := range conc.Launches {
+		full := la.Time
+		if i == 1 {
+			full = lb.Time
+		}
+		if l.Time < full-1e-12 {
+			t.Errorf("kernel %s on %d SMs faster than on the full machine", l.Kernel, l.SMs)
+		}
+	}
+}
+
+func TestConcurrentPartitionsAllSMs(t *testing.T) {
+	d, err := OpenBoard("GTX 480") // 15 SMs, uneven split
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []*gpu.KernelDesc{smallKernel("a", 30), smallKernel("b", 30), smallKernel("c", 30), smallKernel("d", 30)}
+	conc, err := d.LaunchConcurrent(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, l := range conc.Launches {
+		if l.SMs < 1 {
+			t.Errorf("kernel %s got %d SMs", l.Kernel, l.SMs)
+		}
+		total += l.SMs
+	}
+	if total != d.Spec().SMCount {
+		t.Errorf("partitions cover %d SMs, want %d", total, d.Spec().SMCount)
+	}
+}
+
+func TestConcurrentTraceConsistency(t *testing.T) {
+	d, err := OpenBoard("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []*gpu.KernelDesc{smallKernel("a", 64), smallKernel("b", 256)}
+	conc, err := d.LaunchConcurrent(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := conc.Trace.TotalDuration(); math.Abs(got-conc.Time) > 1e-9*conc.Time {
+		t.Errorf("trace duration %.6g != batch time %.6g", got, conc.Time)
+	}
+	// Power while both kernels run must exceed power when only the long
+	// one remains.
+	first, last := conc.Trace[0].Watts, conc.Trace[len(conc.Trace)-1].Watts
+	if first <= last {
+		t.Errorf("overlapped power %.1f W not above tail power %.1f W", first, last)
+	}
+}
+
+func TestConcurrentRejectsTesla(t *testing.T) {
+	d, err := OpenBoard("GTX 285")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LaunchConcurrent([]*gpu.KernelDesc{smallKernel("a", 8), smallKernel("b", 8)}); err == nil {
+		t.Error("Tesla accepted concurrent kernels")
+	}
+}
+
+func TestConcurrentEdgeCases(t *testing.T) {
+	d, err := OpenBoard("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LaunchConcurrent(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	many := make([]*gpu.KernelDesc, d.Spec().SMCount+1)
+	for i := range many {
+		many[i] = smallKernel("k", 8)
+	}
+	if _, err := d.LaunchConcurrent(many); err == nil {
+		t.Error("more kernels than SMs accepted")
+	}
+	// Single-kernel batch degenerates to Launch.
+	single, err := d.LaunchConcurrent([]*gpu.KernelDesc{smallKernel("solo", 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := d.Launch(smallKernel("solo", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Time != direct.Time {
+		t.Errorf("single-kernel batch time %.6g != direct launch %.6g", single.Time, direct.Time)
+	}
+	if single.Launches[0].SMs != d.Spec().SMCount {
+		t.Error("single kernel should own the whole machine")
+	}
+}

@@ -1,0 +1,144 @@
+package driver
+
+import (
+	"testing"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/gpu"
+)
+
+// Focused tests for RunMetered's host-gap accounting and the launch paths
+// across every board and pair.
+
+func TestHostGapAppearsInTrace(t *testing.T) {
+	d, err := OpenBoard("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKernel(8 * d.Spec().SMCount)
+	const gap = 0.030
+	rr, err := d.RunMetered("w", []*gpu.KernelDesc{k}, gap, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace must alternate busy (high watts) and host (low watts)
+	// segments; find at least one segment near the host power level.
+	hostLevel := rr.Trace[len(rr.Trace)-1].Watts // runs end with a host gap
+	var busyMax float64
+	for _, seg := range rr.Trace {
+		if seg.Watts > busyMax {
+			busyMax = seg.Watts
+		}
+	}
+	if hostLevel >= busyMax {
+		t.Fatalf("host power %.1f W not below busy power %.1f W", hostLevel, busyMax)
+	}
+	// Total host time = iterations × gap.
+	var hostTime float64
+	for _, seg := range rr.Trace {
+		if seg.Watts == hostLevel {
+			hostTime += seg.Duration
+		}
+	}
+	want := float64(rr.Iterations) * gap
+	if d := hostTime - want; d > 1e-9 || d < -1e-9 {
+		t.Errorf("host time %.4f s, want %.4f s", hostTime, want)
+	}
+}
+
+func TestHostGapExtendsIterationTime(t *testing.T) {
+	d, err := OpenBoard("GTX 460")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKernel(4 * d.Spec().SMCount)
+	noGap, err := d.RunMetered("w", []*gpu.KernelDesc{k}, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withGap, err := d.RunMetered("w", []*gpu.KernelDesc{k}, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta := 0.05
+	if d := withGap.TimePerIteration() - noGap.TimePerIteration() - wantDelta; d > 1e-9 || d < -1e-9 {
+		t.Errorf("host gap added %.4f s per iteration, want %.4f s",
+			withGap.TimePerIteration()-noGap.TimePerIteration(), wantDelta)
+	}
+}
+
+func TestRunMeteredRejectsNegativeGap(t *testing.T) {
+	d, err := OpenBoard("GTX 460")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunMetered("w", []*gpu.KernelDesc{testKernel(10)}, -0.1, 0.5); err == nil {
+		t.Error("negative host gap accepted")
+	}
+}
+
+func TestLaunchOnEveryBoardAndPair(t *testing.T) {
+	// Smoke property: every board runs a generic kernel at every valid
+	// pair, and slower clocks never produce faster launches.
+	for _, spec := range arch.AllBoards() {
+		d, err := OpenBoard(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := testKernel(4 * spec.SMCount)
+		base := 0.0
+		for _, p := range clock.ValidPairs(spec) {
+			if err := d.SetClocks(p); err != nil {
+				t.Fatal(err)
+			}
+			lr, err := d.Launch(k)
+			if err != nil {
+				t.Fatalf("%s %s: %v", spec.Name, p, err)
+			}
+			if lr.Time <= 0 {
+				t.Fatalf("%s %s: non-positive time", spec.Name, p)
+			}
+			if p == clock.DefaultPair() {
+				base = lr.Time
+			} else if lr.Time < base*(1-1e-9) {
+				t.Errorf("%s %s: faster than (H-H)", spec.Name, p)
+			}
+		}
+	}
+}
+
+func TestPowerModelAccessor(t *testing.T) {
+	d, err := OpenBoard("GTX 480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := d.PowerModel()
+	if pm == nil || pm.Spec.Name != "GTX 480" {
+		t.Error("PowerModel accessor broken")
+	}
+	if d.Meter() == nil {
+		t.Error("Meter accessor broken")
+	}
+}
+
+func TestOpenSpecCustomBoard(t *testing.T) {
+	spec := arch.GTX680()
+	spec.Name = "GTX 680 OC" // not in the board list
+	d, err := OpenSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec().Name != "GTX 680 OC" {
+		t.Error("OpenSpec lost the custom name")
+	}
+	if _, err := d.Launch(testKernel(64)); err != nil {
+		t.Errorf("custom board cannot launch: %v", err)
+	}
+	// Invalid specs are rejected.
+	bad := arch.GTX680()
+	bad.SMCount = 0
+	if _, err := OpenSpec(bad); err == nil {
+		t.Error("OpenSpec accepted invalid spec")
+	}
+}

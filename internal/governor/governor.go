@@ -1,0 +1,163 @@
+// Package governor implements the dynamic power/performance manager the
+// paper motivates as the end goal of its unified models ("a strong basis
+// for the dynamic runtime management of power and performance for
+// GPU-accelerated systems", Section V): profile a kernel once at the
+// default clocks, predict its power and execution time at every available
+// frequency pair from the single unified model per GPU, and program the
+// pair that optimizes a policy (minimum energy, EDP, …) under optional
+// power-cap and slowdown constraints.
+//
+// This is exactly what per-pair models cannot do online: with one model
+// per frequency pair, a governor would need counters *measured at each
+// pair* before it could choose — defeating the purpose. The unified form
+// extrapolates from one profile.
+package governor
+
+import (
+	"errors"
+	"fmt"
+
+	"gpuperf/internal/characterize"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/core"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/gpu"
+)
+
+// Policy is what the governor optimizes.
+type Policy struct {
+	// Objective is minimized among feasible pairs (default MinEnergy).
+	Objective characterize.Objective
+	// PowerCapWatts is the wall-power ceiling; 0 disables the cap.
+	PowerCapWatts float64
+	// MaxSlowdownPct bounds the predicted slowdown relative to the
+	// predicted (H-H) time, in percent; 0 disables the bound.
+	MaxSlowdownPct float64
+}
+
+// Decision is the governor's choice for one workload.
+type Decision struct {
+	Pair           clock.Pair
+	PredictedWatts float64
+	PredictedTime  float64 // seconds per iteration
+	// Feasible is false when no pair satisfied the constraints and the
+	// governor fell back to the default pair.
+	Feasible bool
+}
+
+// Outcome pairs a decision with its measured result.
+type Outcome struct {
+	Decision
+	MeasuredWatts float64
+	MeasuredTime  float64
+	EnergyPerIter float64
+}
+
+// Governor drives one device with one pair of trained unified models.
+type Governor struct {
+	dev    *driver.Device
+	power  *core.Model
+	time   *core.Model
+	policy Policy
+}
+
+// New assembles a governor. The models must have been trained for the
+// device's board.
+func New(dev *driver.Device, powerModel, timeModel *core.Model, policy Policy) (*Governor, error) {
+	if dev == nil || powerModel == nil || timeModel == nil {
+		return nil, errors.New("governor: nil device or model")
+	}
+	if powerModel.Kind != core.Power || timeModel.Kind != core.Time {
+		return nil, errors.New("governor: models passed in the wrong order")
+	}
+	board := dev.Spec().Name
+	if powerModel.Board != board || timeModel.Board != board {
+		return nil, fmt.Errorf("governor: models trained for %q/%q, device is %q",
+			powerModel.Board, timeModel.Board, board)
+	}
+	return &Governor{dev: dev, power: powerModel, time: timeModel, policy: policy}, nil
+}
+
+// Decide picks a frequency pair from per-iteration profile counters. It is
+// pure prediction: no clocks are changed.
+func (g *Governor) Decide(perIterCounters []float64) Decision {
+	spec := g.dev.Spec()
+	base := g.predict(perIterCounters, clock.DefaultPair())
+
+	best := Decision{Pair: clock.DefaultPair(), PredictedWatts: base.watts, PredictedTime: base.time}
+	bestCost := 0.0
+	found := false
+	for _, pair := range clock.ValidPairs(spec) {
+		pred := g.predict(perIterCounters, pair)
+		if pred.time <= 0 {
+			continue // extrapolation artifact
+		}
+		if g.policy.PowerCapWatts > 0 && pred.watts > g.policy.PowerCapWatts {
+			continue
+		}
+		if g.policy.MaxSlowdownPct > 0 && base.time > 0 {
+			if slow := (pred.time/base.time - 1) * 100; slow > g.policy.MaxSlowdownPct {
+				continue
+			}
+		}
+		cost := g.policy.Objective.CostOf(pred.watts*pred.time, pred.time)
+		if !found || cost < bestCost {
+			found = true
+			bestCost = cost
+			best = Decision{Pair: pair, PredictedWatts: pred.watts, PredictedTime: pred.time, Feasible: true}
+		}
+	}
+	return best
+}
+
+type prediction struct {
+	time  float64
+	watts float64
+}
+
+func (g *Governor) predict(perIterCounters []float64, pair clock.Pair) prediction {
+	spec := g.dev.Spec()
+	o := core.Observation{
+		Pair:     pair,
+		CoreGHz:  spec.CoreFreqMHz(pair.Core) / 1000,
+		MemGHz:   spec.MemFreqMHz(pair.Mem) / 1000,
+		Counters: perIterCounters,
+	}
+	t := g.time.Predict(&o)
+	o.TimeS = t
+	return prediction{time: t, watts: g.power.Predict(&o)}
+}
+
+// RunTuned executes one workload under governance: profile at the default
+// pair, decide, program the chosen pair, run metered, and report predicted
+// vs measured. The device is left at the chosen pair.
+func (g *Governor) RunTuned(name string, kernels []*gpu.KernelDesc, hostGap float64) (*Outcome, error) {
+	if err := g.dev.SetClocks(clock.DefaultPair()); err != nil {
+		return nil, err
+	}
+	g.dev.EnableProfiler()
+	prof, err := g.dev.RunMetered(name, kernels, hostGap, characterize.MinRunSeconds)
+	g.dev.DisableProfiler()
+	if err != nil {
+		return nil, err
+	}
+	perIter := make([]float64, len(prof.Counters))
+	for i, c := range prof.Counters {
+		perIter[i] = c / float64(prof.Iterations)
+	}
+
+	d := g.Decide(perIter)
+	if err := g.dev.SetClocks(d.Pair); err != nil {
+		return nil, err
+	}
+	rr, err := g.dev.RunMetered(name, kernels, hostGap, characterize.MinRunSeconds)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Decision:      d,
+		MeasuredWatts: rr.Measurement.AvgWatts,
+		MeasuredTime:  rr.TimePerIteration(),
+		EnergyPerIter: rr.EnergyPerIteration(),
+	}, nil
+}

@@ -1,0 +1,168 @@
+package governor
+
+import (
+	"testing"
+
+	"gpuperf/internal/characterize"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/core"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/workloads"
+)
+
+// trained builds a device + models pair for one board (cached dataset per
+// test run would be overkill; collection is milliseconds).
+func trained(t *testing.T, board string, policy Policy) (*Governor, *driver.Device) {
+	t.Helper()
+	ds, err := core.CollectAll(board, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := core.Train(ds, core.Power, core.MaxVariables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := core.Train(ds, core.Time, core.MaxVariables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := driver.OpenBoard(board)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Seed(7)
+	g, err := New(dev, pm, tm, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, dev
+}
+
+func profileCounters(t *testing.T, dev *driver.Device, bench string) []float64 {
+	t.Helper()
+	b := workloads.ByName(bench)
+	if err := dev.SetClocks(clock.DefaultPair()); err != nil {
+		t.Fatal(err)
+	}
+	dev.EnableProfiler()
+	prof, err := dev.RunMetered(b.Name, b.Kernels(1), b.HostGap(1), 0.5)
+	dev.DisableProfiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(prof.Counters))
+	for i, c := range prof.Counters {
+		out[i] = c / float64(prof.Iterations)
+	}
+	return out
+}
+
+func TestNewValidatesInputs(t *testing.T) {
+	ds, err := core.CollectAll("GTX 680", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := core.Train(ds, core.Power, 5)
+	tm, _ := core.Train(ds, core.Time, 5)
+	dev, _ := driver.OpenBoard("GTX 680")
+
+	if _, err := New(nil, pm, tm, Policy{}); err == nil {
+		t.Error("New accepted nil device")
+	}
+	if _, err := New(dev, tm, pm, Policy{}); err == nil {
+		t.Error("New accepted swapped models")
+	}
+	other, _ := driver.OpenBoard("GTX 285")
+	if _, err := New(other, pm, tm, Policy{}); err == nil {
+		t.Error("New accepted models trained for another board")
+	}
+	if _, err := New(dev, pm, tm, Policy{}); err != nil {
+		t.Errorf("New rejected valid inputs: %v", err)
+	}
+}
+
+func TestDecideRespectsPowerCap(t *testing.T) {
+	g, dev := trained(t, "GTX 680", Policy{Objective: characterize.MinEnergy, PowerCapWatts: 150})
+	counters := profileCounters(t, dev, "sgemm")
+	d := g.Decide(counters)
+	if d.Feasible && d.PredictedWatts > 150 {
+		t.Errorf("decision predicts %.1f W above the 150 W cap", d.PredictedWatts)
+	}
+}
+
+func TestDecideInfeasibleFallsBackToDefault(t *testing.T) {
+	// A 1 W cap is unsatisfiable; the governor must fall back to (H-H)
+	// and say so.
+	g, dev := trained(t, "GTX 680", Policy{PowerCapWatts: 1})
+	d := g.Decide(profileCounters(t, dev, "sgemm"))
+	if d.Feasible {
+		t.Error("1 W cap reported feasible")
+	}
+	if d.Pair != clock.DefaultPair() {
+		t.Errorf("fallback pair %s, want (H-H)", d.Pair)
+	}
+}
+
+func TestDecideSlowdownBound(t *testing.T) {
+	// With a tight slowdown bound the predicted time must stay near the
+	// predicted default time.
+	g, dev := trained(t, "GTX 680", Policy{MaxSlowdownPct: 5})
+	counters := profileCounters(t, dev, "backprop")
+	d := g.Decide(counters)
+	base := g.predict(counters, clock.DefaultPair())
+	if d.Feasible && base.time > 0 {
+		if slow := (d.PredictedTime/base.time - 1) * 100; slow > 5+1e-9 {
+			t.Errorf("predicted slowdown %.1f%% above the 5%% bound", slow)
+		}
+	}
+}
+
+func TestDecideTimeObjectivePrefersFastPairs(t *testing.T) {
+	gE, devE := trained(t, "GTX 680", Policy{Objective: characterize.MinEnergy})
+	cs := profileCounters(t, devE, "streamcluster")
+	dEnergy := gE.Decide(cs)
+	gT, _ := New(gE.dev, gE.power, gE.time, Policy{Objective: characterize.MinTime})
+	dTime := gT.Decide(cs)
+	if dTime.PredictedTime > dEnergy.PredictedTime+1e-12 {
+		t.Errorf("time objective picked a slower pair (%.4g s) than energy objective (%.4g s)",
+			dTime.PredictedTime, dEnergy.PredictedTime)
+	}
+}
+
+func TestRunTunedSavesEnergyOnKepler(t *testing.T) {
+	g, dev := trained(t, "GTX 680", Policy{Objective: characterize.MinEnergy})
+	b := workloads.ByName("backprop")
+
+	// Baseline at default clocks.
+	if err := dev.SetClocks(clock.DefaultPair()); err != nil {
+		t.Fatal(err)
+	}
+	base, err := dev.RunMetered(b.Name, b.Kernels(1), b.HostGap(1), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := g.RunTuned(b.Name, b.Kernels(1), b.HostGap(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pair == clock.DefaultPair() {
+		t.Error("governor kept the default pair on Kepler backprop")
+	}
+	if out.EnergyPerIter >= base.EnergyPerIteration() {
+		t.Errorf("governed energy %.2f J not below default %.2f J",
+			out.EnergyPerIter, base.EnergyPerIteration())
+	}
+	if dev.Clocks() != out.Pair {
+		t.Error("device not left at the chosen pair")
+	}
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	g, dev := trained(t, "GTX 460", Policy{})
+	cs := profileCounters(t, dev, "lud")
+	a, b := g.Decide(cs), g.Decide(cs)
+	if a != b {
+		t.Errorf("Decide not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,159 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResourceUsage reports how close one hardware resource is to binding a
+// phase: Time is the lower bound that resource alone imposes, and Fraction
+// is that bound relative to the phase's actual duration (1.0 ≈ the binding
+// resource; small values ≈ ample headroom).
+type ResourceUsage struct {
+	Resource string
+	Time     float64
+	Fraction float64
+}
+
+// PhaseAnalysis is the roofline-style breakdown of one phase.
+type PhaseAnalysis struct {
+	Phase      string
+	Duration   float64
+	Bottleneck string
+	Usages     []ResourceUsage // sorted, most binding first
+}
+
+// KernelAnalysis aggregates a kernel's phases.
+type KernelAnalysis struct {
+	Kernel      string
+	Time        float64
+	BlocksPerSM int
+	Warps       int // resident warps per SM
+	Occupancy   float64
+	Phases      []PhaseAnalysis
+}
+
+// Analyze runs the kernel's bottleneck model at the current DVFS state and
+// returns the per-resource breakdown instead of just the binding resource —
+// the tool a performance engineer uses to decide whether a kernel will
+// respond to core scaling, memory scaling, or neither. It shares the
+// RunKernel timing path, so Analyze(k).Time == RunKernel(k).Time.
+func (s *Sim) Analyze(k *KernelDesc) (*KernelAnalysis, error) {
+	res, err := s.RunKernel(k)
+	if err != nil {
+		return nil, err
+	}
+	blocksPerSM, residentWarps := s.Occupancy(k)
+	out := &KernelAnalysis{
+		Kernel:      k.Name,
+		Time:        res.Time,
+		BlocksPerSM: blocksPerSM,
+		Warps:       residentWarps,
+		Occupancy:   res.Occupancy,
+	}
+	warpsPerBlock := (k.ThreadsPerBlock + s.spec.WarpSize - 1) / s.spec.WarpSize
+	totalWarps := float64(k.Blocks * warpsPerBlock)
+	// Resource fractions are computed against the model-ideal duration
+	// (irregularity factored out): the per-grid timing deviation is by
+	// definition not attributable to any resource.
+	irregular := 1 + s.spec.TimingIrregularity*irregularity(k.Name, k.Blocks)
+	for i := range k.Phases {
+		p := &k.Phases[i]
+		bounds := s.phaseBounds(p, totalWarps, residentWarps)
+		pa := PhaseAnalysis{
+			Phase:      p.Name,
+			Duration:   res.Phases[i].Duration,
+			Bottleneck: res.Phases[i].Bottleneck,
+		}
+		ideal := pa.Duration / irregular
+		for _, b := range bounds {
+			pa.Usages = append(pa.Usages, ResourceUsage{
+				Resource: b.name,
+				Time:     b.t,
+				Fraction: b.t / ideal,
+			})
+		}
+		sort.Slice(pa.Usages, func(a, b int) bool { return pa.Usages[a].Time > pa.Usages[b].Time })
+		out.Phases = append(out.Phases, pa)
+	}
+	return out, nil
+}
+
+// String renders the analysis as a compact utilization table.
+func (a *KernelAnalysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %.3f ms, %d blocks/SM, %d warps/SM (occupancy %.2f)\n",
+		a.Kernel, a.Time*1e3, a.BlocksPerSM, a.Warps, a.Occupancy)
+	for _, p := range a.Phases {
+		fmt.Fprintf(&b, "  phase %s (%.3f ms, bound by %s)\n", p.Phase, p.Duration*1e3, p.Bottleneck)
+		for _, u := range p.Usages {
+			fmt.Fprintf(&b, "    %-12s %6.1f%%\n", u.Resource, u.Fraction*100)
+		}
+	}
+	return b.String()
+}
+
+// phaseBounds recomputes the per-resource time bounds of one phase (the
+// same arithmetic runPhase folds into its p-norm).
+func (s *Sim) phaseBounds(p *PhaseDesc, totalWarps float64, residentWarps int) []bound {
+	spec := s.spec
+	fc := s.clk.CoreHz()
+	wi := totalWarps * p.WarpInstsPerWarp
+	replayFactor := 1 + p.FracBranch*p.DivergentFrac*2.0
+	issued := wi * replayFactor
+	alu := wi * (p.FracALU + otherFrac(p)) * replayFactor
+	sfu := wi * p.FracSFU
+	dp := wi * p.FracDP
+	shared := wi * p.FracShared
+	txns := wi * p.FracMem * p.TxnPerMemInst
+
+	var dramTxns float64
+	if spec.L1PerSM > 0 {
+		l1Hit := derate(p.L1Hit, p.WorkingSetBytes, float64(spec.L1PerSM))
+		l2Queries := txns * (1 - l1Hit)
+		l2Hit := derate(p.L2Hit, p.WorkingSetBytes*float64(spec.SMCount), float64(spec.L2Size))
+		dramTxns = l2Queries * (1 - l2Hit)
+	} else {
+		dramTxns = txns
+	}
+	dramTxns += txns * p.StoreFrac * 0.25
+
+	sms := float64(spec.SMCount)
+	divPenalty := 1 + p.DivergentFrac*1.5
+	var bounds []bound
+	add := func(name string, t float64) {
+		if t > 0 {
+			bounds = append(bounds, bound{name, t})
+		}
+	}
+	issueRate := float64(spec.SchedulersPerSM*spec.IssuePerSched) * p.IssueEff
+	add("issue", issued/(sms*issueRate*fc))
+	add("alu", alu*divPenalty/(sms*spec.ALUThroughput*fc))
+	if sfu > 0 {
+		add("sfu", sfu/(sms*spec.SFUThroughput*fc))
+	}
+	if dp > 0 {
+		add("dp", dp/(sms*spec.DPThroughput*fc))
+	}
+	if txns > 0 {
+		add("lsu", txns/(sms*spec.LSUThroughput*fc))
+	}
+	if shared > 0 {
+		add("shared", shared/(sms*spec.LSUThroughput*fc))
+	}
+	if dramTxns > 0 {
+		add("dram-bw", dramTxns*float64(spec.LineSize)/s.clk.MemBandwidthBytesPerSec())
+	}
+	if txns > 0 && p.MLP > 0 {
+		avgLat := s.avgMemLatency(p)
+		rate := float64(residentWarps) * p.MLP * sms / avgLat
+		add("mem-latency", txns/rate)
+	}
+	return bounds
+}
+
+type bound struct {
+	name string
+	t    float64
+}

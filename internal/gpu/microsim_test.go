@@ -1,0 +1,141 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+)
+
+// The microsimulator is the interval model's validation reference: it does
+// not have to agree to the percent, but it must land in the same regime
+// (within a small factor) and preserve the orderings the characterization
+// depends on.
+
+func microPair(t *testing.T, spec *arch.Spec, k *KernelDesc, p clock.Pair) (interval, micro float64) {
+	t.Helper()
+	clk := clock.NewState(spec)
+	if err := clk.SetPair(p); err != nil {
+		t.Fatal(err)
+	}
+	sim := New(spec, clk)
+	ir, err := sim.RunKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := NewMicro(sim).RunKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ir.Time, mr.Time
+}
+
+// microKernel keeps instruction counts small so the cycle loop stays fast.
+func microKernel(mix PhaseDesc, blocks int) *KernelDesc {
+	mix.WarpInstsPerWarp = 3000
+	if mix.IssueEff == 0 {
+		mix.IssueEff = 0.9
+	}
+	if mix.MLP == 0 {
+		mix.MLP = 4
+	}
+	if mix.TxnPerMemInst == 0 {
+		mix.TxnPerMemInst = 1
+	}
+	mix.Name = "p"
+	return &KernelDesc{Name: "micro", Blocks: blocks, ThreadsPerBlock: 256, RegsPerThread: 20,
+		Phases: []PhaseDesc{mix}}
+}
+
+func TestMicroAgreesOnComputeBound(t *testing.T) {
+	spec := arch.GTX680()
+	k := microKernel(PhaseDesc{FracALU: 0.85, FracMem: 0.004, FracBranch: 0.04,
+		L1Hit: 0.8, L2Hit: 0.8, WorkingSetBytes: 4 << 10}, 8*spec.SMCount)
+	interval, micro := microPair(t, spec, k, clock.DefaultPair())
+	if ratio := micro / interval; ratio < 0.7 || ratio > 1.45 {
+		t.Errorf("micro/interval = %.2f on compute-bound; want same regime", ratio)
+	}
+}
+
+func TestMicroAgreesOnMemoryBound(t *testing.T) {
+	spec := arch.GTX480()
+	k := microKernel(PhaseDesc{FracALU: 0.25, FracMem: 0.45, FracBranch: 0.03,
+		L1Hit: 0.05, L2Hit: 0.1, WorkingSetBytes: 16 << 20, MLP: 8}, 8*spec.SMCount)
+	interval, micro := microPair(t, spec, k, clock.DefaultPair())
+	if ratio := micro / interval; ratio < 0.6 || ratio > 1.7 {
+		t.Errorf("micro/interval = %.2f on memory-bound; want same regime", ratio)
+	}
+}
+
+func TestMicroPreservesCoreClockScaling(t *testing.T) {
+	// The validation that matters for the paper: the microsim must agree
+	// with the interval model on *how time responds to clocks*.
+	spec := arch.GTX680()
+	k := microKernel(PhaseDesc{FracALU: 0.85, FracMem: 0.004, FracBranch: 0.04,
+		L1Hit: 0.8, L2Hit: 0.8, WorkingSetBytes: 4 << 10}, 8*spec.SMCount)
+	_, microH := microPair(t, spec, k, clock.DefaultPair())
+	_, microM := microPair(t, spec, k, clock.Pair{Core: arch.FreqMid, Mem: arch.FreqHigh})
+	wantRatio := spec.CoreFreqMHz(arch.FreqHigh) / spec.CoreFreqMHz(arch.FreqMid)
+	if got := microM / microH; math.Abs(got-wantRatio)/wantRatio > 0.15 {
+		t.Errorf("micro compute-bound M/H ratio %.3f, want ≈ %.3f", got, wantRatio)
+	}
+}
+
+func TestMicroPreservesMemClockSensitivity(t *testing.T) {
+	spec := arch.GTX680()
+	k := microKernel(PhaseDesc{FracALU: 0.2, FracMem: 0.5, FracBranch: 0.02,
+		L1Hit: 0.05, L2Hit: 0.1, WorkingSetBytes: 16 << 20, MLP: 2}, 8*spec.SMCount)
+	_, microH := microPair(t, spec, k, clock.DefaultPair())
+	_, microL := microPair(t, spec, k, clock.Pair{Core: arch.FreqHigh, Mem: arch.FreqLow})
+	if microL <= microH*1.5 {
+		t.Errorf("memory-bound microsim slowed only %.2fx at Mem-L", microL/microH)
+	}
+}
+
+func TestMicroIPCBounded(t *testing.T) {
+	spec := arch.GTX680()
+	clk := clock.NewState(spec)
+	sim := New(spec, clk)
+	k := microKernel(PhaseDesc{FracALU: 0.9, FracBranch: 0.02,
+		L1Hit: 0.8, L2Hit: 0.8, WorkingSetBytes: 4 << 10}, 64)
+	mr, err := NewMicro(sim).RunKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIssue := float64(spec.SchedulersPerSM * spec.IssuePerSched)
+	if mr.IPC <= 0 || mr.IPC > maxIssue {
+		t.Errorf("IPC %.2f out of (0, %g]", mr.IPC, maxIssue)
+	}
+}
+
+func TestMicroRejectsMultiPhase(t *testing.T) {
+	spec := arch.GTX680()
+	sim := New(spec, clock.NewState(spec))
+	k := microKernel(PhaseDesc{FracALU: 0.9, L1Hit: 0.5, L2Hit: 0.5}, 64)
+	k.Phases = append(k.Phases, k.Phases[0])
+	if _, err := NewMicro(sim).RunKernel(k); err == nil {
+		t.Error("microsim accepted multi-phase kernel")
+	}
+	if _, err := NewMicro(sim).RunKernel(&KernelDesc{Name: "bad"}); err == nil {
+		t.Error("microsim accepted invalid kernel")
+	}
+}
+
+func TestMicroDeterministic(t *testing.T) {
+	spec := arch.GTX460()
+	sim := New(spec, clock.NewState(spec))
+	k := microKernel(PhaseDesc{FracALU: 0.6, FracMem: 0.15, FracBranch: 0.04,
+		L1Hit: 0.4, L2Hit: 0.4, WorkingSetBytes: 256 << 10}, 100)
+	a, err := NewMicro(sim).RunKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMicro(sim).RunKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.IPC != b.IPC {
+		t.Error("microsim not deterministic")
+	}
+}

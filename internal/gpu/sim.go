@@ -1,0 +1,364 @@
+package gpu
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/counters"
+)
+
+// Events is the per-domain event tally of one simulated interval; the
+// hardware energy model (internal/power) converts it to joules. Counts are
+// warp-granular for core pipeline events and transaction-granular for the
+// memory system.
+type Events struct {
+	Issue  float64 // warp instructions issued (incl. replays)
+	ALU    float64
+	SFU    float64
+	DP     float64
+	LSU    float64 // memory warp instructions (address generation)
+	Shared float64
+	L1     float64 // L1 transactions (hits + misses)
+	L2     float64 // L2 transactions (memory domain)
+	DRAM   float64 // DRAM transactions (memory domain)
+}
+
+// Scale multiplies every tally by k (used to apply a phase's data-dependent
+// switching-activity factor before energy accounting).
+func (e *Events) Scale(k float64) {
+	e.Issue *= k
+	e.ALU *= k
+	e.SFU *= k
+	e.DP *= k
+	e.LSU *= k
+	e.Shared *= k
+	e.L1 *= k
+	e.L2 *= k
+	e.DRAM *= k
+}
+
+// Add accumulates another tally.
+func (e *Events) Add(o Events) {
+	e.Issue += o.Issue
+	e.ALU += o.ALU
+	e.SFU += o.SFU
+	e.DP += o.DP
+	e.LSU += o.LSU
+	e.Shared += o.Shared
+	e.L1 += o.L1
+	e.L2 += o.L2
+	e.DRAM += o.DRAM
+}
+
+// PhaseResult is the outcome of one simulated phase: how long it took and
+// what hardware events it generated. The sequence of PhaseResults is the
+// power trace the simulated meter samples.
+type PhaseResult struct {
+	Name     string
+	Duration float64 // seconds
+	Events   Events
+	// EnergyScale is the phase's data-dependent switching-activity factor
+	// (PhaseDesc.ActivityFactor, defaulted to 1): the energy model should
+	// scale this phase's per-event energies by it. Counters do not see it.
+	EnergyScale float64
+	// Bottleneck is the resource that bound this phase (diagnostic).
+	Bottleneck string
+}
+
+// KernelResult is the outcome of one kernel launch.
+type KernelResult struct {
+	Kernel     string
+	Time       float64 // seconds
+	Phases     []PhaseResult
+	Activities counters.Vector
+	Occupancy  float64 // resident-warp fraction, 0..1
+}
+
+// Sim simulates kernels on one board at one DVFS state. It is not
+// goroutine-safe; drive one Sim per goroutine.
+type Sim struct {
+	spec *arch.Spec
+	clk  *clock.State
+}
+
+// New returns a simulator for the board described by spec at the DVFS state
+// clk. The clock state may be mutated between runs to model frequency
+// switching.
+func New(spec *arch.Spec, clk *clock.State) *Sim {
+	return &Sim{spec: spec, clk: clk}
+}
+
+// Spec returns the simulated board.
+func (s *Sim) Spec() *arch.Spec { return s.spec }
+
+// Clock returns the DVFS state the simulator reads.
+func (s *Sim) Clock() *clock.State { return s.clk }
+
+// Occupancy computes the number of resident blocks per SM for a kernel,
+// applying the block, warp, register and shared-memory limits.
+func (s *Sim) Occupancy(k *KernelDesc) (blocksPerSM, residentWarps int) {
+	warpsPerBlock := (k.ThreadsPerBlock + s.spec.WarpSize - 1) / s.spec.WarpSize
+	limit := s.spec.MaxBlocksPerSM
+	if byWarps := s.spec.MaxWarpsPerSM / warpsPerBlock; byWarps < limit {
+		limit = byWarps
+	}
+	if k.SharedPerBlock > 0 {
+		if byShared := s.spec.SharedMemPerSM / k.SharedPerBlock; byShared < limit {
+			limit = byShared
+		}
+	}
+	if k.RegsPerThread > 0 {
+		regsPerBlock := k.RegsPerThread * k.ThreadsPerBlock
+		if byRegs := s.spec.RegistersPerSM / regsPerBlock; byRegs < limit {
+			limit = byRegs
+		}
+	}
+	if limit < 1 {
+		limit = 1 // the hardware always fits at least one block
+	}
+	return limit, limit * warpsPerBlock
+}
+
+// RunKernel simulates one kernel launch at the current DVFS state.
+func (s *Sim) RunKernel(k *KernelDesc) (*KernelResult, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	blocksPerSM, residentWarps := s.Occupancy(k)
+	warpsPerBlock := (k.ThreadsPerBlock + s.spec.WarpSize - 1) / s.spec.WarpSize
+	totalWarps := float64(k.Blocks * warpsPerBlock)
+
+	// Wave (tail) effect: blocks execute in waves of SMCount×blocksPerSM;
+	// a partial final wave leaves SMs idle.
+	perWave := float64(s.spec.SMCount * blocksPerSM)
+	waves := float64(k.Blocks) / perWave
+	waveStretch := math.Ceil(waves) / waves
+	if waves < 1 {
+		// A single partial wave underuses the machine: stretch by the
+		// fraction of SMs left idle instead.
+		activeSMs := math.Ceil(float64(k.Blocks) / float64(blocksPerSM))
+		waveStretch = float64(s.spec.SMCount) / activeSMs
+	}
+
+	res := &KernelResult{
+		Kernel:    k.Name,
+		Occupancy: float64(residentWarps) / float64(s.spec.MaxWarpsPerSM),
+	}
+
+	// Architecture-dependent timing irregularity: a deterministic
+	// per-(kernel, grid) deviation that the performance counters do not
+	// explain (see arch.Spec.TimingIrregularity). It is independent of the
+	// frequency pair so that DVFS trends stay physical; what it degrades
+	// is the counter→time transfer across samples, as on real hardware.
+	irregular := 1 + s.spec.TimingIrregularity*irregularity(k.Name, k.Blocks)
+
+	for i := range k.Phases {
+		pr := s.runPhase(&k.Phases[i], totalWarps, residentWarps, waveStretch)
+		pr.Duration *= irregular
+		res.Time += pr.Duration
+		res.Phases = append(res.Phases, pr)
+	}
+
+	s.fillActivities(k, res, totalWarps)
+	return res, nil
+}
+
+// runPhase computes the duration and event tally of one phase via
+// bottleneck analysis.
+func (s *Sim) runPhase(p *PhaseDesc, totalWarps float64, residentWarps int, waveStretch float64) PhaseResult {
+	spec := s.spec
+
+	wi := totalWarps * p.WarpInstsPerWarp
+
+	// Divergence replays inflate the issued instruction stream.
+	replayFactor := 1 + p.FracBranch*p.DivergentFrac*2.0
+	issued := wi * replayFactor
+
+	ev := Events{
+		Issue:  issued,
+		ALU:    wi * (p.FracALU + otherFrac(p)) * replayFactor,
+		SFU:    wi * p.FracSFU,
+		DP:     wi * p.FracDP,
+		LSU:    wi * p.FracMem,
+		Shared: wi * p.FracShared,
+	}
+
+	// Memory system: transactions, cache filtering, DRAM traffic.
+	txns := wi * p.FracMem * p.TxnPerMemInst
+	var dramTxns float64
+	if spec.L1PerSM > 0 {
+		l1HitFrac := derate(p.L1Hit, p.WorkingSetBytes, float64(spec.L1PerSM))
+		l2Queries := txns - txns*l1HitFrac
+		l2HitFrac := derate(p.L2Hit, p.WorkingSetBytes*float64(spec.SMCount), float64(spec.L2Size))
+		dramTxns = l2Queries - l2Queries*l2HitFrac
+		ev.L1 = txns
+		ev.L2 = l2Queries
+	} else {
+		dramTxns = txns
+	}
+	// Stores write through eventually: add write traffic not captured by
+	// the read path (write-allocate misses already counted above).
+	dramTxns += txns * p.StoreFrac * 0.25
+	ev.DRAM = dramTxns
+
+	// --- Bottleneck analysis (shared with Analyze) ----------------------
+	bounds := s.phaseBounds(p, totalWarps, residentWarps)
+
+	// Smooth maximum over bottlenecks: resources overlap imperfectly, so
+	// the real time sits slightly above the max of the individual bounds.
+	// A p-norm with p=4 gives the max asymptotically with a gentle blend
+	// near crossover points — which is exactly the mixed behaviour the
+	// paper observes on Gaussian (Fig. 3).
+	const pnorm = 4.0
+	var acc, tmax float64
+	bname := "none"
+	for _, b := range bounds {
+		acc += math.Pow(b.t, pnorm)
+		if b.t > tmax {
+			tmax, bname = b.t, b.name
+		}
+	}
+	dur := math.Pow(acc, 1/pnorm) * waveStretch
+
+	escale := p.ActivityFactor
+	if escale == 0 {
+		escale = 1
+	}
+	return PhaseResult{Name: p.Name, Duration: dur, Events: ev, EnergyScale: escale, Bottleneck: bname}
+}
+
+// avgMemLatency returns the average latency of one memory transaction in
+// seconds at the current clocks, weighting the cache levels by their hit
+// fractions. Core-clocked components stretch with 1/fc, DRAM with the
+// memory clock (see clock.DRAMLatencySec).
+func (s *Sim) avgMemLatency(p *PhaseDesc) float64 {
+	spec := s.spec
+	fc := s.clk.CoreHz()
+	dram := s.clk.DRAMLatencySec()
+	if spec.L1PerSM == 0 {
+		// Tesla: the whole coalescing/arbitration path to the memory
+		// controller is core-clocked and deep — lowering the core clock
+		// visibly stretches memory latency, which is why the paper sees
+		// little benefit from core scaling on the GTX 285.
+		return 280/fc + dram
+	}
+	l1Hit := derate(p.L1Hit, p.WorkingSetBytes, float64(spec.L1PerSM))
+	l2Hit := derate(p.L2Hit, p.WorkingSetBytes*float64(spec.SMCount), float64(spec.L2Size))
+	lat := spec.L1LatencyCyc / fc
+	missL1 := 1 - l1Hit
+	lat += missL1 * spec.L2LatencyCyc / fc
+	lat += missL1 * (1 - l2Hit) * dram
+	return lat
+}
+
+// irregularity maps (kernel, grid) to a deterministic value in [-1, 1] via
+// FNV hashing; it seeds the per-run timing deviation.
+func irregularity(name string, blocks int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var buf [2]byte
+	buf[0] = byte(blocks)
+	buf[1] = byte(blocks >> 8)
+	h.Write(buf[:])
+	return 2*float64(h.Sum64()%100000)/99999 - 1
+}
+
+// derate reduces a nominal hit fraction as the working set outgrows the
+// cache capacity. Real kernels block their reuse (tiling, temporal
+// locality), so hits decay gently — a working set a few times the cache
+// still keeps most of its nominal hit rate, and only order-of-magnitude
+// overshoot destroys it.
+func derate(nominal, workingSet, capacity float64) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	if workingSet <= 0 {
+		return nominal
+	}
+	return nominal / (1 + workingSet/(6*capacity))
+}
+
+func otherFrac(p *PhaseDesc) float64 {
+	f := 1 - p.FracALU - p.FracSFU - p.FracDP - p.FracMem - p.FracShared - p.FracBranch
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// fillActivities converts the event tallies of a finished kernel into the
+// base activity vector the performance counters derive from.
+func (s *Sim) fillActivities(k *KernelDesc, res *KernelResult, totalWarps float64) {
+	var v counters.Vector
+	fc := s.clk.CoreHz()
+	var issued, retired float64
+	for i := range res.Phases {
+		pr := &res.Phases[i]
+		p := &k.Phases[i]
+		ev := pr.Events
+		issued += ev.Issue
+		wi := totalWarps * p.WarpInstsPerWarp
+		retired += wi
+
+		v[counters.ActALU] += ev.ALU
+		v[counters.ActSFU] += ev.SFU
+		v[counters.ActDP] += ev.DP
+		v[counters.ActLSU] += ev.LSU
+		v[counters.ActShared] += ev.Shared
+		v[counters.ActBranch] += wi * p.FracBranch
+		v[counters.ActDivergent] += wi * p.FracBranch * p.DivergentFrac
+
+		txns := ev.L1
+		if s.spec.L1PerSM == 0 {
+			txns = ev.DRAM / (1 + p.StoreFrac*0.25)
+		}
+		v[counters.ActGlobalLoadTxn] += txns * (1 - p.StoreFrac)
+		v[counters.ActGlobalStoreTxn] += txns * p.StoreFrac
+		if s.spec.L1PerSM > 0 {
+			v[counters.ActL1Miss] += ev.L2
+			v[counters.ActL1Hit] += ev.L1 - ev.L2
+			// L2 hits = queries that did not go to DRAM (excluding the
+			// store write-through surcharge).
+			dramReads := ev.DRAM / (1 + p.StoreFrac*0.25)
+			v[counters.ActL2Miss] += dramReads
+			v[counters.ActL2Hit] += ev.L2 - dramReads
+		}
+		v[counters.ActDRAMRead] += ev.DRAM * (1 - p.StoreFrac)
+		v[counters.ActDRAMWrite] += ev.DRAM * p.StoreFrac
+
+		// Stall accounting: scheduler slots lost to the dominant
+		// bottleneck, apportioned by how memory- vs. execution-bound the
+		// phase was.
+		slots := pr.Duration * fc * float64(s.spec.SchedulersPerSM*s.spec.IssuePerSched) * float64(s.spec.SMCount)
+		idle := slots - ev.Issue
+		if idle > 0 {
+			memShare := 0.2
+			switch pr.Bottleneck {
+			case "dram-bw", "mem-latency", "lsu":
+				memShare = 0.85
+			case "issue":
+				memShare = 0.1
+			}
+			v[counters.ActStallMem] += idle * memShare
+			v[counters.ActStallExec] += idle * (1 - memShare)
+		}
+	}
+	v[counters.ActInstIssued] = issued
+	v[counters.ActInstExecuted] = retired
+	v[counters.ActActiveCycles] = res.Time * fc * float64(s.spec.SMCount) * res.Occupancy
+	v[counters.ActElapsedCycles] = res.Time * fc
+	v[counters.ActWarpsLaunched] = totalWarps
+	v[counters.ActBlocksLaunched] = float64(k.Blocks)
+	v[counters.ActThreadsLaunched] = float64(k.Blocks * k.ThreadsPerBlock)
+	v[counters.ActOccupancy] = res.Occupancy
+	res.Activities = v
+}
+
+// String summarizes a result for diagnostics.
+func (r *KernelResult) String() string {
+	return fmt.Sprintf("%s: %.3f ms, %d phases, occupancy %.2f",
+		r.Kernel, r.Time*1e3, len(r.Phases), r.Occupancy)
+}

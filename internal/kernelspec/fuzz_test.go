@@ -1,0 +1,35 @@
+package kernelspec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the kernelspec reader with arbitrary text: never panic,
+// and anything accepted must re-serialize and re-parse to the same kernels.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("")
+	f.Add("kernel k\n  blocks 1\n  threads 32\n  phase p\n    insts 10\n")
+	f.Add("kernel k\n  blocks -1\n")
+	f.Add(strings.Repeat("kernel k\n", 100))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		ks, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ks); err != nil {
+			t.Fatalf("accepted kernels failed to serialize: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("serialized form unparseable: %v\n%s", err, buf.String())
+		}
+		if len(back) != len(ks) {
+			t.Fatalf("round trip changed kernel count: %d vs %d", len(back), len(ks))
+		}
+	})
+}

@@ -1,0 +1,353 @@
+// Package kernelspec parses and writes a small text format describing
+// kernels for the timing simulator. The paper's related work (Hong & Kim)
+// derives kernel characteristics from static PTX analysis; this package is
+// the data-driven equivalent for the simulator — a workload is a text file
+// of per-kernel instruction mixes and memory behaviour, so new workloads
+// need no Go code:
+//
+//	# dense matrix multiply, tiled
+//	kernel matmul
+//	  blocks  3200
+//	  threads 256
+//	  regs    30
+//	  shared  8KiB
+//	  phase main
+//	    insts       70000
+//	    mix         alu=0.70 shared=0.14 mem=0.03 branch=0.02
+//	    txn         1.0
+//	    store       0.20
+//	    hits        l1=0.85 l2=0.75
+//	    working-set 96KiB
+//	    mlp         5
+//	    issue-eff   0.95
+//	    activity    1.1
+//
+// Indentation is cosmetic; the grammar is line-based. A file may contain
+// several kernels; they form the launch sequence. Unknown keys are errors
+// (a typo must not silently become a default).
+package kernelspec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpuperf/internal/gpu"
+)
+
+// Parse reads kernel descriptions from r. Every kernel is validated.
+func Parse(r io.Reader) ([]*gpu.KernelDesc, error) {
+	sc := bufio.NewScanner(r)
+	var kernels []*gpu.KernelDesc
+	var cur *gpu.KernelDesc
+	var phase *gpu.PhaseDesc
+	lineNo := 0
+
+	flushPhase := func() {
+		if cur != nil && phase != nil {
+			cur.Phases = append(cur.Phases, *phase)
+			phase = nil
+		}
+	}
+	flushKernel := func() {
+		flushPhase()
+		if cur != nil {
+			kernels = append(kernels, cur)
+			cur = nil
+		}
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		key, args := fields[0], fields[1:]
+		errf := func(format string, a ...interface{}) error {
+			return fmt.Errorf("kernelspec: line %d: %s", lineNo, fmt.Sprintf(format, a...))
+		}
+
+		switch key {
+		case "kernel":
+			if len(args) != 1 {
+				return nil, errf("kernel needs exactly one name")
+			}
+			flushKernel()
+			cur = &gpu.KernelDesc{Name: args[0]}
+			continue
+		case "phase":
+			if cur == nil {
+				return nil, errf("phase before kernel")
+			}
+			if len(args) != 1 {
+				return nil, errf("phase needs exactly one name")
+			}
+			flushPhase()
+			phase = &gpu.PhaseDesc{Name: args[0], IssueEff: 0.8, MLP: 4, TxnPerMemInst: 1}
+			continue
+		}
+
+		if cur == nil {
+			return nil, errf("%q before any kernel", key)
+		}
+
+		if phase == nil {
+			// Kernel-level keys.
+			if len(args) != 1 {
+				return nil, errf("%s needs exactly one value", key)
+			}
+			switch key {
+			case "blocks":
+				v, err := parseInt(args[0])
+				if err != nil {
+					return nil, errf("blocks: %v", err)
+				}
+				cur.Blocks = v
+			case "threads":
+				v, err := parseInt(args[0])
+				if err != nil {
+					return nil, errf("threads: %v", err)
+				}
+				cur.ThreadsPerBlock = v
+			case "regs":
+				v, err := parseInt(args[0])
+				if err != nil {
+					return nil, errf("regs: %v", err)
+				}
+				cur.RegsPerThread = v
+			case "shared":
+				v, err := parseSize(args[0])
+				if err != nil {
+					return nil, errf("shared: %v", err)
+				}
+				cur.SharedPerBlock = int(v)
+			default:
+				return nil, errf("unknown kernel key %q", key)
+			}
+			continue
+		}
+
+		// Phase-level keys.
+		switch key {
+		case "insts":
+			v, err := parseFloat(args, key)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			phase.WarpInstsPerWarp = v
+		case "mix":
+			for _, kv := range args {
+				name, val, err := splitKV(kv)
+				if err != nil {
+					return nil, errf("mix: %v", err)
+				}
+				switch name {
+				case "alu":
+					phase.FracALU = val
+				case "sfu":
+					phase.FracSFU = val
+				case "dp":
+					phase.FracDP = val
+				case "mem":
+					phase.FracMem = val
+				case "shared":
+					phase.FracShared = val
+				case "branch":
+					phase.FracBranch = val
+				default:
+					return nil, errf("mix: unknown class %q", name)
+				}
+			}
+		case "hits":
+			for _, kv := range args {
+				name, val, err := splitKV(kv)
+				if err != nil {
+					return nil, errf("hits: %v", err)
+				}
+				switch name {
+				case "l1":
+					phase.L1Hit = val
+				case "l2":
+					phase.L2Hit = val
+				default:
+					return nil, errf("hits: unknown level %q", name)
+				}
+			}
+		case "txn":
+			v, err := parseFloat(args, key)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			phase.TxnPerMemInst = v
+		case "store":
+			v, err := parseFloat(args, key)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			phase.StoreFrac = v
+		case "divergent":
+			v, err := parseFloat(args, key)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			phase.DivergentFrac = v
+		case "working-set":
+			if len(args) != 1 {
+				return nil, errf("working-set needs one value")
+			}
+			v, err := parseSize(args[0])
+			if err != nil {
+				return nil, errf("working-set: %v", err)
+			}
+			phase.WorkingSetBytes = v
+		case "mlp":
+			v, err := parseFloat(args, key)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			phase.MLP = v
+		case "issue-eff":
+			v, err := parseFloat(args, key)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			phase.IssueEff = v
+		case "activity":
+			v, err := parseFloat(args, key)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			phase.ActivityFactor = v
+		default:
+			return nil, errf("unknown phase key %q", key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kernelspec: %v", err)
+	}
+	flushKernel()
+
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("kernelspec: no kernels in input")
+	}
+	for _, k := range kernels {
+		if err := k.Validate(); err != nil {
+			return nil, fmt.Errorf("kernelspec: %v", err)
+		}
+	}
+	return kernels, nil
+}
+
+// Write renders kernels in the format Parse reads (round-trippable).
+func Write(w io.Writer, kernels []*gpu.KernelDesc) error {
+	for i, k := range kernels {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "kernel %s\n", k.Name)
+		fmt.Fprintf(w, "  blocks  %d\n", k.Blocks)
+		fmt.Fprintf(w, "  threads %d\n", k.ThreadsPerBlock)
+		if k.RegsPerThread > 0 {
+			fmt.Fprintf(w, "  regs    %d\n", k.RegsPerThread)
+		}
+		if k.SharedPerBlock > 0 {
+			fmt.Fprintf(w, "  shared  %d\n", k.SharedPerBlock)
+		}
+		for _, p := range k.Phases {
+			fmt.Fprintf(w, "  phase %s\n", p.Name)
+			fmt.Fprintf(w, "    insts       %g\n", p.WarpInstsPerWarp)
+			mix := []string{}
+			for _, kv := range []struct {
+				name string
+				v    float64
+			}{{"alu", p.FracALU}, {"sfu", p.FracSFU}, {"dp", p.FracDP},
+				{"mem", p.FracMem}, {"shared", p.FracShared}, {"branch", p.FracBranch}} {
+				if kv.v > 0 {
+					mix = append(mix, fmt.Sprintf("%s=%g", kv.name, kv.v))
+				}
+			}
+			if len(mix) > 0 {
+				fmt.Fprintf(w, "    mix         %s\n", strings.Join(mix, " "))
+			}
+			if p.TxnPerMemInst != 0 {
+				fmt.Fprintf(w, "    txn         %g\n", p.TxnPerMemInst)
+			}
+			if p.StoreFrac > 0 {
+				fmt.Fprintf(w, "    store       %g\n", p.StoreFrac)
+			}
+			if p.DivergentFrac > 0 {
+				fmt.Fprintf(w, "    divergent   %g\n", p.DivergentFrac)
+			}
+			if p.L1Hit > 0 || p.L2Hit > 0 {
+				fmt.Fprintf(w, "    hits        l1=%g l2=%g\n", p.L1Hit, p.L2Hit)
+			}
+			if p.WorkingSetBytes > 0 {
+				fmt.Fprintf(w, "    working-set %g\n", p.WorkingSetBytes)
+			}
+			if p.MLP > 0 {
+				fmt.Fprintf(w, "    mlp         %g\n", p.MLP)
+			}
+			fmt.Fprintf(w, "    issue-eff   %g\n", p.IssueEff)
+			if p.ActivityFactor != 0 {
+				fmt.Fprintf(w, "    activity    %g\n", p.ActivityFactor)
+			}
+		}
+	}
+	return nil
+}
+
+func parseInt(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+func parseFloat(args []string, key string) (float64, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("%s needs exactly one value", key)
+	}
+	v, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad number %q", key, args[0])
+	}
+	return v, nil
+}
+
+// parseSize reads "4096", "96KiB", "16MiB" or "1GiB".
+func parseSize(s string) (float64, error) {
+	mult := 1.0
+	num := s
+	for _, suf := range []struct {
+		tag string
+		m   float64
+	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}} {
+		if strings.HasSuffix(s, suf.tag) {
+			mult = suf.m
+			num = strings.TrimSuffix(s, suf.tag)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func splitKV(s string) (string, float64, error) {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q", s)
+	}
+	return parts[0], v, nil
+}

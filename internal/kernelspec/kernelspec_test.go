@@ -1,0 +1,218 @@
+package kernelspec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/workloads"
+)
+
+const sample = `
+# dense matrix multiply, tiled
+kernel matmul
+  blocks  3200
+  threads 256
+  regs    30
+  shared  8KiB
+  phase main
+    insts       70000
+    mix         alu=0.70 shared=0.14 mem=0.03 branch=0.02
+    txn         1.0
+    store       0.20
+    hits        l1=0.85 l2=0.75
+    working-set 96KiB
+    mlp         5
+    issue-eff   0.95
+    activity    1.1
+
+kernel reduce
+  blocks  800
+  threads 128
+  phase sweep
+    insts     9000
+    mix       alu=0.3 mem=0.4
+    txn       1.1
+    mlp       8
+    issue-eff 0.7
+`
+
+func TestParseSample(t *testing.T) {
+	ks, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 2 {
+		t.Fatalf("%d kernels, want 2", len(ks))
+	}
+	m := ks[0]
+	if m.Name != "matmul" || m.Blocks != 3200 || m.ThreadsPerBlock != 256 || m.RegsPerThread != 30 {
+		t.Errorf("matmul header wrong: %+v", m)
+	}
+	if m.SharedPerBlock != 8<<10 {
+		t.Errorf("shared = %d, want 8KiB", m.SharedPerBlock)
+	}
+	p := m.Phases[0]
+	if p.FracALU != 0.70 || p.FracShared != 0.14 || p.L1Hit != 0.85 || p.WorkingSetBytes != 96<<10 {
+		t.Errorf("phase wrong: %+v", p)
+	}
+	if p.ActivityFactor != 1.1 || p.StoreFrac != 0.2 {
+		t.Errorf("phase extras wrong: %+v", p)
+	}
+	r := ks[1]
+	if r.Name != "reduce" || len(r.Phases) != 1 || r.Phases[0].MLP != 8 {
+		t.Errorf("reduce wrong: %+v", r)
+	}
+}
+
+func TestParsedKernelsRun(t *testing.T) {
+	ks, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := arch.GTX680()
+	sim := gpu.New(spec, clock.NewState(spec))
+	for _, k := range ks {
+		if _, err := sim.RunKernel(k); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ks, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ks); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if len(back) != len(ks) {
+		t.Fatalf("round trip lost kernels: %d vs %d", len(back), len(ks))
+	}
+	for i := range ks {
+		if back[i].Name != ks[i].Name || back[i].Blocks != ks[i].Blocks {
+			t.Errorf("kernel %d header changed", i)
+		}
+		if len(back[i].Phases) != len(ks[i].Phases) {
+			t.Fatalf("kernel %d phase count changed", i)
+		}
+		for j := range ks[i].Phases {
+			if back[i].Phases[j] != ks[i].Phases[j] {
+				t.Errorf("kernel %d phase %d changed:\n  %+v\nvs\n  %+v",
+					i, j, back[i].Phases[j], ks[i].Phases[j])
+			}
+		}
+	}
+}
+
+func TestWorkloadKernelsRoundTrip(t *testing.T) {
+	// Every Table II benchmark's kernels survive Write → Parse.
+	for _, b := range workloads.All() {
+		ks := b.Kernels(1)
+		var buf bytes.Buffer
+		if err := Write(&buf, ks); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", b.Name, err)
+		}
+		if len(back) != len(ks) {
+			t.Errorf("%s: kernel count changed", b.Name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"comment only":      "# nothing\n",
+		"phase first":       "phase p\n",
+		"key before kernel": "blocks 5\n",
+		"unknown kernel key": `kernel k
+  widgets 5`,
+		"unknown phase key": `kernel k
+  blocks 1
+  threads 32
+  phase p
+    insts 10
+    frobnicate 3`,
+		"bad mix class": `kernel k
+  blocks 1
+  threads 32
+  phase p
+    insts 10
+    mix tensor=0.5`,
+		"bad number": `kernel k
+  blocks many`,
+		"bad size": `kernel k
+  blocks 1
+  threads 32
+  shared 8quids`,
+		"missing phase": `kernel k
+  blocks 1
+  threads 32`,
+		"invalid kernel": `kernel k
+  blocks 0
+  threads 32
+  phase p
+    insts 10`,
+		"two names": "kernel a b\n",
+		"mix no value": `kernel k
+  blocks 1
+  threads 32
+  phase p
+    insts 10
+    mix alu`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse accepted %s", name)
+		}
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	src := "kernel k\n  blocks 1\n  threads 32\n  phase p\n    insts 10\n    bogus 1\n"
+	_, err := Parse(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "line 6") {
+		t.Errorf("error %v should name line 6", err)
+	}
+}
+
+func TestParseSizeSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"4096": 4096, "96KiB": 96 << 10, "16MiB": 16 << 20, "1GiB": 1 << 30,
+	}
+	for s, want := range cases {
+		got, err := parseSize(s)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %g, %v; want %g", s, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "KiB", "-5", "4 KiB"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize accepted %q", bad)
+		}
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(junk string) bool {
+		_, _ = Parse(strings.NewReader(junk)) // error or nil, never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package linalg provides the small dense linear algebra kernel the
+// regression layer needs: column-major matrices and a Householder QR
+// least-squares solver. Householder QR is used instead of the normal
+// equations because the counter matrices are badly conditioned (counters
+// are strongly correlated by construction), and XᵀX squares the condition
+// number.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all equal length).
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("linalg: empty matrix")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("linalg: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("linalg: MulVec: len(x) = %d, want %d", len(x), m.Cols)
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// ErrRankDeficient is returned when the least-squares system has
+// (numerically) linearly dependent columns.
+var ErrRankDeficient = errors.New("linalg: rank-deficient system")
+
+// SolveLS solves min‖A·x − b‖₂ for x via Householder QR. A must have at
+// least as many rows as columns. A and b are not modified.
+func SolveLS(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: SolveLS: len(b) = %d, want %d", len(b), a.Rows)
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: SolveLS: underdetermined system %d×%d", a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rhs := append([]float64(nil), b...)
+
+	// Householder triangularization, applying the reflectors to rhs.
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			return nil, ErrRankDeficient
+		}
+		// Choose the reflector sign that avoids cancellation when the
+		// diagonal element is shifted by 1 below.
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		// And to the right-hand side.
+		var s float64
+		for i := k; i < m; i++ {
+			s += qr.At(i, k) * rhs[i]
+		}
+		s = -s / qr.At(k, k)
+		for i := k; i < m; i++ {
+			rhs[i] += s * qr.At(i, k)
+		}
+		qr.Set(k, k, -norm) // store R's diagonal
+	}
+
+	// Back substitution on R·x = rhs[:n].
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		d := qr.At(k, k)
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrRankDeficient
+		}
+		s := rhs[k]
+		for j := k + 1; j < n; j++ {
+			s -= qr.At(k, j) * x[j]
+		}
+		x[k] = s / d
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrRankDeficient
+		}
+	}
+	return x, nil
+}

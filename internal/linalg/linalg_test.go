@@ -1,0 +1,190 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("dims %d×%d, want 3×2", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Error("At returned wrong elements")
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Error("Set did not stick")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestFromRowsRejectsBadInput(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("FromRows(nil) should fail")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("FromRows with ragged rows should fail")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("MulVec with wrong length should fail")
+	}
+}
+
+func TestSolveLSExactSquare(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLS(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(x[0], 1) || !close(x[1], 3) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLSOverdetermined(t *testing.T) {
+	// Fit y = 2 + 3t over noisy-free samples: exact recovery.
+	var rows [][]float64
+	var b []float64
+	for i := 0; i < 20; i++ {
+		tt := float64(i)
+		rows = append(rows, []float64{1, tt})
+		b = append(b, 2+3*tt)
+	}
+	a, _ := FromRows(rows)
+	x, err := SolveLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(x[0], 2) || !close(x[1], 3) {
+		t.Errorf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestSolveLSLeastSquaresProperty(t *testing.T) {
+	// Property: the residual of the LS solution is orthogonal to the
+	// column space (within tolerance), i.e. no perturbation of x lowers
+	// the residual norm.
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		m, n := 30, 4
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLS(a, b)
+		if err != nil {
+			return false
+		}
+		base := residualNorm(a, x, b)
+		for j := 0; j < n; j++ {
+			for _, eps := range []float64{1e-4, -1e-4} {
+				xp := append([]float64(nil), x...)
+				xp[j] += eps
+				if residualNorm(a, xp, b) < base-1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 0; i < 25; i++ {
+		if !f() {
+			t.Fatal("found perturbation reducing LS residual")
+		}
+	}
+}
+
+func TestSolveLSRejectsRankDeficient(t *testing.T) {
+	// Two identical columns.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := SolveLS(a, []float64{1, 2, 3}); err == nil {
+		t.Error("SolveLS accepted rank-deficient system")
+	}
+	// Zero column.
+	z, _ := FromRows([][]float64{{1, 0}, {2, 0}, {3, 0}})
+	if _, err := SolveLS(z, []float64{1, 2, 3}); err == nil {
+		t.Error("SolveLS accepted zero column")
+	}
+}
+
+func TestSolveLSRejectsBadShapes(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}})
+	if _, err := SolveLS(a, []float64{1}); err == nil {
+		t.Error("SolveLS accepted underdetermined system")
+	}
+	b, _ := FromRows([][]float64{{1}, {2}})
+	if _, err := SolveLS(b, []float64{1}); err == nil {
+		t.Error("SolveLS accepted mismatched rhs length")
+	}
+}
+
+func TestSolveLSRecoversRandomModelsProperty(t *testing.T) {
+	// Property: for well-conditioned random A and x*, SolveLS(A, A·x*)
+	// recovers x*.
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 40, 5
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64() + 0.1
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64() * 10
+		}
+		b, _ := a.MulVec(want)
+		got, err := SolveLS(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func residualNorm(a *Matrix, x, b []float64) float64 {
+	y, _ := a.MulVec(x)
+	var s float64
+	for i := range y {
+		d := y[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(b)) }

@@ -1,0 +1,170 @@
+package power
+
+import (
+	"testing"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/gpu"
+)
+
+// fullLoadKernel saturates the ALU pipelines with a realistic trickle of
+// memory traffic — roughly what a power virus or dense kernel does.
+func fullLoadKernel(spec *arch.Spec) *gpu.KernelDesc {
+	return &gpu.KernelDesc{
+		Name:            "fullload",
+		Blocks:          16 * spec.SMCount,
+		ThreadsPerBlock: 256,
+		RegsPerThread:   20,
+		Phases: []gpu.PhaseDesc{{
+			Name:             "burn",
+			WarpInstsPerWarp: 50000,
+			FracALU:          0.78,
+			FracMem:          0.06,
+			FracShared:       0.06,
+			FracBranch:       0.04,
+			TxnPerMemInst:    1.5,
+			StoreFrac:        0.3,
+			L1Hit:            0.3, L2Hit: 0.4,
+			WorkingSetBytes: 64 << 10,
+			MLP:             6,
+			IssueEff:        0.95,
+		}},
+	}
+}
+
+func runFullLoad(t *testing.T, spec *arch.Spec, p clock.Pair) (gpu.Events, float64, *clock.State) {
+	t.Helper()
+	clk := clock.NewState(spec)
+	if err := clk.SetPair(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := gpu.New(spec, clk).RunKernel(fullLoadKernel(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev gpu.Events
+	for _, ph := range res.Phases {
+		ev.Add(ph.Events)
+	}
+	return ev, res.Time, clk
+}
+
+func TestFullLoadPowerNearTDP(t *testing.T) {
+	// Calibration guard: at (H-H) a saturating kernel should draw GPU
+	// power in the neighbourhood of the board's TDP — between 50% and
+	// 115% (TDP is an upper bound real workloads rarely pin).
+	for _, spec := range arch.AllBoards() {
+		ev, dur, clk := runFullLoad(t, spec, clock.DefaultPair())
+		m := NewModel(spec)
+		w := m.GPUWatts(clk, ev, dur)
+		if w < 0.5*spec.TDPWatts || w > 1.15*spec.TDPWatts {
+			t.Errorf("%s: full-load GPU power %.0f W vs TDP %.0f W (want 50%%–115%%)", spec.Name, w, spec.TDPWatts)
+		}
+	}
+}
+
+func TestPowerDropsWithLowerPairs(t *testing.T) {
+	for _, spec := range arch.AllBoards() {
+		m := NewModel(spec)
+		evH, durH, clkH := runFullLoad(t, spec, clock.DefaultPair())
+		baseline := m.GPUWatts(clkH, evH, durH)
+		for _, p := range clock.ValidPairs(spec) {
+			if p == clock.DefaultPair() {
+				continue
+			}
+			ev, dur, clk := runFullLoad(t, spec, p)
+			if w := m.GPUWatts(clk, ev, dur); w >= baseline {
+				t.Errorf("%s %s: GPU power %.0f W not below (H-H) %.0f W", spec.Name, p, w, baseline)
+			}
+		}
+	}
+}
+
+func TestKeplerCoreMidEnergyCutIsDeepest(t *testing.T) {
+	// The generation story (Section III): for a compute-bound kernel,
+	// dropping the core clock one level cuts GPU *energy* substantially
+	// on Kepler (voltage headroom) but not on Tesla, where the stretched
+	// runtime eats the power saving.
+	energyRatio := func(spec *arch.Spec) float64 {
+		m := NewModel(spec)
+		evH, durH, clkH := runFullLoad(t, spec, clock.DefaultPair())
+		evM, durM, clkM := runFullLoad(t, spec, clock.Pair{Core: arch.FreqMid, Mem: arch.FreqHigh})
+		return m.GPUWatts(clkM, evM, durM) * durM / (m.GPUWatts(clkH, evH, durH) * durH)
+	}
+	tesla, kepler := energyRatio(arch.GTX285()), energyRatio(arch.GTX680())
+	if kepler >= tesla {
+		t.Errorf("Kepler core-M energy ratio %.2f not below Tesla's %.2f", kepler, tesla)
+	}
+	if kepler > 0.75 {
+		t.Errorf("Kepler core-M energy ratio %.2f too close to 1 to reproduce the paper's headline", kepler)
+	}
+	if tesla < 0.92 {
+		t.Errorf("Tesla core-M energy ratio %.2f too deep; Tesla had almost no headroom", tesla)
+	}
+}
+
+func TestSystemWattsComposition(t *testing.T) {
+	spec := arch.GTX460()
+	ev, dur, clk := runFullLoad(t, spec, clock.DefaultPair())
+	m := NewModel(spec)
+	gpuW := m.GPUWatts(clk, ev, dur)
+	sys := m.SystemWatts(clk, ev, dur)
+	dc := m.SystemIdleWatts + m.CPUActiveWatts + gpuW
+	if want := WallFromDC(dc); sys != want {
+		t.Errorf("SystemWatts = %g, want %g", sys, want)
+	}
+	if sys <= dc {
+		t.Error("wall power should exceed DC power (PSU losses)")
+	}
+	idle := m.SystemIdleWallWatts(clk)
+	if idle >= sys {
+		t.Error("idle system power not below loaded system power")
+	}
+	if idle < m.SystemIdleWatts {
+		t.Error("idle system power below host-only baseline")
+	}
+}
+
+func TestPSUEfficiencyCurve(t *testing.T) {
+	if PSUEfficiency(220) != 0.87 {
+		t.Errorf("peak efficiency %g, want 0.87 at 220 W", PSUEfficiency(220))
+	}
+	if PSUEfficiency(60) >= PSUEfficiency(220) || PSUEfficiency(600) >= PSUEfficiency(220) {
+		t.Error("efficiency should fall off away from the peak")
+	}
+	if PSUEfficiency(2000) < 0.81 {
+		t.Error("efficiency floor violated")
+	}
+	if WallFromDC(0) != 0 || WallFromDC(-5) != 0 {
+		t.Error("non-positive DC should give zero wall power")
+	}
+	if WallFromDC(200) <= 200 {
+		t.Error("wall power must exceed DC power")
+	}
+}
+
+func TestZeroDurationHasNoDynamicPower(t *testing.T) {
+	spec := arch.GTX680()
+	clk := clock.NewState(spec)
+	m := NewModel(spec)
+	if got := m.GPUDynamicWatts(clk, gpu.Events{ALU: 1e9}, 0); got != 0 {
+		t.Errorf("dynamic power at zero duration = %g, want 0", got)
+	}
+	if got := m.GPUStaticWatts(clk); got <= 0 {
+		t.Errorf("static power = %g, want > 0", got)
+	}
+}
+
+func TestMemoryTrafficCostsMemoryPower(t *testing.T) {
+	spec := arch.GTX480()
+	clk := clock.NewState(spec)
+	m := NewModel(spec)
+	quiet := gpu.Events{Issue: 1e9, ALU: 1e9}
+	noisy := quiet
+	noisy.DRAM = 1e9
+	noisy.L2 = 2e9
+	if m.GPUDynamicWatts(clk, noisy, 1) <= m.GPUDynamicWatts(clk, quiet, 1) {
+		t.Error("DRAM traffic added no power")
+	}
+}

@@ -1,0 +1,350 @@
+// Package regress implements the statistical machinery of Section IV:
+// ordinary least squares with R² / adjusted-R² reporting, greedy forward
+// selection of explanatory variables (the paper caps selection at 10
+// variables and sweeps 5–20 for Figs. 7 and 8), prediction-error metrics,
+// and the box-and-whisker summaries of Figs. 9 and 10.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gpuperf/internal/linalg"
+)
+
+// Fit is one fitted linear model y ≈ intercept + Σ coef·x.
+type Fit struct {
+	Coef      []float64 // one per feature column
+	Intercept float64
+	R2        float64
+	AdjR2     float64
+	Residuals []float64
+	N         int // observations
+	P         int // features (excluding intercept)
+}
+
+// OLS fits y against the n×p feature matrix x (row per observation) with an
+// intercept. It needs n > p+1 and full column rank.
+func OLS(x [][]float64, y []float64) (*Fit, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("regress: OLS: %d rows vs %d targets", n, len(y))
+	}
+	p := len(x[0])
+	if n <= p+1 {
+		return nil, fmt.Errorf("regress: OLS: %d observations cannot support %d variables", n, p)
+	}
+	a := linalg.NewMatrix(n, p+1)
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("regress: OLS: ragged row %d", i)
+		}
+		a.Set(i, 0, 1)
+		for j, v := range row {
+			a.Set(i, j+1, v)
+		}
+	}
+	beta, err := linalg.SolveLS(a, y)
+	if err != nil {
+		return nil, err
+	}
+	fit := &Fit{Intercept: beta[0], Coef: beta[1:], N: n, P: p}
+
+	pred, err := a.MulVec(beta)
+	if err != nil {
+		return nil, err
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	fit.Residuals = make([]float64, n)
+	for i := range y {
+		r := y[i] - pred[i]
+		fit.Residuals[i] = r
+		ssRes += r * r
+		d := y[i] - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		fit.R2, fit.AdjR2 = 1, 1
+	} else {
+		fit.R2 = 1 - ssRes/ssTot
+		fit.AdjR2 = 1 - (1-fit.R2)*float64(n-1)/float64(n-p-1)
+	}
+	return fit, nil
+}
+
+// Ridge fits y against x with an L2 penalty λ on the coefficients (the
+// intercept is unpenalized): the textbook answer to the counter matrices'
+// collinearity, provided as a robustness alternative to forward selection.
+// It augments the design matrix with √λ·I rows and reuses the QR solver.
+func Ridge(x [][]float64, y []float64, lambda float64) (*Fit, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("regress: Ridge: %d rows vs %d targets", n, len(y))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("regress: Ridge: negative lambda %g", lambda)
+	}
+	if lambda == 0 {
+		return OLS(x, y)
+	}
+	p := len(x[0])
+	a := linalg.NewMatrix(n+p, p+1)
+	b := make([]float64, n+p)
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("regress: Ridge: ragged row %d", i)
+		}
+		a.Set(i, 0, 1)
+		for j, v := range row {
+			a.Set(i, j+1, v)
+		}
+		b[i] = y[i]
+	}
+	root := math.Sqrt(lambda)
+	for j := 0; j < p; j++ {
+		a.Set(n+j, j+1, root) // penalty rows: √λ on each coefficient
+	}
+	beta, err := linalg.SolveLS(a, b)
+	if err != nil {
+		return nil, err
+	}
+	fit := &Fit{Intercept: beta[0], Coef: beta[1:], N: n, P: p}
+
+	// Report goodness of fit over the data rows only.
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	fit.Residuals = make([]float64, n)
+	for i, row := range x {
+		pred := fit.Predict(row)
+		r := y[i] - pred
+		fit.Residuals[i] = r
+		ssRes += r * r
+		d := y[i] - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		fit.R2, fit.AdjR2 = 1, 1
+	} else {
+		fit.R2 = 1 - ssRes/ssTot
+		fit.AdjR2 = 1 - (1-fit.R2)*float64(n-1)/float64(n-p-1)
+	}
+	return fit, nil
+}
+
+// Predict evaluates the model on one feature row.
+func (f *Fit) Predict(features []float64) float64 {
+	y := f.Intercept
+	for j, c := range f.Coef {
+		if j < len(features) {
+			y += c * features[j]
+		}
+	}
+	return y
+}
+
+// Step records the state of forward selection after adding one variable.
+type Step struct {
+	Added int // column index added at this step
+	AdjR2 float64
+	R2    float64
+}
+
+// Selection is the outcome of forward selection.
+type Selection struct {
+	Indices []int // selected column indices, in selection order
+	Fit     *Fit  // fit over exactly len(Indices) variables
+	Steps   []Step
+}
+
+// ErrNoUsableVariables is returned when not a single column produces a
+// valid single-variable fit.
+var ErrNoUsableVariables = errors.New("regress: no usable variables")
+
+// ForwardSelect greedily grows a variable subset, at each step adding the
+// column that maximizes adjusted R², up to maxVars variables. Selection
+// continues to maxVars even if adjusted R² dips (the Fig. 7/8 sweeps need
+// fits at every size); Best() recovers the paper's "optimal" model — the
+// step with maximum adjusted R².
+func ForwardSelect(x [][]float64, y []float64, maxVars int) (*Selection, error) {
+	if maxVars <= 0 {
+		return nil, fmt.Errorf("regress: ForwardSelect: maxVars = %d", maxVars)
+	}
+	if len(x) == 0 {
+		return nil, errors.New("regress: ForwardSelect: no observations")
+	}
+	p := len(x[0])
+	sel := &Selection{}
+	used := make([]bool, p)
+
+	// Candidate evaluation dominates the training cost (p fits of size
+	// n×k per step); the candidates are independent, so a worker pool
+	// evaluates them concurrently. Determinism: the winner is chosen by
+	// (adjusted R², then lowest column index), which no scheduling order
+	// can change.
+	workers := runtime.GOMAXPROCS(0)
+	for len(sel.Indices) < maxVars && len(sel.Indices) < p {
+		cols := append([]int(nil), sel.Indices...)
+
+		type candidate struct {
+			j   int
+			fit *Fit
+		}
+		jobs := make(chan int)
+		results := make(chan candidate)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					trial := append(append([]int(nil), cols...), j)
+					fit, err := OLS(subset(x, trial), y)
+					if err != nil {
+						continue // rank-deficient candidate: skip
+					}
+					results <- candidate{j, fit}
+				}
+			}()
+		}
+		go func() {
+			for j := 0; j < p; j++ {
+				if !used[j] {
+					jobs <- j
+				}
+			}
+			close(jobs)
+			wg.Wait()
+			close(results)
+		}()
+
+		bestJ, bestAdj := -1, math.Inf(-1)
+		var bestFit *Fit
+		for c := range results {
+			if c.fit.AdjR2 > bestAdj || (c.fit.AdjR2 == bestAdj && c.j < bestJ) {
+				bestJ, bestAdj, bestFit = c.j, c.fit.AdjR2, c.fit
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		used[bestJ] = true
+		sel.Indices = append(sel.Indices, bestJ)
+		sel.Fit = bestFit
+		sel.Steps = append(sel.Steps, Step{Added: bestJ, AdjR2: bestFit.AdjR2, R2: bestFit.R2})
+	}
+	if len(sel.Indices) == 0 {
+		return nil, ErrNoUsableVariables
+	}
+	return sel, nil
+}
+
+// Best returns the number of variables (1-based) at which adjusted R²
+// peaked during selection.
+func (s *Selection) Best() int {
+	best, bestAdj := 1, math.Inf(-1)
+	for i, st := range s.Steps {
+		if st.AdjR2 > bestAdj {
+			best, bestAdj = i+1, st.AdjR2
+		}
+	}
+	return best
+}
+
+// subset projects rows of x onto the chosen columns.
+func subset(x [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(cols))
+		for k, c := range cols {
+			r[k] = row[c]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Project is the exported form of subset for callers that need to evaluate
+// a Selection's fit on new data.
+func Project(x [][]float64, cols []int) [][]float64 { return subset(x, cols) }
+
+// MeanAbsError returns mean |pred − actual|.
+func MeanAbsError(pred, actual []float64) float64 {
+	if len(pred) == 0 || len(pred) != len(actual) {
+		return math.NaN()
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - actual[i])
+	}
+	return s / float64(len(pred))
+}
+
+// MeanAbsPctError returns the mean of |pred − actual| / actual × 100,
+// the error metric of Tables VII and VIII.
+func MeanAbsPctError(pred, actual []float64) float64 {
+	if len(pred) == 0 || len(pred) != len(actual) {
+		return math.NaN()
+	}
+	var s float64
+	var n int
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n) * 100
+}
+
+// BoxStats is a five-number summary for the box-and-whisker plots of
+// Figs. 9 and 10.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Box computes the five-number summary of values.
+func Box(values []float64) BoxStats {
+	if len(values) == 0 {
+		return BoxStats{}
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	return BoxStats{
+		Min:    v[0],
+		Q1:     quantile(v, 0.25),
+		Median: quantile(v, 0.5),
+		Q3:     quantile(v, 0.75),
+		Max:    v[len(v)-1],
+	}
+}
+
+// quantile interpolates the q-quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,228 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOLSRecoversKnownModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x = append(x, []float64{a, b})
+		y = append(y, 5+2*a-3*b)
+	}
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(fit.Intercept, 5, 1e-9) || !near(fit.Coef[0], 2, 1e-9) || !near(fit.Coef[1], -3, 1e-9) {
+		t.Errorf("fit = %+v, want intercept 5, coefs [2 -3]", fit)
+	}
+	if !near(fit.R2, 1, 1e-12) || !near(fit.AdjR2, 1, 1e-12) {
+		t.Errorf("R2 = %g, AdjR2 = %g, want 1", fit.R2, fit.AdjR2)
+	}
+	if got := fit.Predict([]float64{1, 1}); !near(got, 4, 1e-9) {
+		t.Errorf("Predict = %g, want 4", got)
+	}
+}
+
+func TestOLSNoisyR2Reasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a := rng.NormFloat64()
+		x = append(x, []float64{a})
+		y = append(y, 3*a+rng.NormFloat64()) // SNR = 9:1 → R² ≈ 0.9
+	}
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.85 || fit.R2 > 0.95 {
+		t.Errorf("R2 = %g, want ≈ 0.9", fit.R2)
+	}
+	if fit.AdjR2 >= fit.R2 {
+		t.Errorf("AdjR2 %g should be below R2 %g", fit.AdjR2, fit.R2)
+	}
+}
+
+func TestOLSRejectsBadInput(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("OLS(nil) should fail")
+	}
+	if _, err := OLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("OLS with length mismatch should fail")
+	}
+	// Too few observations for the variable count.
+	if _, err := OLS([][]float64{{1, 2}, {3, 4}}, []float64{1, 2}); err == nil {
+		t.Error("OLS with n <= p+1 should fail")
+	}
+	// Constant column duplicates the intercept.
+	x := [][]float64{{1}, {1}, {1}, {1}}
+	if _, err := OLS(x, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("OLS with constant column should fail (collinear with intercept)")
+	}
+}
+
+func TestForwardSelectFindsTrueVariables(t *testing.T) {
+	// y depends on columns 2 and 5 out of 10; forward selection must
+	// pick them first.
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		row := make([]float64, 10)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x = append(x, row)
+		y = append(y, 4*row[2]-2*row[5]+0.01*rng.NormFloat64())
+	}
+	sel, err := ForwardSelect(x, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Indices) != 4 {
+		t.Fatalf("selected %d variables, want 4", len(sel.Indices))
+	}
+	first2 := map[int]bool{sel.Indices[0]: true, sel.Indices[1]: true}
+	if !first2[2] || !first2[5] {
+		t.Errorf("first two selections %v, want {2, 5}", sel.Indices[:2])
+	}
+	if sel.Fit.AdjR2 < 0.999 {
+		t.Errorf("AdjR2 = %g, want ≈ 1", sel.Fit.AdjR2)
+	}
+	if best := sel.Best(); best < 2 {
+		t.Errorf("Best() = %d, want ≥ 2", best)
+	}
+}
+
+func TestForwardSelectStepsMonotoneCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 60; i++ {
+		row := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		x = append(x, row)
+		y = append(y, row[0]+rng.NormFloat64())
+	}
+	sel, err := ForwardSelect(x, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Steps) != len(sel.Indices) {
+		t.Errorf("%d steps vs %d indices", len(sel.Steps), len(sel.Indices))
+	}
+	// R² (unadjusted) never decreases as variables are added.
+	for i := 1; i < len(sel.Steps); i++ {
+		if sel.Steps[i].R2 < sel.Steps[i-1].R2-1e-12 {
+			t.Errorf("R2 decreased at step %d: %g -> %g", i, sel.Steps[i-1].R2, sel.Steps[i].R2)
+		}
+	}
+}
+
+func TestForwardSelectSkipsDegenerateColumns(t *testing.T) {
+	// Column 0 is all zeros, column 1 duplicates column 2; selection must
+	// still succeed using the informative columns.
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		v := rng.NormFloat64()
+		w := rng.NormFloat64()
+		x = append(x, []float64{0, v, v, w})
+		y = append(y, 2*v-w+0.01*rng.NormFloat64())
+	}
+	sel, err := ForwardSelect(x, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range sel.Indices {
+		if idx == 0 {
+			t.Error("selection picked the all-zero column")
+		}
+	}
+	if len(sel.Indices) < 2 {
+		t.Errorf("selected %d variables, want ≥ 2", len(sel.Indices))
+	}
+}
+
+func TestForwardSelectErrors(t *testing.T) {
+	if _, err := ForwardSelect(nil, nil, 3); err == nil {
+		t.Error("ForwardSelect with no observations should fail")
+	}
+	if _, err := ForwardSelect([][]float64{{1}}, []float64{1}, 0); err == nil {
+		t.Error("ForwardSelect with maxVars 0 should fail")
+	}
+	// All-zero feature matrix: nothing usable.
+	x := [][]float64{{0}, {0}, {0}, {0}}
+	if _, err := ForwardSelect(x, []float64{1, 2, 3, 4}, 1); err == nil {
+		t.Error("ForwardSelect over all-zero features should fail")
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	pred := []float64{110, 90, 100}
+	act := []float64{100, 100, 100}
+	if got := MeanAbsError(pred, act); !near(got, 20.0/3, 1e-12) {
+		t.Errorf("MeanAbsError = %g, want %g", got, 20.0/3)
+	}
+	if got := MeanAbsPctError(pred, act); !near(got, 20.0/3, 1e-12) {
+		t.Errorf("MeanAbsPctError = %g, want %g", got, 20.0/3)
+	}
+	if !math.IsNaN(MeanAbsError(nil, nil)) {
+		t.Error("MeanAbsError(nil) should be NaN")
+	}
+	if !math.IsNaN(MeanAbsPctError([]float64{1}, []float64{0})) {
+		t.Error("MeanAbsPctError with zero actuals should be NaN")
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 {
+		t.Errorf("Box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Errorf("quartiles = %g, %g, want 2, 4", b.Q1, b.Q3)
+	}
+	if got := Box([]float64{7}); got.Min != 7 || got.Max != 7 || got.Median != 7 {
+		t.Errorf("Box single = %+v", got)
+	}
+	if got := Box(nil); got != (BoxStats{}) {
+		t.Errorf("Box(nil) = %+v, want zero", got)
+	}
+}
+
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		b := Box(vals)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictIgnoresExtraFeatures(t *testing.T) {
+	fit := &Fit{Intercept: 1, Coef: []float64{2}}
+	if got := fit.Predict([]float64{3, 99}); got != 7 {
+		t.Errorf("Predict = %g, want 7", got)
+	}
+}
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(b)) }

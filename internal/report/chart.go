@@ -1,0 +1,139 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart is a small ASCII line chart: series of (x, y) points rendered on a
+// character grid with axes — enough to make the Figs. 1–3 panels readable
+// in a terminal without leaving the harness.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// NewChart creates an empty chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 60, Height: 16}
+}
+
+// markers cycle across series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// AddSeries appends one line. xs and ys must have equal length.
+func (c *Chart) AddSeries(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: series %q: %d xs vs %d ys", name, len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("report: series %q is empty", name)
+	}
+	c.series = append(c.series, chartSeries{
+		name:   name,
+		marker: markers[len(c.series)%len(markers)],
+		xs:     append([]float64(nil), xs...),
+		ys:     append([]float64(nil), ys...),
+	})
+	return nil
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	if len(c.series) == 0 {
+		return c.Title + " (no data)\n"
+	}
+	w, h := c.Width, c.Height
+	if w < 20 {
+		w = 20
+	}
+	if h < 5 {
+		h = 5
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.xs {
+			xmin, xmax = math.Min(xmin, s.xs[i]), math.Max(xmax, s.xs[i])
+			ymin, ymax = math.Min(ymin, s.ys[i]), math.Max(ymax, s.ys[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom reads better.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, m byte) {
+		col := int((x - xmin) / (xmax - xmin) * float64(w-1))
+		row := h - 1 - int((y-ymin)/(ymax-ymin)*float64(h-1))
+		if col >= 0 && col < w && row >= 0 && row < h {
+			grid[row][col] = m
+		}
+	}
+	for _, s := range c.series {
+		// Linear interpolation between points for continuous-ish lines.
+		for i := 1; i < len(s.xs); i++ {
+			steps := w / max(1, len(s.xs)-1)
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(max(1, steps))
+				plot(s.xs[i-1]+f*(s.xs[i]-s.xs[i-1]), s.ys[i-1]+f*(s.ys[i]-s.ys[i-1]), '.')
+			}
+		}
+		for i := range s.xs {
+			plot(s.xs[i], s.ys[i], s.marker)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%10.4g |%s\n", ymax, row)
+		case h - 1:
+			fmt.Fprintf(&b, "%10.4g |%s\n", ymin, row)
+		default:
+			fmt.Fprintf(&b, "%10s |%s\n", "", row)
+		}
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", w) + "\n")
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g  (%s)\n", "", w/2, xmin, w-w/2, xmax, c.XLabel)
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%12c %s\n", s.marker, s.name)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%12s y: %s\n", "", c.YLabel)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

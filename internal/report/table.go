@@ -1,0 +1,186 @@
+// Package report renders the reproduction's tables and figures. Every
+// artifact of the paper (Tables I–VIII, Figs. 1–11) has a builder here that
+// turns the harness results into an ASCII table and a CSV series, shared by
+// the cmd/ tools and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with an optional title.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v except float64, which uses %.4g.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table, with the
+// title as a bold caption line.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("**" + t.Title + "**\n\n")
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" " + strings.ReplaceAll(c, "|", "\\|") + " |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	b.WriteString("|")
+	for range t.Headers {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal ASCII bar of the given fraction of width (the
+// Fig. 4 / Fig. 11 bar-chart form). Fractions are clamped to [0, 1].
+func Bar(fraction float64, width int) string {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	n := int(fraction*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// BoxLine renders a five-number summary as an ASCII box-and-whisker line
+// over [lo, hi] (the Figs. 9/10 form):  |----[==|==]------|
+func BoxLine(min, q1, median, q3, max, lo, hi float64, width int) string {
+	if hi <= lo || width < 10 {
+		return strings.Repeat(" ", width)
+	}
+	pos := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return int(f * float64(width-1))
+	}
+	out := []byte(strings.Repeat(" ", width))
+	for i := pos(min); i <= pos(max); i++ {
+		out[i] = '-'
+	}
+	for i := pos(q1); i <= pos(q3); i++ {
+		out[i] = '='
+	}
+	out[pos(min)] = '|'
+	out[pos(max)] = '|'
+	out[pos(q1)] = '['
+	out[pos(q3)] = ']'
+	out[pos(median)] = '+'
+	return string(out)
+}

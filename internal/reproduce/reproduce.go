@@ -1,0 +1,403 @@
+// Package reproduce orchestrates the complete reproduction: it reruns every
+// experiment of the paper in order — Section II apparatus tables, the
+// Section III characterization sweeps, the Section IV modeling study — plus
+// the repository's ablations and the Radeon future-work extension, and
+// renders everything into one text report. cmd/paper is a thin wrapper; the
+// integration tests drive the same code.
+package reproduce
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/characterize"
+	"gpuperf/internal/core"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/report"
+	"gpuperf/internal/selfcheck"
+	"gpuperf/internal/workloads"
+)
+
+// Options configures a reproduction run.
+type Options struct {
+	Seed int64
+	// Sections toggles; all default to true via DefaultOptions.
+	Apparatus        bool // Tables I & III
+	Characterization bool // Table IV, Figs. 1–4
+	Modeling         bool // Tables V–VIII, Figs. 5–11
+	Ablations        bool // DESIGN.md §6
+	FutureWork       bool // AMD Radeon extension
+	// Boards restricts the study (default: the paper's four boards).
+	Boards []string
+	// MaxVars is the explanatory-variable cap (default 10).
+	MaxVars int
+	// ArtifactsDir, when set, receives one CSV (tables) or text (figure
+	// panels) file per artifact, for external plotting.
+	ArtifactsDir string
+	// SelfCheck appends the apparatus invariant checks to the report and
+	// fails the run if any check fails.
+	SelfCheck bool
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Seed:             42,
+		Apparatus:        true,
+		Characterization: true,
+		Modeling:         true,
+		Ablations:        true,
+		FutureWork:       true,
+		SelfCheck:        true,
+		MaxVars:          core.MaxVariables,
+	}
+}
+
+// Result carries the headline numbers for programmatic checks.
+type Result struct {
+	MeanImprovementPct map[string]float64 // Fig. 4 per board
+	PowerR2            map[string]float64 // Table V
+	TimeR2             map[string]float64 // Table VI
+	PowerErrPct        map[string]float64 // Table VII
+	PowerErrW          map[string]float64 // Table VII
+	TimeErrPct         map[string]float64 // Table VIII
+	Elapsed            time.Duration
+}
+
+// Run executes the configured sections, writing the report to w.
+func Run(opts Options, w io.Writer) (*Result, error) {
+	start := time.Now()
+	if opts.MaxVars <= 0 {
+		opts.MaxVars = core.MaxVariables
+	}
+	boards, err := resolveBoards(opts.Boards)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		MeanImprovementPct: map[string]float64{},
+		PowerR2:            map[string]float64{},
+		TimeR2:             map[string]float64{},
+		PowerErrPct:        map[string]float64{},
+		PowerErrW:          map[string]float64{},
+		TimeErrPct:         map[string]float64{},
+	}
+
+	fmt.Fprintf(w, "gpuperf — full reproduction (seed %d)\n", opts.Seed)
+	fmt.Fprintf(w, "Abe et al., \"Power and Performance Characterization and Modeling of GPU-Accelerated Systems\", 2014\n\n")
+
+	if opts.Apparatus {
+		fmt.Fprintln(w, report.Table1(boards).String())
+		fmt.Fprintln(w, report.Table3(boards).String())
+		if err := saveArtifact(opts.ArtifactsDir, "table1.csv", report.Table1(boards).CSV()); err != nil {
+			return nil, err
+		}
+		if err := saveArtifact(opts.ArtifactsDir, "table3.csv", report.Table3(boards).CSV()); err != nil {
+			return nil, err
+		}
+	}
+
+	if opts.Characterization {
+		if err := runCharacterization(opts, boards, res, w); err != nil {
+			return nil, err
+		}
+	}
+
+	if opts.Modeling {
+		if err := runModeling(opts, boards, res, w); err != nil {
+			return nil, err
+		}
+	}
+
+	if opts.Ablations {
+		if err := runAblations(opts, w); err != nil {
+			return nil, err
+		}
+	}
+
+	if opts.FutureWork {
+		if err := runFutureWork(opts, w); err != nil {
+			return nil, err
+		}
+	}
+
+	if opts.SelfCheck {
+		fmt.Fprintln(w, "== Apparatus self-check ==")
+		fmt.Fprintln(w)
+		checks := selfcheck.Run(opts.Seed)
+		failed := 0
+		for _, c := range checks {
+			status := "ok  "
+			if !c.OK {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Fprintf(w, "%s  %-36s %s\n", status, c.Name, c.Detail)
+		}
+		fmt.Fprintf(w, "\n%d checks, %d failed\n\n", len(checks), failed)
+		if failed > 0 {
+			return nil, fmt.Errorf("reproduce: %d self-checks failed", failed)
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	fmt.Fprintf(w, "\nreproduction completed in %v\n", res.Elapsed.Round(time.Millisecond))
+	return res, nil
+}
+
+// saveArtifact writes content under the artifacts directory; no-op when
+// the directory is unset.
+func saveArtifact(dir, name, content string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, name)
+	return os.WriteFile(filepath.Join(dir, slug), []byte(content), 0o644)
+}
+
+func resolveBoards(names []string) ([]*arch.Spec, error) {
+	if len(names) == 0 {
+		return arch.AllBoards(), nil
+	}
+	var out []*arch.Spec
+	for _, n := range names {
+		s := arch.BoardByName(n)
+		if s == nil {
+			return nil, fmt.Errorf("reproduce: unknown board %q", n)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func runCharacterization(opts Options, boards []*arch.Spec, res *Result, w io.Writer) error {
+	fmt.Fprintln(w, "== Section III — power and performance characterization ==")
+	fmt.Fprintln(w)
+
+	// Figs. 1–3: the three showcase benchmarks.
+	showcases := []struct {
+		fig   int
+		bench string
+	}{{1, "backprop"}, {2, "streamcluster"}, {3, "gaussian"}}
+	for _, sc := range showcases {
+		for _, spec := range boards {
+			sw, err := characterize.SweepBoard(spec.Name,
+				[]*workloads.Benchmark{workloads.ByName(sc.bench)}, opts.Seed)
+			if err != nil {
+				return err
+			}
+			title := fmt.Sprintf("Fig. %d — %s on %s (best %s, +%.1f%% efficiency, %.1f%% perf loss)",
+				sc.fig, sc.bench, spec.Name,
+				sw[0].Best().Pair, sw[0].ImprovementPct(), sw[0].PerfLossPct())
+			tbl := report.FigCurves(title, spec, characterize.Curves(sw[0], spec))
+			fmt.Fprintln(w, tbl.String())
+			name := fmt.Sprintf("fig%d-%s.csv", sc.fig, spec.Name)
+			if err := saveArtifact(opts.ArtifactsDir, name, tbl.CSV()); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Table IV and Fig. 4 over the full Table IV benchmark set.
+	all := map[string][]*characterize.BenchResult{}
+	for _, spec := range boards {
+		sw, err := characterize.SweepBoard(spec.Name, workloads.Table4(), opts.Seed)
+		if err != nil {
+			return err
+		}
+		all[spec.Name] = sw
+		res.MeanImprovementPct[spec.Name] = characterize.MeanImprovementPct(sw)
+	}
+	fmt.Fprintln(w, report.Table4(boards, all).String())
+	fmt.Fprintln(w, report.Fig4(boards, all))
+	if err := saveArtifact(opts.ArtifactsDir, "table4.csv", report.Table4(boards, all).CSV()); err != nil {
+		return err
+	}
+	if err := saveArtifact(opts.ArtifactsDir, "fig4.txt", report.Fig4(boards, all)); err != nil {
+		return err
+	}
+	return nil
+}
+
+func runModeling(opts Options, boards []*arch.Spec, res *Result, w io.Writer) error {
+	fmt.Fprintln(w, "== Section IV — statistical modeling ==")
+	fmt.Fprintln(w)
+
+	r2 := map[string][2]float64{}
+	evals := map[string][2]*core.Eval{}
+	models := map[string][2]*core.Model{}
+	datasets := map[string]*core.Dataset{}
+
+	for _, spec := range boards {
+		ds, err := core.CollectAll(spec.Name, opts.Seed)
+		if err != nil {
+			return err
+		}
+		pm, err := core.Train(ds, core.Power, opts.MaxVars)
+		if err != nil {
+			return err
+		}
+		tm, err := core.Train(ds, core.Time, opts.MaxVars)
+		if err != nil {
+			return err
+		}
+		pe, te := pm.Evaluate(ds.Rows), tm.Evaluate(ds.Rows)
+		datasets[spec.Name] = ds
+		models[spec.Name] = [2]*core.Model{pm, tm}
+		r2[spec.Name] = [2]float64{pe.AdjR2, te.AdjR2}
+		evals[spec.Name] = [2]*core.Eval{pe, te}
+		res.PowerR2[spec.Name] = pe.AdjR2
+		res.TimeR2[spec.Name] = te.AdjR2
+		res.PowerErrPct[spec.Name] = pe.MeanAbsPct
+		res.PowerErrW[spec.Name] = pe.MeanAbsRaw
+		res.TimeErrPct[spec.Name] = te.MeanAbsPct
+	}
+	fmt.Fprintln(w, report.Table56(r2, boards).String())
+	fmt.Fprintln(w, report.Table78(evals, boards).String())
+	if err := saveArtifact(opts.ArtifactsDir, "table5-6.csv", report.Table56(r2, boards).CSV()); err != nil {
+		return err
+	}
+	if err := saveArtifact(opts.ArtifactsDir, "table7-8.csv", report.Table78(evals, boards).CSV()); err != nil {
+		return err
+	}
+
+	// Figs. 5 and 6: error distributions.
+	for i, kind := range []core.Kind{core.Power, core.Time} {
+		for _, spec := range boards {
+			m := models[spec.Name][i]
+			title := fmt.Sprintf("Fig. %d — %s-model error distribution (%s)", 5+i, kind, spec.Name)
+			tbl := report.Fig56(title, m.PerBenchmarkErrors(datasets[spec.Name].Rows))
+			fmt.Fprintln(w, tbl.String())
+			name := fmt.Sprintf("fig%d-%s.csv", 5+i, spec.Name)
+			if err := saveArtifact(opts.ArtifactsDir, name, tbl.CSV()); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Figs. 7 and 8: explanatory-variable sweeps.
+	for i, kind := range []core.Kind{core.Power, core.Time} {
+		for _, spec := range boards {
+			points, err := core.VariableSweep(datasets[spec.Name], kind, 5, 20)
+			if err != nil {
+				return err
+			}
+			title := fmt.Sprintf("Fig. %d — variables vs accuracy, %s model (%s)", 7+i, kind, spec.Name)
+			fmt.Fprintln(w, report.Fig78(title, points).String())
+		}
+	}
+
+	// Figs. 9 and 10: per-pair vs unified.
+	for i, kind := range []core.Kind{core.Power, core.Time} {
+		for _, spec := range boards {
+			cols, err := core.PerPairComparison(datasets[spec.Name], kind, opts.MaxVars)
+			if err != nil {
+				return err
+			}
+			title := fmt.Sprintf("Fig. %d — per-pair vs unified %s models (%s)", 9+i, kind, spec.Name)
+			fmt.Fprintln(w, report.Fig910(title, cols))
+		}
+	}
+
+	// Fig. 11: influence breakdowns.
+	for _, spec := range boards {
+		for i, kind := range []core.Kind{core.Power, core.Time} {
+			m := models[spec.Name][i]
+			title := fmt.Sprintf("Fig. 11 — influence, %s model (%s)", kind, spec.Name)
+			fmt.Fprintln(w, report.Fig11(title, m.Influences(datasets[spec.Name].Rows)).String())
+		}
+	}
+	return nil
+}
+
+func runAblations(opts Options, w io.Writer) error {
+	fmt.Fprintln(w, "== Ablations (DESIGN.md §6) ==")
+	fmt.Fprintln(w)
+
+	// Voltage-flat Kepler.
+	normal, err := sweepImprovement(arch.GTX680(), "backprop", opts.Seed)
+	if err != nil {
+		return err
+	}
+	flat := arch.GTX680()
+	flat.CoreVoltLow = flat.CoreVoltHigh
+	flat.MemVoltLow = flat.MemVoltHigh
+	flat.VoltExponent = 1
+	flatImp, err := sweepImprovement(flat, "backprop", opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "voltage-flat GTX 680: backprop best-pair gain %.1f%% → %.1f%%\n", normal, flatImp)
+	fmt.Fprintf(w, "  (voltage headroom is the Kepler mechanism)\n\n")
+
+	// Clock-blind (naive) power model.
+	ds, err := core.CollectAll("GTX 680", opts.Seed)
+	if err != nil {
+		return err
+	}
+	um, err := core.Train(ds, core.Power, opts.MaxVars)
+	if err != nil {
+		return err
+	}
+	nm, err := core.TrainNaive(ds, core.Power, opts.MaxVars)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "clock-blind power model: %.1f%% error vs unified %.1f%%\n",
+		nm.Evaluate(ds.Rows).MeanAbsPct, um.Evaluate(ds.Rows).MeanAbsPct)
+	fmt.Fprintf(w, "  (Eq. 1's frequency terms are load-bearing)\n\n")
+	return nil
+}
+
+func runFutureWork(opts Options, w io.Writer) error {
+	fmt.Fprintln(w, "== Future work — AMD Radeon (GCN) ==")
+	fmt.Fprintln(w)
+	spec := arch.RadeonHD7970()
+	dev, err := driver.OpenSpec(spec)
+	if err != nil {
+		return err
+	}
+	dev.Seed(opts.Seed)
+	fmt.Fprintf(w, "board: %s (%s), %d stream processors, %d-counter profiler set\n",
+		spec.Name, spec.Generation, spec.TotalCores(), dev.CounterSet().Len())
+	for _, bench := range []string{"backprop", "streamcluster", "gaussian"} {
+		sw, err := characterize.SweepBenchmark(dev, workloads.ByName(bench))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-14s best %s  +%.1f%% efficiency, %.1f%% perf loss\n",
+			bench, sw.Best().Pair, sw.ImprovementPct(), sw.PerfLossPct())
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func sweepImprovement(spec *arch.Spec, bench string, seed int64) (float64, error) {
+	dev, err := driver.OpenSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	dev.Seed(seed)
+	r, err := characterize.SweepBenchmark(dev, workloads.ByName(bench))
+	if err != nil {
+		return 0, err
+	}
+	return r.ImprovementPct(), nil
+}

@@ -1,0 +1,193 @@
+// Package sched plans DVFS settings for a batch of GPU jobs under an
+// energy budget — the optimization the paper's related work gestures at
+// (Lee et al.: throughput under power constraints; Ma et al.: coordinated
+// energy management) rebuilt on top of this library's per-pair
+// measurements or model predictions.
+//
+// The problem: jobs run back to back on one GPU; each job may run at any
+// of its board's frequency pairs, with known (measured or predicted) time
+// and energy per pair. Minimize total completion time subject to a total
+// energy budget. This is the discrete time-cost tradeoff problem; Plan
+// solves it exactly for practical batch sizes with branch and bound over
+// per-job efficient frontiers, falling back gracefully when the budget is
+// infeasible.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuperf/internal/clock"
+)
+
+// Option is one admissible operating point of a job.
+type Option struct {
+	Pair    clock.Pair
+	TimeS   float64 // seconds
+	EnergyJ float64 // joules
+}
+
+// Job is one batch entry with its operating points.
+type Job struct {
+	Name    string
+	Options []Option
+}
+
+// Assignment is the planner's choice for one job.
+type Assignment struct {
+	Job    string
+	Option Option
+}
+
+// Plan is a scheduled batch.
+type Plan struct {
+	Assignments  []Assignment
+	TotalTimeS   float64
+	TotalEnergyJ float64
+	// Feasible is false when even the all-minimum-energy configuration
+	// exceeds the budget; the plan then holds that configuration.
+	Feasible bool
+}
+
+// ErrNoOptions is returned when a job has no operating points.
+var ErrNoOptions = errors.New("sched: job with no options")
+
+// MinimizeTime picks per-job operating points minimizing total time under
+// the energy budget (joules). A budget of 0 or below disables the
+// constraint (every job runs at its fastest point).
+func MinimizeTime(jobs []Job, budgetJ float64) (*Plan, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("sched: empty batch")
+	}
+	// Reduce each job to its efficient frontier: sort by time; an option
+	// is dominated if a faster-or-equal option uses no more energy.
+	fronts := make([][]Option, len(jobs))
+	for i, j := range jobs {
+		if len(j.Options) == 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNoOptions, j.Name)
+		}
+		fronts[i] = frontier(j.Options)
+	}
+
+	if budgetJ <= 0 {
+		plan := &Plan{Feasible: true}
+		for i, j := range jobs {
+			best := fronts[i][0] // fastest after frontier sort
+			plan.add(j.Name, best)
+		}
+		return plan, nil
+	}
+
+	// Branch and bound over frontiers, jobs in order. Lower bound for the
+	// remaining jobs: sum of their fastest times; energy bound: sum of
+	// their minimum energies.
+	n := len(jobs)
+	minEnergyTail := make([]float64, n+1)
+	minTimeTail := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		var minE, minT float64
+		minE, minT = math.Inf(1), math.Inf(1)
+		for _, o := range fronts[i] {
+			minE = math.Min(minE, o.EnergyJ)
+			minT = math.Min(minT, o.TimeS)
+		}
+		minEnergyTail[i] = minEnergyTail[i+1] + minE
+		minTimeTail[i] = minTimeTail[i+1] + minT
+	}
+
+	best := math.Inf(1)
+	bestChoice := make([]int, n)
+	choice := make([]int, n)
+	feasible := false
+
+	var walk func(i int, timeSoFar, energySoFar float64)
+	walk = func(i int, timeSoFar, energySoFar float64) {
+		if timeSoFar+minTimeTail[i] >= best {
+			return // cannot improve
+		}
+		if energySoFar+minEnergyTail[i] > budgetJ+1e-9 {
+			return // cannot fit the budget
+		}
+		if i == n {
+			best = timeSoFar
+			copy(bestChoice, choice)
+			feasible = true
+			return
+		}
+		for oi, o := range fronts[i] {
+			choice[i] = oi
+			walk(i+1, timeSoFar+o.TimeS, energySoFar+o.EnergyJ)
+		}
+	}
+	walk(0, 0, 0)
+
+	plan := &Plan{Feasible: feasible}
+	if !feasible {
+		// Budget unsatisfiable: report the all-minimum-energy plan.
+		for i, j := range jobs {
+			minIdx := 0
+			for oi, o := range fronts[i] {
+				if o.EnergyJ < fronts[i][minIdx].EnergyJ {
+					minIdx = oi
+				}
+			}
+			plan.add(j.Name, fronts[i][minIdx])
+		}
+		return plan, nil
+	}
+	for i, j := range jobs {
+		plan.add(j.Name, fronts[i][bestChoice[i]])
+	}
+	return plan, nil
+}
+
+// MinimizeEnergy picks per-job operating points minimizing total energy
+// under a total-time budget (seconds); the symmetric problem.
+func MinimizeEnergy(jobs []Job, deadlineS float64) (*Plan, error) {
+	// Swap the roles of time and energy and reuse the solver.
+	swapped := make([]Job, len(jobs))
+	for i, j := range jobs {
+		opts := make([]Option, len(j.Options))
+		for k, o := range j.Options {
+			opts[k] = Option{Pair: o.Pair, TimeS: o.EnergyJ, EnergyJ: o.TimeS}
+		}
+		swapped[i] = Job{Name: j.Name, Options: opts}
+	}
+	p, err := MinimizeTime(swapped, deadlineS)
+	if err != nil {
+		return nil, err
+	}
+	out := &Plan{Feasible: p.Feasible}
+	for _, a := range p.Assignments {
+		out.add(a.Job, Option{Pair: a.Option.Pair, TimeS: a.Option.EnergyJ, EnergyJ: a.Option.TimeS})
+	}
+	return out, nil
+}
+
+func (p *Plan) add(job string, o Option) {
+	p.Assignments = append(p.Assignments, Assignment{Job: job, Option: o})
+	p.TotalTimeS += o.TimeS
+	p.TotalEnergyJ += o.EnergyJ
+}
+
+// frontier returns the Pareto-efficient options sorted by ascending time.
+func frontier(opts []Option) []Option {
+	sorted := append([]Option(nil), opts...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].TimeS != sorted[b].TimeS {
+			return sorted[a].TimeS < sorted[b].TimeS
+		}
+		return sorted[a].EnergyJ < sorted[b].EnergyJ
+	})
+	var out []Option
+	bestE := math.Inf(1)
+	for _, o := range sorted {
+		if o.EnergyJ < bestE-1e-15 {
+			out = append(out, o)
+			bestE = o.EnergyJ
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/characterize"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/workloads"
+)
+
+func opt(core, mem arch.FreqLevel, t, e float64) Option {
+	return Option{Pair: clock.Pair{Core: core, Mem: mem}, TimeS: t, EnergyJ: e}
+}
+
+func twoPointJob(name string, fastT, fastE, slowT, slowE float64) Job {
+	return Job{Name: name, Options: []Option{
+		opt(arch.FreqHigh, arch.FreqHigh, fastT, fastE),
+		opt(arch.FreqMid, arch.FreqHigh, slowT, slowE),
+	}}
+}
+
+func TestUnlimitedBudgetPicksFastest(t *testing.T) {
+	jobs := []Job{
+		twoPointJob("a", 1, 100, 2, 60),
+		twoPointJob("b", 3, 300, 5, 180),
+	}
+	p, err := MinimizeTime(jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible || p.TotalTimeS != 4 || p.TotalEnergyJ != 400 {
+		t.Errorf("plan %+v, want fastest points (4 s, 400 J)", p)
+	}
+}
+
+func TestBudgetForcesSlowPoints(t *testing.T) {
+	jobs := []Job{
+		twoPointJob("a", 1, 100, 2, 60),
+		twoPointJob("b", 3, 300, 5, 180),
+	}
+	// 300 J: both slow = 240 J / 7 s; a fast + b slow = 280 J / 6 s also
+	// fits and is faster — the optimum.
+	p, err := MinimizeTime(jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible {
+		t.Fatal("280 J configuration exists within 300 J budget")
+	}
+	if p.TotalEnergyJ != 280 || p.TotalTimeS != 6 {
+		t.Errorf("plan (%g s, %g J), want a-fast/b-slow (6 s, 280 J)", p.TotalTimeS, p.TotalEnergyJ)
+	}
+	// 250 J: only both-slow fits.
+	p, err = MinimizeTime(jobs, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalTimeS != 7 || p.TotalEnergyJ != 240 {
+		t.Errorf("plan (%g s, %g J), want both slow (7 s, 240 J)", p.TotalTimeS, p.TotalEnergyJ)
+	}
+	// 460 J: upgrade the job with the best time saving per joule —
+	// b fast (+120 J, −2 s) vs a fast (+40 J, −1 s); both fit? 240+120=360
+	// then +40=400 ≤ 460 → both fast = 400 J, 4 s.
+	p, err = MinimizeTime(jobs, 460)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalTimeS != 4 || p.TotalEnergyJ != 400 {
+		t.Errorf("plan %+v, want both fast", p)
+	}
+	// 390 J: only one upgrade fits; the optimum takes b fast (360 J, 5 s)
+	// over a fast (280 J, 6 s).
+	p, err = MinimizeTime(jobs, 390)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalTimeS != 5 || p.TotalEnergyJ != 360 {
+		t.Errorf("plan %+v, want b fast / a slow (5 s, 360 J)", p)
+	}
+}
+
+func TestInfeasibleBudgetReportsMinEnergyPlan(t *testing.T) {
+	jobs := []Job{twoPointJob("a", 1, 100, 2, 60)}
+	p, err := MinimizeTime(jobs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Feasible {
+		t.Error("10 J budget reported feasible")
+	}
+	if p.TotalEnergyJ != 60 {
+		t.Errorf("fallback plan energy %g, want the 60 J minimum", p.TotalEnergyJ)
+	}
+}
+
+func TestDominatedOptionsNeverChosen(t *testing.T) {
+	jobs := []Job{{Name: "a", Options: []Option{
+		opt(arch.FreqHigh, arch.FreqHigh, 1, 100),
+		opt(arch.FreqMid, arch.FreqMid, 2, 120), // slower AND hungrier
+		opt(arch.FreqMid, arch.FreqHigh, 2, 70),
+	}}}
+	p, err := MinimizeTime(jobs, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Assignments[0].Option; got.EnergyJ == 120 {
+		t.Error("planner chose a dominated option")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := MinimizeTime(nil, 100); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := MinimizeTime([]Job{{Name: "x"}}, 100); err == nil {
+		t.Error("job without options accepted")
+	}
+}
+
+func TestMinimizeEnergyUnderDeadline(t *testing.T) {
+	jobs := []Job{
+		twoPointJob("a", 1, 100, 2, 60),
+		twoPointJob("b", 3, 300, 5, 180),
+	}
+	// Deadline 6 s: a slow + b fast (5 s? a slow 2 + b fast 3 = 5 s,
+	// 360 J) vs a fast + b slow (6 s, 280 J) — minimum energy within 6 s
+	// is 280 J.
+	p, err := MinimizeEnergy(jobs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible || p.TotalTimeS > 6 {
+		t.Fatalf("plan misses the deadline: %+v", p)
+	}
+	if p.TotalEnergyJ != 280 {
+		t.Errorf("energy %g, want 280", p.TotalEnergyJ)
+	}
+}
+
+func TestMatchesBruteForceProperty(t *testing.T) {
+	// Property: on random small instances the planner matches exhaustive
+	// search exactly.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		nJobs := 2 + rng.Intn(3)
+		jobs := make([]Job, nJobs)
+		for i := range jobs {
+			nOpts := 2 + rng.Intn(3)
+			opts := make([]Option, nOpts)
+			for k := range opts {
+				opts[k] = opt(arch.FreqLevel(k%3), arch.FreqHigh,
+					1+rng.Float64()*9, 50+rng.Float64()*250)
+			}
+			jobs[i] = Job{Name: "j", Options: opts}
+		}
+		budget := 100 + rng.Float64()*600
+
+		got, err := MinimizeTime(jobs, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestT, feasible := bruteForce(jobs, budget)
+		if feasible != got.Feasible {
+			t.Fatalf("trial %d: feasibility %v vs brute force %v", trial, got.Feasible, feasible)
+		}
+		if feasible && math.Abs(got.TotalTimeS-bestT) > 1e-9 {
+			t.Fatalf("trial %d: time %g vs brute-force optimum %g", trial, got.TotalTimeS, bestT)
+		}
+	}
+}
+
+func bruteForce(jobs []Job, budget float64) (bestT float64, feasible bool) {
+	bestT = math.Inf(1)
+	var walk func(i int, tSum, eSum float64)
+	walk = func(i int, tSum, eSum float64) {
+		if eSum > budget+1e-9 {
+			return
+		}
+		if i == len(jobs) {
+			feasible = true
+			if tSum < bestT {
+				bestT = tSum
+			}
+			return
+		}
+		for _, o := range jobs[i].Options {
+			walk(i+1, tSum+o.TimeS, eSum+o.EnergyJ)
+		}
+	}
+	walk(0, 0, 0)
+	return bestT, feasible
+}
+
+func TestPlanFromRealSweeps(t *testing.T) {
+	// End to end: build job options from measured sweeps on a GTX 680 and
+	// plan a three-job batch under a realistic energy budget.
+	dev, err := driver.OpenBoard("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Seed(42)
+	var jobs []Job
+	for _, name := range []string{"backprop", "streamcluster", "sgemm"} {
+		sw, err := characterize.SweepBenchmark(dev, workloads.ByName(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := Job{Name: name}
+		for _, pr := range sw.Pairs {
+			j.Options = append(j.Options, Option{Pair: pr.Pair, TimeS: pr.TimePerIter, EnergyJ: pr.EnergyPerIter})
+		}
+		jobs = append(jobs, j)
+	}
+
+	fast, err := MinimizeTime(jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := MinimizeTime(jobs, fast.TotalEnergyJ*0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tight.Feasible {
+		t.Fatal("80% of the all-fast energy should be reachable on Kepler")
+	}
+	if tight.TotalEnergyJ > fast.TotalEnergyJ*0.8+1e-9 {
+		t.Error("plan exceeds the energy budget")
+	}
+	if tight.TotalTimeS < fast.TotalTimeS {
+		t.Error("tighter budget cannot be faster")
+	}
+}

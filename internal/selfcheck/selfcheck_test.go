@@ -1,0 +1,27 @@
+package selfcheck
+
+import "testing"
+
+func TestAllChecksPass(t *testing.T) {
+	results := Run(42)
+	if len(results) < 15 {
+		t.Fatalf("only %d checks ran", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("%s failed: %s", r.Name, r.Detail)
+		}
+	}
+	if !AllOK(results) {
+		t.Error("AllOK disagrees with individual results")
+	}
+}
+
+func TestAllOKDetectsFailure(t *testing.T) {
+	if !AllOK(nil) {
+		t.Error("empty results should be OK")
+	}
+	if AllOK([]Result{{OK: true}, {OK: false}}) {
+		t.Error("failure not detected")
+	}
+}

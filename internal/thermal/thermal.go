@@ -1,0 +1,138 @@
+// Package thermal adds a first-order thermal model on top of the power
+// traces the simulator produces — an extension beyond the paper, which
+// metered short (≤ tens of seconds) runs where silicon temperature barely
+// moved. For sustained workloads the feedback matters: dissipated power
+// heats the die through the cooler's thermal resistance, hot silicon leaks
+// more (raising power further), and past the throttle point a real board
+// duty-cycles its clocks to survive.
+//
+// The model is a single-node RC network:
+//
+//	C · dT/dt = P(t) − (T − T_ambient)/R
+//
+// integrated over a wall-power trace with leakage feedback
+// P(T) = P_trace + L₀·k·(T − T₀), and an optional throttle ceiling that
+// stretches execution once the sustainable power is exceeded.
+package thermal
+
+import (
+	"errors"
+	"math"
+
+	"gpuperf/internal/meter"
+)
+
+// Params describes one board's thermal environment.
+type Params struct {
+	AmbientC      float64 // air temperature, °C
+	ResistanceCW  float64 // junction-to-air thermal resistance, °C/W
+	CapacitanceJC float64 // lumped thermal capacitance, J/°C
+	ThrottleC     float64 // junction throttle point, °C (0 disables)
+	// LeakWattsAt25 is the board's nominal leakage power at 25 °C; the
+	// temperature-dependent surcharge is applied on top of the trace.
+	LeakWattsAt25 float64
+	// LeakPerDegree is the fractional leakage increase per °C above 25
+	// (subthreshold leakage roughly doubles every 25–30 °C; ~0.03/°C).
+	LeakPerDegree float64
+}
+
+// DefaultParams returns a plausible dual-slot cooler configuration scaled
+// by the board's leakage.
+func DefaultParams(leakWatts float64) Params {
+	return Params{
+		AmbientC:      27,
+		ResistanceCW:  0.28,
+		CapacitanceJC: 350,
+		ThrottleC:     97,
+		LeakWattsAt25: leakWatts,
+		LeakPerDegree: 0.03,
+	}
+}
+
+// Result summarizes a thermal simulation over one trace.
+type Result struct {
+	// FinalC and MaxC are junction temperatures, °C.
+	FinalC, MaxC float64
+	// ExtraLeakJoules is the energy added by temperature-dependent
+	// leakage over the run.
+	ExtraLeakJoules float64
+	// ThrottledSeconds is wall time spent at the throttle ceiling.
+	ThrottledSeconds float64
+	// StretchedDuration is the run duration after throttling (equals the
+	// trace duration when the board never throttles).
+	StretchedDuration float64
+	// AvgWatts is the effective average wall power including the leakage
+	// surcharge.
+	AvgWatts float64
+}
+
+// SteadyStateC returns the equilibrium temperature under constant power
+// (ignoring the leakage feedback's own heating, solved exactly below).
+func (p Params) SteadyStateC(watts float64) float64 {
+	// T = Ta + R·(P + L0·k·(T−25))  →  solve linearly for T.
+	denom := 1 - p.ResistanceCW*p.LeakWattsAt25*p.LeakPerDegree
+	if denom <= 0 {
+		return math.Inf(1) // thermal runaway
+	}
+	return (p.AmbientC + p.ResistanceCW*(watts-p.LeakWattsAt25*p.LeakPerDegree*25)) / denom
+}
+
+// Simulate integrates the thermal model over a power trace starting from
+// startC (use Params.AmbientC for a cold start). The step size is the
+// meter's 50 ms period.
+func Simulate(trace meter.Trace, p Params, startC float64) (*Result, error) {
+	if p.CapacitanceJC <= 0 || p.ResistanceCW <= 0 {
+		return nil, errors.New("thermal: non-positive RC parameters")
+	}
+	const dt = meter.DefaultSamplePeriod
+	res := &Result{FinalC: startC, MaxC: startC}
+	temp := startC
+	var joules float64
+	var duration float64
+
+	for _, seg := range trace {
+		remaining := seg.Duration
+		for remaining > 0 {
+			step := dt
+			if step > remaining {
+				step = remaining
+			}
+			leak := p.LeakWattsAt25 * p.LeakPerDegree * (temp - 25)
+			if leak < 0 {
+				leak = 0
+			}
+			power := seg.Watts + leak
+
+			stretch := 1.0
+			if p.ThrottleC > 0 && temp >= p.ThrottleC {
+				// Duty-cycle: the board can only dissipate the power that
+				// holds the junction at the ceiling; execution stretches
+				// by the surplus ratio.
+				sustainable := (p.ThrottleC-p.AmbientC)/p.ResistanceCW + 0 // watts at ceiling
+				if power > sustainable && sustainable > 0 {
+					stretch = power / sustainable
+					power = sustainable
+				}
+				res.ThrottledSeconds += step * stretch
+			}
+
+			// Explicit Euler is fine at 50 ms steps: the RC constant is
+			// ~R·C ≈ 100 s, three orders larger.
+			dT := (power - (temp-p.AmbientC)/p.ResistanceCW) / p.CapacitanceJC * step * stretch
+			temp += dT
+			if temp > res.MaxC {
+				res.MaxC = temp
+			}
+			res.ExtraLeakJoules += leak * step * stretch
+			joules += power * step * stretch
+			duration += step * stretch
+			remaining -= step
+		}
+	}
+	res.FinalC = temp
+	res.StretchedDuration = duration
+	if duration > 0 {
+		res.AvgWatts = joules / duration
+	}
+	return res, nil
+}

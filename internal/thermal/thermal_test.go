@@ -1,0 +1,137 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"gpuperf/internal/meter"
+)
+
+func params() Params {
+	p := DefaultParams(40)
+	p.ThrottleC = 0 // most tests want no throttling
+	return p
+}
+
+func TestColdIdleStaysAmbient(t *testing.T) {
+	p := params()
+	p.LeakWattsAt25 = 0
+	res, err := Simulate(meter.Trace{{Duration: 10, Watts: 0}}, p, p.AmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FinalC-p.AmbientC) > 0.01 {
+		t.Errorf("idle final temp %.2f °C, want ambient %.2f", res.FinalC, p.AmbientC)
+	}
+}
+
+func TestHeatingApproachesSteadyState(t *testing.T) {
+	p := params()
+	const watts = 250.0
+	want := p.SteadyStateC(watts)
+	// 10 RC constants ≈ full settle.
+	horizon := 10 * p.ResistanceCW * p.CapacitanceJC
+	res, err := Simulate(meter.Trace{{Duration: horizon, Watts: watts}}, p, p.AmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FinalC-want) > 1 {
+		t.Errorf("final %.1f °C, want steady state %.1f °C", res.FinalC, want)
+	}
+	if res.MaxC < res.FinalC-0.01 {
+		t.Error("max below final on a monotone heat-up")
+	}
+}
+
+func TestCoolingDecaysTowardAmbient(t *testing.T) {
+	p := params()
+	p.LeakWattsAt25 = 0
+	res, err := Simulate(meter.Trace{{Duration: 200, Watts: 0}}, p, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalC >= 90 {
+		t.Error("no cooling under zero power")
+	}
+	if res.FinalC < p.AmbientC-0.01 {
+		t.Error("cooled below ambient")
+	}
+	// After one RC constant the excess should fall to ~37%.
+	rc := p.ResistanceCW * p.CapacitanceJC
+	one, _ := Simulate(meter.Trace{{Duration: rc, Watts: 0}}, p, 90)
+	wantExcess := (90 - p.AmbientC) * math.Exp(-1)
+	if got := one.FinalC - p.AmbientC; math.Abs(got-wantExcess) > wantExcess*0.05 {
+		t.Errorf("excess after 1·RC = %.1f °C, want ≈ %.1f °C", got, wantExcess)
+	}
+}
+
+func TestLeakageFeedbackAddsEnergy(t *testing.T) {
+	p := params()
+	res, err := Simulate(meter.Trace{{Duration: 120, Watts: 200}}, p, p.AmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtraLeakJoules <= 0 {
+		t.Error("hot run added no leakage energy")
+	}
+	if res.AvgWatts <= 200 {
+		t.Errorf("average power %.1f W should exceed the trace's 200 W", res.AvgWatts)
+	}
+	// Steady state with feedback sits above the no-feedback equilibrium.
+	noFeedback := p.AmbientC + p.ResistanceCW*200
+	if p.SteadyStateC(200) <= noFeedback {
+		t.Error("leakage feedback should raise the equilibrium temperature")
+	}
+}
+
+func TestThrottlingStretchesExecution(t *testing.T) {
+	p := params()
+	p.ThrottleC = 80
+	// 400 W cannot be sustained at an 80 °C ceiling with 0.28 °C/W
+	// ((80−27)/0.28 ≈ 189 W): the run must stretch and spend time
+	// throttled.
+	res, err := Simulate(meter.Trace{{Duration: 300, Watts: 400}}, p, p.AmbientC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThrottledSeconds <= 0 {
+		t.Fatal("never throttled at 400 W")
+	}
+	if res.StretchedDuration <= 300 {
+		t.Errorf("duration %.1f s not stretched beyond the 300 s trace", res.StretchedDuration)
+	}
+	if res.MaxC > p.ThrottleC+1 {
+		t.Errorf("temperature %.1f °C overshot the %.0f °C ceiling", res.MaxC, p.ThrottleC)
+	}
+}
+
+func TestRunawayDetection(t *testing.T) {
+	p := params()
+	p.LeakPerDegree = 10 // absurd: R·L0·k > 1
+	if !math.IsInf(p.SteadyStateC(100), 1) {
+		t.Error("thermal runaway not reported as +Inf")
+	}
+}
+
+func TestSimulateRejectsBadParams(t *testing.T) {
+	for _, bad := range []Params{
+		{ResistanceCW: 0, CapacitanceJC: 100},
+		{ResistanceCW: 0.3, CapacitanceJC: 0},
+	} {
+		if _, err := Simulate(meter.Trace{{Duration: 1, Watts: 1}}, bad, 25); err == nil {
+			t.Error("Simulate accepted bad params")
+		}
+	}
+}
+
+func TestShortTraceStepHandling(t *testing.T) {
+	// Segments shorter than the 50 ms step must still integrate.
+	p := params()
+	res, err := Simulate(meter.Trace{{Duration: 0.01, Watts: 300}, {Duration: 0.02, Watts: 100}}, p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StretchedDuration <= 0.029 || res.StretchedDuration > 0.031 {
+		t.Errorf("duration %.4f s, want 0.03 s", res.StretchedDuration)
+	}
+}

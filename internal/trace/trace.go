@@ -1,0 +1,145 @@
+// Package trace exports simulated runs as Chrome/Perfetto trace JSON
+// (chrome://tracing, ui.perfetto.dev): kernel launches become duration
+// slices, and the metered wall power becomes a counter track sampled at
+// every power-level change. A power-and-timeline view of a DVFS sweep
+// makes the Section III behaviour immediately visible.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gpuperf/internal/meter"
+)
+
+// event is one Chrome trace event (the JSON array format).
+type event struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`            // microseconds
+	Dur   float64           `json:"dur,omitempty"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type counterEvent struct {
+	Name  string             `json:"name"`
+	Phase string             `json:"ph"`
+	TS    float64            `json:"ts"`
+	PID   int                `json:"pid"`
+	Args  map[string]float64 `json:"args"`
+}
+
+// Builder accumulates trace events. Tracks map to Chrome "threads".
+type Builder struct {
+	slices   []event
+	counters []counterEvent
+	tracks   map[string]int
+	meta     []event
+}
+
+// NewBuilder returns an empty trace.
+func NewBuilder() *Builder {
+	return &Builder{tracks: map[string]int{}}
+}
+
+func (b *Builder) track(name string) int {
+	if id, ok := b.tracks[name]; ok {
+		return id
+	}
+	id := len(b.tracks) + 1
+	b.tracks[name] = id
+	b.meta = append(b.meta, event{
+		Name: "thread_name", Phase: "M", PID: 1, TID: id,
+		Args: map[string]string{"name": name},
+	})
+	return id
+}
+
+// AddSlice records a named duration on a track; times in seconds.
+func (b *Builder) AddSlice(track, name string, startS, durS float64, args map[string]string) {
+	b.slices = append(b.slices, event{
+		Name: name, Phase: "X",
+		TS: startS * 1e6, Dur: durS * 1e6,
+		PID: 1, TID: b.track(track),
+		Args: args,
+	})
+}
+
+// AddCounter records a counter sample; time in seconds.
+func (b *Builder) AddCounter(counter string, tsS, value float64) {
+	b.counters = append(b.counters, counterEvent{
+		Name: counter, Phase: "C", TS: tsS * 1e6, PID: 1,
+		Args: map[string]float64{counter: value},
+	})
+}
+
+// AddPowerTrace renders a metered power waveform as a counter track,
+// emitting a sample at every level change (and a final closing sample).
+func (b *Builder) AddPowerTrace(counter string, startS float64, tr meter.Trace) {
+	at := startS
+	for _, seg := range tr {
+		b.AddCounter(counter, at, seg.Watts)
+		at += seg.Duration
+	}
+	if len(tr) > 0 {
+		b.AddCounter(counter, at, tr[len(tr)-1].Watts)
+	}
+}
+
+// WriteJSON emits the Chrome trace (JSON array format), events sorted by
+// timestamp as the viewers expect.
+func (b *Builder) WriteJSON(w io.Writer) error {
+	type anyEvent struct {
+		ts  float64
+		raw interface{}
+	}
+	all := make([]anyEvent, 0, len(b.slices)+len(b.counters)+len(b.meta))
+	for _, e := range b.meta {
+		all = append(all, anyEvent{-1, e})
+	}
+	for _, e := range b.slices {
+		all = append(all, anyEvent{e.TS, e})
+	}
+	for _, e := range b.counters {
+		all = append(all, anyEvent{e.TS, e})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ts < all[j].ts })
+
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, e := range all {
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		data, err := json.Marshal(e.raw)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// FromRun builds a standard run trace: one slice per trace segment on a
+// "power levels" track plus the wall-power counter. name labels the run.
+func FromRun(name string, tr meter.Trace) *Builder {
+	b := NewBuilder()
+	at := 0.0
+	for i, seg := range tr {
+		b.AddSlice("power levels", fmt.Sprintf("%s #%d (%.0f W)", name, i, seg.Watts),
+			at, seg.Duration, map[string]string{"watts": fmt.Sprintf("%.1f", seg.Watts)})
+		at += seg.Duration
+	}
+	b.AddPowerTrace("wall power (W)", 0, tr)
+	return b
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gpuperf/internal/driver"
+	"gpuperf/internal/meter"
+	"gpuperf/internal/workloads"
+)
+
+func TestWriteJSONIsValidAndSorted(t *testing.T) {
+	b := NewBuilder()
+	b.AddSlice("kernels", "k1", 0, 0.010, nil)
+	b.AddSlice("kernels", "k2", 0.010, 0.020, map[string]string{"pair": "(H-H)"})
+	b.AddCounter("wall power (W)", 0, 250)
+	b.AddCounter("wall power (W)", 0.030, 120)
+
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	// 1 thread-name metadata + 2 slices + 2 counters.
+	if len(events) != 5 {
+		t.Fatalf("%d events, want 5", len(events))
+	}
+	var lastTS float64 = -2
+	for _, e := range events {
+		ts, _ := e["ts"].(float64)
+		if ts < lastTS {
+			t.Fatal("events not sorted by timestamp")
+		}
+		lastTS = ts
+	}
+}
+
+func TestFromRunCoversTrace(t *testing.T) {
+	tr := meter.Trace{{Duration: 0.1, Watts: 200}, {Duration: 0.05, Watts: 150}}
+	b := FromRun("demo", tr)
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"200 W", "150 W", "wall power (W)", `"ph":"C"`, `"ph":"X"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}
+
+func TestFromRealRun(t *testing.T) {
+	dev, err := driver.OpenBoard("GTX 680")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := workloads.ByName("gaussian")
+	rr, err := dev.RunMetered(bench.Name, bench.Kernels(1), bench.HostGap(1), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FromRun("gaussian", rr.Trace).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON from a real run: %v", err)
+	}
+	if len(events) < 4 {
+		t.Errorf("only %d events from a metered run", len(events))
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewBuilder().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+	if len(events) != 0 {
+		t.Errorf("empty builder produced %d events", len(events))
+	}
+}

@@ -1,0 +1,88 @@
+package workloads
+
+import "gpuperf/internal/gpu"
+
+// The CUDA SDK samples (Table II, third block).
+
+func init() {
+	register(&Benchmark{
+		Name: "binomialOptions", Suite: CUDASDK, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("binomialOptionsKernel", blocks(2000, s), 256, 22, 6144, gpu.PhaseDesc{
+				WarpInstsPerWarp: 90000,
+				FracALU:          0.74, FracShared: 0.1, FracMem: 0.005, FracBranch: 0.03,
+				TxnPerMemInst: 1, L1Hit: 0.9, L2Hit: 0.8,
+				WorkingSetBytes: ws(24<<10, s), MLP: 4, IssueEff: 0.95,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "BlackScholes", Suite: CUDASDK, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("BlackScholesGPU", blocks(4600, s), 256, 20, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 15000,
+				FracALU:          0.44, FracSFU: 0.2, FracMem: 0.18, FracBranch: 0.02,
+				TxnPerMemInst: 1, StoreFrac: 0.4, L1Hit: 0.1, L2Hit: 0.2,
+				WorkingSetBytes: ws(8<<20, s), MLP: 8, IssueEff: 0.85,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "concurrentKernels", Suite: CUDASDK, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		// A handful of tiny kernels that underuse the machine: most SMs
+		// idle, so static power dominates and low clocks win (the paper
+		// finds (L-M)/(L-L)/(M-M) best across boards).
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("concurrent_small", blocks(20, s), 128, 16, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 700000,
+				FracALU:          0.5, FracMem: 0.06, FracBranch: 0.04,
+				TxnPerMemInst: 1.2, L1Hit: 0.5, L2Hit: 0.5,
+				WorkingSetBytes: ws(256<<10, s), MLP: 3, IssueEff: 0.6,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "histogram64", Suite: CUDASDK, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("histogram64Kernel", blocks(3200, s), 128, 16, 4096, gpu.PhaseDesc{
+				WarpInstsPerWarp: 20000,
+				FracALU:          0.4, FracShared: 0.32, FracMem: 0.1, FracBranch: 0.04,
+				TxnPerMemInst: 1.1, L1Hit: 0.5, L2Hit: 0.5,
+				WorkingSetBytes: ws(256<<10, s), MLP: 5, IssueEff: 0.75,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "histogram256", Suite: CUDASDK, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("histogram256Kernel", blocks(3200, s), 192, 18, 7168, gpu.PhaseDesc{
+				WarpInstsPerWarp: 18000,
+				FracALU:          0.36, FracShared: 0.38, FracMem: 0.1, FracBranch: 0.05,
+				DivergentFrac: 0.12, TxnPerMemInst: 1.15, L1Hit: 0.5, L2Hit: 0.5,
+				WorkingSetBytes: ws(512<<10, s), MLP: 5, IssueEff: 0.7,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "MersenneTwister", Suite: CUDASDK, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("RandomGPU", blocks(3000, s), 128, 24, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 30000,
+				FracALU:          0.62, FracMem: 0.12, FracBranch: 0.03,
+				TxnPerMemInst: 1, StoreFrac: 0.7, L1Hit: 0.2, L2Hit: 0.3,
+				WorkingSetBytes: ws(4<<20, s), MLP: 8, IssueEff: 0.85,
+			})}
+		},
+	})
+}

@@ -1,0 +1,47 @@
+package workloads
+
+import "gpuperf/internal/gpu"
+
+// The basic matrix kernels (Table II, fourth block). They are modeling
+// samples only; Table IV does not report them.
+
+func init() {
+	register(&Benchmark{
+		Name: "MAdd", Suite: Matrix, InTable4: false,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("matrixAdd", blocks(6000, s), 256, 10, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 8000,
+				FracALU:          0.2, FracMem: 0.5, FracBranch: 0.01,
+				TxnPerMemInst: 1, StoreFrac: 0.33, L1Hit: 0.05, L2Hit: 0.1,
+				WorkingSetBytes: ws(32<<20, s), MLP: 10, IssueEff: 0.8,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "MMul", Suite: Matrix, InTable4: false,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("matrixMul", blocks(3200, s), 256, 30, 8192, gpu.PhaseDesc{
+				WarpInstsPerWarp: 70000,
+				FracALU:          0.7, FracShared: 0.14, FracMem: 0.03, FracBranch: 0.02,
+				TxnPerMemInst: 1, L1Hit: 0.85, L2Hit: 0.75,
+				WorkingSetBytes: ws(96<<10, s), MLP: 5, IssueEff: 0.95,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "MTranspose", Suite: Matrix, InTable4: false,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("transpose", blocks(5200, s), 256, 12, 4224, gpu.PhaseDesc{
+				WarpInstsPerWarp: 7000,
+				FracALU:          0.15, FracShared: 0.12, FracMem: 0.48, FracBranch: 0.01,
+				TxnPerMemInst: 2.2, StoreFrac: 0.5, L1Hit: 0.1, L2Hit: 0.25,
+				WorkingSetBytes: ws(16<<20, s), MLP: 8, IssueEff: 0.75,
+			})}
+		},
+	})
+}

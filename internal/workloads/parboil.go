@@ -1,0 +1,139 @@
+package workloads
+
+import "gpuperf/internal/gpu"
+
+// The Parboil suite (Table II, second block).
+
+func init() {
+	register(&Benchmark{
+		Name: "cutcp", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("cutcp_lattice", blocks(2400, s), 128, 34, 4096, gpu.PhaseDesc{
+				WarpInstsPerWarp: 70000,
+				FracALU:          0.66, FracSFU: 0.12, FracShared: 0.06, FracMem: 0.03, FracBranch: 0.04,
+				TxnPerMemInst: 1.1, L1Hit: 0.8, L2Hit: 0.7,
+				WorkingSetBytes: ws(48<<10, s), MLP: 4, IssueEff: 0.9,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "histo", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("histo_main", blocks(3600, s), 256, 18, 2048, gpu.PhaseDesc{
+				WarpInstsPerWarp: 14000,
+				FracALU:          0.4, FracShared: 0.08, FracMem: 0.28, FracBranch: 0.05,
+				DivergentFrac: 0.15, TxnPerMemInst: 4, StoreFrac: 0.55,
+				L1Hit: 0.3, L2Hit: 0.5,
+				WorkingSetBytes: ws(2<<20, s), MLP: 5, IssueEff: 0.65,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "lbm", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("lbm_stream_collide", blocks(5600, s), 128, 36, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 13000,
+				FracALU:          0.32, FracDP: 0.06, FracMem: 0.4, FracBranch: 0.02,
+				TxnPerMemInst: 1.1, StoreFrac: 0.45, L1Hit: 0.1, L2Hit: 0.2,
+				WorkingSetBytes: ws(16<<20, s), MLP: 9, IssueEff: 0.72,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "mri-gridding", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("gridding_kernel", blocks(3000, s), 256, 28, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 15000,
+				FracALU:          0.4, FracSFU: 0.06, FracMem: 0.27, FracBranch: 0.07,
+				DivergentFrac: 0.3, TxnPerMemInst: 6, StoreFrac: 0.5,
+				L1Hit: 0.2, L2Hit: 0.35,
+				WorkingSetBytes: ws(8<<20, s), MLP: 4, IssueEff: 0.55,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "mri-q", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("computeQ", blocks(2600, s), 256, 24, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 60000,
+				FracALU:          0.52, FracSFU: 0.3, FracMem: 0.01, FracBranch: 0.02,
+				TxnPerMemInst: 1, L1Hit: 0.9, L2Hit: 0.8,
+				WorkingSetBytes: ws(16<<10, s), MLP: 4, IssueEff: 0.92,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "sad", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("sad_calc", blocks(3800, s), 128, 22, 3072, gpu.PhaseDesc{
+				WarpInstsPerWarp: 24000,
+				FracALU:          0.52, FracShared: 0.06, FracMem: 0.2, FracBranch: 0.04,
+				TxnPerMemInst: 1.2, L1Hit: 0.55, L2Hit: 0.55,
+				WorkingSetBytes: ws(512<<10, s), MLP: 6, IssueEff: 0.8,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "sgemm", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("sgemm_tiled", blocks(3400, s), 128, 40, 8192, gpu.PhaseDesc{
+				WarpInstsPerWarp: 80000,
+				FracALU:          0.7, FracShared: 0.12, FracMem: 0.035, FracBranch: 0.02,
+				TxnPerMemInst: 1, L1Hit: 0.8, L2Hit: 0.75,
+				WorkingSetBytes: ws(96<<10, s), MLP: 5, IssueEff: 0.95,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "spmv", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("spmv_jds", blocks(4400, s), 256, 18, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 10000,
+				FracALU:          0.3, FracMem: 0.38, FracBranch: 0.08,
+				DivergentFrac: 0.2, TxnPerMemInst: 5, L1Hit: 0.25, L2Hit: 0.4,
+				WorkingSetBytes: ws(8<<20, s), MLP: 4, IssueEff: 0.55,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "stencil", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("stencil_7pt", blocks(5000, s), 256, 20, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 11000,
+				FracALU:          0.36, FracMem: 0.38, FracBranch: 0.03,
+				TxnPerMemInst: 1.05, StoreFrac: 0.3, L1Hit: 0.3, L2Hit: 0.35,
+				WorkingSetBytes: ws(8<<20, s), MLP: 9, IssueEff: 0.75,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "tpacf", Suite: Parboil, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("tpacf_hist", blocks(2800, s), 256, 30, 6144, gpu.PhaseDesc{
+				WarpInstsPerWarp: 50000,
+				FracALU:          0.6, FracSFU: 0.08, FracShared: 0.08, FracMem: 0.045, FracBranch: 0.09,
+				DivergentFrac: 0.3, TxnPerMemInst: 1.3, L1Hit: 0.6, L2Hit: 0.6,
+				WorkingSetBytes: ws(128<<10, s), MLP: 4, IssueEff: 0.8,
+			})}
+		},
+	})
+}

@@ -1,0 +1,289 @@
+package workloads
+
+import "gpuperf/internal/gpu"
+
+// The Rodinia suite (Table II, first block). Parameter positioning follows
+// the applications' published characterizations: backprop/lavaMD/leukocyte
+// are compute-bound, streamcluster/nn/cfd stream memory, bfs/mummergpu are
+// divergent and irregular, the rest sit in between.
+
+func init() {
+	register(&Benchmark{
+		Name: "backprop", Suite: Rodinia, InTable4: true,
+		HostFixed: 0.010, HostPerScale: 0.004,
+		// The CUDA profiler failed on backprop (Section IV-A), so it is
+		// excluded from the modeling set despite being the Fig. 1 star.
+		Modeled: false, Sizes: nil,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{
+				kern("bpnn_layerforward", blocks(3000, s), 256, 20, 9216, gpu.PhaseDesc{
+					WarpInstsPerWarp: 40000,
+					FracALU:          0.68, FracShared: 0.14, FracMem: 0.004, FracBranch: 0.04,
+					TxnPerMemInst: 1, L1Hit: 0.85, L2Hit: 0.8,
+					WorkingSetBytes: ws(8<<10, s), MLP: 4, IssueEff: 0.9,
+				}),
+				kern("bpnn_adjust_weights", blocks(3000, s), 256, 18, 4096, gpu.PhaseDesc{
+					WarpInstsPerWarp: 24000,
+					FracALU:          0.7, FracShared: 0.08, FracMem: 0.006, FracBranch: 0.04,
+					TxnPerMemInst: 1, StoreFrac: 0.5, L1Hit: 0.8, L2Hit: 0.75,
+					WorkingSetBytes: ws(12<<10, s), MLP: 4, IssueEff: 0.88,
+				}),
+			}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "bfs", Suite: Rodinia, InTable4: true,
+		Modeled: false, Sizes: nil, // profiler failure, like the paper
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("bfs_kernel", blocks(4000, s), 256, 14, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 9000,
+				FracALU:          0.3, FracMem: 0.33, FracBranch: 0.12,
+				DivergentFrac: 0.5, TxnPerMemInst: 8, StoreFrac: 0.15,
+				L1Hit: 0.15, L2Hit: 0.3,
+				WorkingSetBytes: ws(8<<20, s), MLP: 3, IssueEff: 0.5,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "cfd", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("cuda_compute_flux", blocks(5000, s), 192, 30, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 16000,
+				FracALU:          0.38, FracDP: 0.04, FracMem: 0.33, FracBranch: 0.04,
+				TxnPerMemInst: 1.5, StoreFrac: 0.25, L1Hit: 0.2, L2Hit: 0.35,
+				WorkingSetBytes: ws(4<<20, s), MLP: 8, IssueEff: 0.75,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "gaussian", Suite: Rodinia, InTable4: true,
+		HostFixed: 0.020, HostPerScale: 0.008,
+		Modeled: true, Sizes: sizes4,
+		// Gaussian is the paper's Fig. 3 example of regime-flipping
+		// behaviour: compute and memory bounds sit close together, so
+		// the binding resource changes with the frequency pair.
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{
+				kern("gaussian_fan1", blocks(1500, s), 256, 16, 0, gpu.PhaseDesc{
+					WarpInstsPerWarp: 20000,
+					FracALU:          0.52, FracMem: 0.2, FracBranch: 0.05,
+					TxnPerMemInst: 1.2, StoreFrac: 0.3, L1Hit: 0.45, L2Hit: 0.55,
+					WorkingSetBytes: ws(512<<10, s), MLP: 5, IssueEff: 0.75,
+				}),
+				kern("gaussian_fan2", blocks(3000, s), 256, 18, 0, gpu.PhaseDesc{
+					WarpInstsPerWarp: 14000,
+					FracALU:          0.48, FracMem: 0.24, FracBranch: 0.05,
+					TxnPerMemInst: 1.25, StoreFrac: 0.35, L1Hit: 0.4, L2Hit: 0.5,
+					WorkingSetBytes: ws(1<<20, s), MLP: 5, IssueEff: 0.72,
+				}),
+			}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "heartwall", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("heartwall_kernel", blocks(2500, s), 256, 28, 8192, gpu.PhaseDesc{
+				WarpInstsPerWarp: 45000,
+				FracALU:          0.62, FracSFU: 0.08, FracShared: 0.06, FracMem: 0.08, FracBranch: 0.05,
+				TxnPerMemInst: 1.3, L1Hit: 0.7, L2Hit: 0.6,
+				WorkingSetBytes: ws(128<<10, s), MLP: 4, IssueEff: 0.85,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "hotspot", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("hotspot_calc_temp", blocks(3500, s), 256, 22, 12288, gpu.PhaseDesc{
+				WarpInstsPerWarp: 30000,
+				FracALU:          0.55, FracShared: 0.2, FracMem: 0.05, FracBranch: 0.06,
+				TxnPerMemInst: 1.1, StoreFrac: 0.3, L1Hit: 0.6, L2Hit: 0.6,
+				WorkingSetBytes: ws(96<<10, s), MLP: 4, IssueEff: 0.85,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "kmeans", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{
+				kern("kmeans_point", blocks(4000, s), 256, 18, 0, gpu.PhaseDesc{
+					WarpInstsPerWarp: 18000,
+					FracALU:          0.47, FracMem: 0.27, FracBranch: 0.04,
+					TxnPerMemInst: 1.1, L1Hit: 0.5, L2Hit: 0.5,
+					WorkingSetBytes: ws(1<<20, s), MLP: 6, IssueEff: 0.8,
+				}),
+				kern("kmeans_swap", blocks(1200, s), 256, 12, 0, gpu.PhaseDesc{
+					WarpInstsPerWarp: 8000,
+					FracALU:          0.3, FracMem: 0.4, FracBranch: 0.02,
+					TxnPerMemInst: 1.6, StoreFrac: 0.5, L1Hit: 0.2, L2Hit: 0.35,
+					WorkingSetBytes: ws(4<<20, s), MLP: 8, IssueEff: 0.7,
+				}),
+			}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "lavaMD", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("lavaMD_kernel", blocks(2200, s), 128, 40, 7168, gpu.PhaseDesc{
+				WarpInstsPerWarp: 90000,
+				FracALU:          0.72, FracSFU: 0.06, FracShared: 0.08, FracMem: 0.025, FracBranch: 0.03,
+				TxnPerMemInst: 1.2, L1Hit: 0.75, L2Hit: 0.7,
+				WorkingSetBytes: ws(64<<10, s), MLP: 4, IssueEff: 0.9,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "leukocyte", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("leukocyte_track", blocks(2600, s), 256, 32, 6144, gpu.PhaseDesc{
+				WarpInstsPerWarp: 55000,
+				FracALU:          0.64, FracSFU: 0.1, FracShared: 0.05, FracMem: 0.04, FracBranch: 0.04,
+				TxnPerMemInst: 1.2, L1Hit: 0.7, L2Hit: 0.65,
+				WorkingSetBytes: ws(64<<10, s), MLP: 4, IssueEff: 0.88,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "lud", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("lud_internal", blocks(2800, s), 256, 24, 8192, gpu.PhaseDesc{
+				WarpInstsPerWarp: 26000,
+				FracALU:          0.52, FracShared: 0.15, FracMem: 0.12, FracBranch: 0.04,
+				TxnPerMemInst: 1.2, StoreFrac: 0.25, L1Hit: 0.55, L2Hit: 0.6,
+				WorkingSetBytes: ws(256<<10, s), MLP: 5, IssueEff: 0.82,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "mummergpu", Suite: Rodinia, InTable4: true,
+		Modeled: false, Sizes: nil, // profiler failure, like the paper
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("mummergpu_match", blocks(3600, s), 256, 24, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 12000,
+				FracALU:          0.3, FracMem: 0.3, FracBranch: 0.14,
+				DivergentFrac: 0.45, TxnPerMemInst: 10, L1Hit: 0.25, L2Hit: 0.35,
+				WorkingSetBytes: ws(16<<20, s), MLP: 2.5, IssueEff: 0.45,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "nn", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("nn_euclid", blocks(4200, s), 256, 12, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 9000,
+				FracALU:          0.32, FracSFU: 0.04, FracMem: 0.42, FracBranch: 0.03,
+				TxnPerMemInst: 1.05, L1Hit: 0.1, L2Hit: 0.2,
+				WorkingSetBytes: ws(8<<20, s), MLP: 8, IssueEff: 0.72,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "nw", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("needle_cuda", blocks(2400, s), 128, 20, 8448, gpu.PhaseDesc{
+				WarpInstsPerWarp: 20000,
+				FracALU:          0.38, FracShared: 0.24, FracMem: 0.17, FracBranch: 0.06,
+				TxnPerMemInst: 1.3, StoreFrac: 0.3, L1Hit: 0.4, L2Hit: 0.5,
+				WorkingSetBytes: ws(2<<20, s), MLP: 4, IssueEff: 0.7,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "particlefilter_float", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("particle_kernel", blocks(3000, s), 256, 26, 4096, gpu.PhaseDesc{
+				WarpInstsPerWarp: 36000,
+				FracALU:          0.58, FracSFU: 0.14, FracShared: 0.04, FracMem: 0.05, FracBranch: 0.05,
+				TxnPerMemInst: 1.2, L1Hit: 0.6, L2Hit: 0.6,
+				WorkingSetBytes: ws(128<<10, s), MLP: 4, IssueEff: 0.85,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "pathfinder", Suite: Rodinia, InTable4: true,
+		Modeled: false, Sizes: nil, // profiler failure, like the paper
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("dynproc_kernel", blocks(3200, s), 256, 18, 10240, gpu.PhaseDesc{
+				WarpInstsPerWarp: 28000,
+				FracALU:          0.48, FracShared: 0.3, FracMem: 0.035, FracBranch: 0.07,
+				TxnPerMemInst: 1.1, L1Hit: 0.7, L2Hit: 0.7,
+				WorkingSetBytes: ws(48<<10, s), MLP: 4, IssueEff: 0.82,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "srad_v1", Suite: Rodinia, InTable4: true,
+		Modeled: true, Sizes: sizes4,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{
+				kern("srad_kernel1", blocks(3000, s), 256, 22, 0, gpu.PhaseDesc{
+					WarpInstsPerWarp: 22000,
+					FracALU:          0.5, FracSFU: 0.06, FracMem: 0.22, FracBranch: 0.04,
+					TxnPerMemInst: 1.1, StoreFrac: 0.25, L1Hit: 0.5, L2Hit: 0.55,
+					WorkingSetBytes: ws(1<<20, s), MLP: 6, IssueEff: 0.8,
+				}),
+				kern("srad_kernel2", blocks(3000, s), 256, 20, 0, gpu.PhaseDesc{
+					WarpInstsPerWarp: 16000,
+					FracALU:          0.46, FracMem: 0.26, FracBranch: 0.04,
+					TxnPerMemInst: 1.15, StoreFrac: 0.35, L1Hit: 0.45, L2Hit: 0.5,
+					WorkingSetBytes: ws(2<<20, s), MLP: 6, IssueEff: 0.78,
+				}),
+			}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "srad_v2", Suite: Rodinia, InTable4: false,
+		Modeled: true, Sizes: sizes3,
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("srad_cuda", blocks(3400, s), 256, 24, 4096, gpu.PhaseDesc{
+				WarpInstsPerWarp: 18000,
+				FracALU:          0.44, FracSFU: 0.04, FracShared: 0.05, FracMem: 0.27, FracBranch: 0.04,
+				TxnPerMemInst: 1.1, StoreFrac: 0.3, L1Hit: 0.45, L2Hit: 0.5,
+				WorkingSetBytes: ws(2<<20, s), MLP: 7, IssueEff: 0.76,
+			})}
+		},
+	})
+
+	register(&Benchmark{
+		Name: "streamcluster", Suite: Rodinia, InTable4: true,
+		HostFixed: 0.015, HostPerScale: 0.005,
+		Modeled: true, Sizes: sizes4,
+		// Fig. 2's memory-intensive showcase: bandwidth-hungry but also
+		// latency-sensitive (moderate MLP), so cutting the core clock
+		// costs performance on Fermi while Kepler's voltage headroom
+		// still makes (M-H) the best-energy pair.
+		build: func(s float64) []*gpu.KernelDesc {
+			return []*gpu.KernelDesc{kern("pgain_kernel", blocks(5200, s), 256, 16, 0, gpu.PhaseDesc{
+				WarpInstsPerWarp: 12000,
+				FracALU:          0.36, FracMem: 0.38, FracBranch: 0.04,
+				TxnPerMemInst: 1.3, StoreFrac: 0.2, L1Hit: 0.25, L2Hit: 0.4,
+				WorkingSetBytes: ws(4<<20, s), MLP: 4.5, IssueEff: 0.7,
+			})}
+		},
+	})
+}

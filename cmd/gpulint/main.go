@@ -1,0 +1,109 @@
+// Command gpulint runs the project-specific static-analysis suite over
+// the module: unit safety of the MHz/Hz clock conventions, completeness
+// of the core-event/memory-event counter classification, error hygiene,
+// and concurrency hygiene. See internal/lint for the analyzer
+// rationale and docs/ARCHITECTURE.md for how to add a rule.
+//
+// Usage:
+//
+//	gpulint [-json] [-only analyzer[,analyzer]] [packages]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Exit status: 0 clean, 1 findings, 2 load or usage failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpuperf/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line (file, line, col, analyzer, message)")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "gpulint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fail(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Patterns are typed relative to the working directory; the loader
+	// resolves them against the module root.
+	for i, p := range patterns {
+		if p != "./..." && p != "..." && !filepath.IsAbs(p) {
+			patterns[i] = filepath.Join(cwd, p)
+		}
+	}
+
+	pkgs, err := lint.Load(root, patterns...)
+	if err != nil {
+		fail(err)
+	}
+	diags := lint.Run(pkgs, analyzers)
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(cwd, rel); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		if *jsonOut {
+			if err := enc.Encode(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message}); err != nil {
+				fail(err)
+			}
+		} else {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "gpulint: %d findings in %d packages\n", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "gpulint: %v\n", err)
+	os.Exit(2)
+}

@@ -71,7 +71,9 @@ func main() {
 			fatal(err)
 		}
 		kernels, err = kernelspec.Parse(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -142,10 +144,12 @@ func main() {
 			fatal(err)
 		}
 		if err := trace.FromRun(name, rr.Trace).WriteJSON(f); err != nil {
-			f.Close()
+			_ = f.Close() // already failing; surface the write error
 			fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("trace        wrote %s (open in ui.perfetto.dev)\n", *traceOut)
 	}
 

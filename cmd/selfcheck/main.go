@@ -1,7 +1,9 @@
 // Command selfcheck verifies the simulated apparatus end to end: VBIOS
 // round trips, energy conservation through the meter, DVFS monotonicity,
-// profiler determinism, the Fig. 4 generation ladder and model sanity.
-// Exit status 0 means every invariant holds.
+// profiler determinism, the Fig. 4 generation ladder and model sanity —
+// plus the static invariants (gpulint: unit safety, counter
+// classification, error and concurrency hygiene) when run inside the
+// module. Exit status 0 means every invariant holds.
 package main
 
 import (
@@ -9,14 +11,28 @@ import (
 	"fmt"
 	"os"
 
+	"gpuperf/internal/lint"
 	"gpuperf/internal/selfcheck"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	static := flag.Bool("static", true, "run the gpulint static invariants (needs the module source on disk)")
+	dynamic := flag.Bool("dynamic", true, "run the dynamic apparatus invariants")
 	flag.Parse()
 
-	results := selfcheck.Run(*seed)
+	var results []selfcheck.Result
+	if *static {
+		if root, err := lint.FindModuleRoot("."); err == nil {
+			results = append(results, selfcheck.RunStatic(root)...)
+		} else {
+			fmt.Fprintf(os.Stderr, "selfcheck: skipping static invariants: %v\n", err)
+		}
+	}
+	if *dynamic {
+		results = append(results, selfcheck.Run(*seed)...)
+	}
+
 	failed := 0
 	for _, r := range results {
 		status := "ok  "

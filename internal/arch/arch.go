@@ -171,6 +171,13 @@ func (s *Spec) CoreFreqMHz(l FreqLevel) float64 { return s.CoreFreqsMHz[l] }
 // MemFreqMHz returns the memory frequency of the given level in MHz.
 func (s *Spec) MemFreqMHz(l FreqLevel) float64 { return s.MemFreqsMHz[l] }
 
+// CoreFreqGHz returns the core frequency of the given level in GHz — the
+// unit the Eq. (1)/(2) regression features are expressed in.
+func (s *Spec) CoreFreqGHz(l FreqLevel) float64 { return s.CoreFreqsMHz[l] / 1e3 }
+
+// MemFreqGHz returns the memory frequency of the given level in GHz.
+func (s *Spec) MemFreqGHz(l FreqLevel) float64 { return s.MemFreqsMHz[l] / 1e3 }
+
 // PairValid reports whether the BIOS exposes the (core, mem) level pair.
 func (s *Spec) PairValid(core, mem FreqLevel) bool { return s.ValidPairs[core][mem] }
 

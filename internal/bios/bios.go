@@ -237,7 +237,7 @@ func (im *Image) ValidPairs() []clock.Pair {
 func PatchBootPair(img []byte, p clock.Pair) error {
 	decoded, err := Parse(img)
 	if err != nil {
-		return fmt.Errorf("bios: cannot patch: %v", err)
+		return fmt.Errorf("bios: cannot patch: %w", err)
 	}
 	if !decoded.PairValid(p) {
 		return fmt.Errorf("bios: %s does not expose pair %s", decoded.BoardName, p)

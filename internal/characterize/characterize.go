@@ -101,11 +101,11 @@ func SweepBenchmark(dev *driver.Device, b *workloads.Benchmark) (*BenchResult, e
 	hostGap := b.HostGap(1)
 	for _, p := range clock.ValidPairs(dev.Spec()) {
 		if err := dev.SetClocks(p); err != nil {
-			return nil, fmt.Errorf("characterize: %s: %v", b.Name, err)
+			return nil, fmt.Errorf("characterize: %s: %w", b.Name, err)
 		}
 		rr, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
 		if err != nil {
-			return nil, fmt.Errorf("characterize: %s at %s: %v", b.Name, p, err)
+			return nil, fmt.Errorf("characterize: %s at %s: %w", b.Name, p, err)
 		}
 		out.Pairs = append(out.Pairs, PairResult{
 			Pair:          p,

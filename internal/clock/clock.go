@@ -41,11 +41,11 @@ func ParsePair(s string) (Pair, error) {
 	}
 	core, err := parseLevel(trimmed[0])
 	if err != nil {
-		return Pair{}, fmt.Errorf("clock: pair %q: %v", s, err)
+		return Pair{}, fmt.Errorf("clock: pair %q: %w", s, err)
 	}
 	mem, err := parseLevel(trimmed[2])
 	if err != nil {
-		return Pair{}, fmt.Errorf("clock: pair %q: %v", s, err)
+		return Pair{}, fmt.Errorf("clock: pair %q: %w", s, err)
 	}
 	return Pair{core, mem}, nil
 }

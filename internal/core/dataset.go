@@ -152,7 +152,7 @@ func collectBenchmark(boardName string, b *workloads.Benchmark, seed int64) ([]O
 		return nil, 0, err
 	}
 	h := fnv.New64a()
-	h.Write([]byte(b.Name))
+	_, _ = h.Write([]byte(b.Name)) // fnv: hash.Hash.Write never errors
 	dev.Seed(seed ^ int64(h.Sum64()))
 
 	pairs := clock.ValidPairs(dev.Spec())
@@ -175,7 +175,7 @@ func collectBenchmark(boardName string, b *workloads.Benchmark, seed int64) ([]O
 		prof, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
 		dev.DisableProfiler()
 		if err != nil {
-			return nil, 0, fmt.Errorf("core: profiling %s: %v", b.Name, err)
+			return nil, 0, fmt.Errorf("core: profiling %s: %w", b.Name, err)
 		}
 		perIter := make([]float64, len(prof.Counters))
 		for i, c := range prof.Counters {
@@ -189,14 +189,14 @@ func collectBenchmark(boardName string, b *workloads.Benchmark, seed int64) ([]O
 			}
 			rr, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
 			if err != nil {
-				return nil, 0, fmt.Errorf("core: measuring %s at %s: %v", b.Name, p, err)
+				return nil, 0, fmt.Errorf("core: measuring %s at %s: %w", b.Name, p, err)
 			}
 			rows = append(rows, Observation{
 				Benchmark: b.Name,
 				Scale:     scale,
 				Pair:      p,
-				CoreGHz:   dev.Spec().CoreFreqMHz(p.Core) / 1000,
-				MemGHz:    dev.Spec().MemFreqMHz(p.Mem) / 1000,
+				CoreGHz:   dev.Spec().CoreFreqGHz(p.Core),
+				MemGHz:    dev.Spec().MemFreqGHz(p.Mem),
 				Counters:  perIter,
 				TimeS:     rr.TimePerIteration(),
 				PowerW:    rr.Measurement.AvgWatts,

@@ -93,7 +93,7 @@ func Train(ds *Dataset, kind Kind, maxVars int) (*Model, error) {
 	x, y := designMatrix(kind, ds.Set, ds.Rows)
 	sel, err := regress.ForwardSelect(x, y, maxVars)
 	if err != nil {
-		return nil, fmt.Errorf("core: training %s model for %s: %v", kind, ds.Board, err)
+		return nil, fmt.Errorf("core: training %s model for %s: %w", kind, ds.Board, err)
 	}
 	return &Model{Kind: kind, Board: ds.Board, Set: ds.Set, Selection: sel}, nil
 }
@@ -120,7 +120,7 @@ func TrainNaive(ds *Dataset, kind Kind, maxVars int) (*Model, error) {
 	}
 	sel, err := regress.ForwardSelect(x, y, maxVars)
 	if err != nil {
-		return nil, fmt.Errorf("core: training naive %s model for %s: %v", kind, ds.Board, err)
+		return nil, fmt.Errorf("core: training naive %s model for %s: %w", kind, ds.Board, err)
 	}
 	return &Model{Kind: kind, Board: ds.Board, Set: ds.Set, Selection: sel, naive: true}, nil
 }

@@ -52,7 +52,7 @@ func (d *Dataset) Save(w io.Writer) error {
 func ReadDataset(r io.Reader) (*Dataset, error) {
 	var f datasetJSON
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("core: reading dataset: %v", err)
+		return nil, fmt.Errorf("core: reading dataset: %w", err)
 	}
 	if f.Version != persistVersion {
 		return nil, fmt.Errorf("core: dataset version %d unsupported (want %d)", f.Version, persistVersion)
@@ -113,7 +113,7 @@ func (m *Model) Save(w io.Writer) error {
 func ReadModel(r io.Reader) (*Model, error) {
 	var f modelJSON
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("core: reading model: %v", err)
+		return nil, fmt.Errorf("core: reading model: %w", err)
 	}
 	if f.Version != persistVersion {
 		return nil, fmt.Errorf("core: model version %d unsupported (want %d)", f.Version, persistVersion)

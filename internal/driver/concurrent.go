@@ -83,7 +83,7 @@ func (d *Device) LaunchConcurrent(ks []*gpu.KernelDesc) (*ConcurrentResult, erro
 		sim := gpu.New(&sub, d.clk)
 		res, err := sim.RunKernel(k)
 		if err != nil {
-			return nil, fmt.Errorf("driver: concurrent kernel %q: %v", k.Name, err)
+			return nil, fmt.Errorf("driver: concurrent kernel %q: %w", k.Name, err)
 		}
 		out.Launches = append(out.Launches, ConcurrentLaunch{Kernel: k.Name, SMs: sms, Time: res.Time})
 		if res.Time > out.Time {

@@ -44,30 +44,30 @@ type Device struct {
 func Open(img []byte) (*Device, error) {
 	decoded, err := bios.Parse(img)
 	if err != nil {
-		return nil, fmt.Errorf("driver: boot failed: %v", err)
+		return nil, fmt.Errorf("driver: boot failed: %w", err)
 	}
 	spec := arch.BoardByName(decoded.BoardName)
 	if spec == nil {
 		return nil, fmt.Errorf("driver: unknown board %q", decoded.BoardName)
 	}
 	if err := spec.Validate(); err != nil {
-		return nil, fmt.Errorf("driver: %v", err)
+		return nil, fmt.Errorf("driver: %w", err)
 	}
 	for _, l := range arch.Levels() {
 		e := decoded.Table[l]
-		if e.CoreMHz != float64(int(spec.CoreFreqMHz(l)+0.5)) || e.MemMHz != float64(int(spec.MemFreqMHz(l)+0.5)) {
+		if e.CoreMHz != float64(int(spec.CoreFreqMHz(l)+0.5)) || e.MemMHz != float64(int(spec.MemFreqMHz(l)+0.5)) { //gpulint:ignore unitsafety -- VBIOS tables store integral MHz; both sides are exact integers
 			return nil, fmt.Errorf("driver: VBIOS clock table disagrees with %s spec at level %s", spec.Name, l)
 		}
 	}
 
 	clk := clock.NewState(spec)
 	if err := clk.SetPair(decoded.Boot); err != nil {
-		return nil, fmt.Errorf("driver: boot clocks: %v", err)
+		return nil, fmt.Errorf("driver: boot clocks: %w", err)
 	}
 
 	own := append([]byte(nil), img...)
 	h := fnv.New64a()
-	h.Write([]byte(spec.Name))
+	_, _ = h.Write([]byte(spec.Name)) // fnv: hash.Hash.Write never errors
 	return &Device{
 		spec: spec,
 		img:  own,
@@ -95,18 +95,18 @@ func OpenBoard(name string) (*Device, error) {
 // must still validate.
 func OpenSpec(spec *arch.Spec) (*Device, error) {
 	if err := spec.Validate(); err != nil {
-		return nil, fmt.Errorf("driver: %v", err)
+		return nil, fmt.Errorf("driver: %w", err)
 	}
 	decoded, err := bios.Parse(bios.Build(spec))
 	if err != nil {
-		return nil, fmt.Errorf("driver: boot failed: %v", err)
+		return nil, fmt.Errorf("driver: boot failed: %w", err)
 	}
 	clk := clock.NewState(spec)
 	if err := clk.SetPair(decoded.Boot); err != nil {
-		return nil, fmt.Errorf("driver: boot clocks: %v", err)
+		return nil, fmt.Errorf("driver: boot clocks: %w", err)
 	}
 	h := fnv.New64a()
-	h.Write([]byte(spec.Name))
+	_, _ = h.Write([]byte(spec.Name)) // fnv: hash.Hash.Write never errors
 	return &Device{
 		spec: spec,
 		img:  bios.Build(spec),
@@ -140,11 +140,11 @@ func (d *Device) Meter() *meter.Meter { return d.inst }
 // are rejected and leave the device untouched.
 func (d *Device) SetClocks(p clock.Pair) error {
 	if err := bios.PatchBootPair(d.img, p); err != nil {
-		return fmt.Errorf("driver: %v", err)
+		return fmt.Errorf("driver: %w", err)
 	}
 	decoded, err := bios.Parse(d.img)
 	if err != nil {
-		return fmt.Errorf("driver: reboot failed: %v", err)
+		return fmt.Errorf("driver: reboot failed: %w", err)
 	}
 	return d.clk.SetPair(decoded.Boot)
 }
@@ -254,7 +254,7 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 	for _, k := range ks {
 		lr, err := d.Launch(k)
 		if err != nil {
-			return nil, fmt.Errorf("driver: workload %q: %v", name, err)
+			return nil, fmt.Errorf("driver: workload %q: %w", name, err)
 		}
 		launches = append(launches, lr)
 		iterTime += lr.Time
@@ -287,7 +287,7 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 	}
 	m, err := d.inst.Measure(out.Trace, d.rng)
 	if err != nil {
-		return nil, fmt.Errorf("driver: workload %q: %v", name, err)
+		return nil, fmt.Errorf("driver: workload %q: %w", name, err)
 	}
 	out.Measurement = m
 	return out, nil

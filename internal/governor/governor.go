@@ -119,8 +119,8 @@ func (g *Governor) predict(perIterCounters []float64, pair clock.Pair) predictio
 	spec := g.dev.Spec()
 	o := core.Observation{
 		Pair:     pair,
-		CoreGHz:  spec.CoreFreqMHz(pair.Core) / 1000,
-		MemGHz:   spec.MemFreqMHz(pair.Mem) / 1000,
+		CoreGHz:  spec.CoreFreqGHz(pair.Core),
+		MemGHz:   spec.MemFreqGHz(pair.Mem),
 		Counters: perIterCounters,
 	}
 	t := g.time.Predict(&o)

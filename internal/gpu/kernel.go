@@ -128,7 +128,7 @@ func (k *KernelDesc) Validate() error {
 	}
 	for i := range k.Phases {
 		if err := k.Phases[i].Validate(); err != nil {
-			return fmt.Errorf("gpu: kernel %q: %v", k.Name, err)
+			return fmt.Errorf("gpu: kernel %q: %w", k.Name, err)
 		}
 	}
 	return nil

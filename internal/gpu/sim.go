@@ -258,11 +258,11 @@ func (s *Sim) avgMemLatency(p *PhaseDesc) float64 {
 // FNV hashing; it seeds the per-run timing deviation.
 func irregularity(name string, blocks int) float64 {
 	h := fnv.New64a()
-	h.Write([]byte(name))
+	_, _ = h.Write([]byte(name)) // fnv: hash.Hash.Write never errors
 	var buf [2]byte
 	buf[0] = byte(blocks)
 	buf[1] = byte(blocks >> 8)
-	h.Write(buf[:])
+	_, _ = h.Write(buf[:]) // fnv: hash.Hash.Write never errors
 	return 2*float64(h.Sum64()%100000)/99999 - 1
 }
 

@@ -227,7 +227,7 @@ func Parse(r io.Reader) ([]*gpu.KernelDesc, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("kernelspec: %v", err)
+		return nil, fmt.Errorf("kernelspec: %w", err)
 	}
 	flushKernel()
 
@@ -236,7 +236,7 @@ func Parse(r io.Reader) ([]*gpu.KernelDesc, error) {
 	}
 	for _, k := range kernels {
 		if err := k.Validate(); err != nil {
-			return nil, fmt.Errorf("kernelspec: %v", err)
+			return nil, fmt.Errorf("kernelspec: %w", err)
 		}
 	}
 	return kernels, nil

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Concurrency enforces lock and goroutine hygiene ahead of the planned
+// parallelization of the internal/characterize sweeps.
+//
+// Two rules:
+//
+//  1. Lock-by-value: a sync.Mutex/RWMutex/WaitGroup/Once/Cond (or any
+//     struct containing one) must not be copied — copies of a held lock
+//     deadlock or silently stop excluding. Flagged: value receivers and
+//     parameters whose type contains a lock, assignments copying
+//     a lock-bearing value, and range clauses yielding lock-bearing
+//     elements. Taking a pointer, or constructing a fresh value with a
+//     composite literal or call, is fine.
+//
+//  2. Orphan goroutines: a `go` statement whose function shows no
+//     completion signal — no WaitGroup Add/Done, no channel operation,
+//     no select, no context — can outlive the experiment that spawned
+//     it. In a measurement harness that is not just a leak: a stray
+//     sweep goroutine keeps mutating the shared device while the next
+//     experiment measures, corrupting its numbers. For `go f(args)`
+//     with a named callee, passing a channel, context.Context or
+//     *sync.WaitGroup counts as the signal.
+var Concurrency = &Analyzer{
+	Name: "concurrency",
+	Doc:  "locks copied by value; goroutines without a completion signal",
+	Run:  runConcurrency,
+}
+
+func runConcurrency(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSignature(pass, info, n)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkLockCopy(pass, info, rhs)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := info.TypeOf(n.Value); t != nil && containsLock(t) {
+						pass.Reportf(n.Value.Pos(),
+							"range copies %s by value (contains a sync lock); range over indexes or pointers instead", t)
+					}
+				}
+			case *ast.GoStmt:
+				checkGoroutine(pass, info, n)
+			}
+			return true
+		})
+	}
+}
+
+// lockTypes are the sync types that must never be copied after first use.
+var lockTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Once":      true,
+	"sync.Cond":      true,
+}
+
+// containsLock reports whether a value of type t embeds a sync lock by
+// value (directly, in a struct field, or in an array element).
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && lockTypes[obj.Pkg().Path()+"."+obj.Name()] {
+			return true
+		}
+		return containsLockRec(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLockRec(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(t.Elem(), seen)
+	}
+	return false
+}
+
+// checkFuncSignature flags value receivers, parameters and results whose
+// type contains a lock.
+func checkFuncSignature(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, ptr := t.(*types.Pointer); ptr {
+				continue
+			}
+			if containsLock(t) {
+				pass.Reportf(field.Type.Pos(),
+					"%s %s passes %s by value (contains a sync lock); use a pointer", fd.Name.Name, kind, t)
+			}
+		}
+	}
+	// Results are deliberately not checked: returning a fresh value from a
+	// constructor (func NewX() X) copies an unlocked zero value, which is
+	// safe and idiomatic.
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+}
+
+// checkLockCopy flags assignments whose right-hand side copies an
+// existing lock-bearing value. Fresh values (composite literals, calls,
+// conversions producing new values) are fine.
+func checkLockCopy(pass *Pass, info *types.Info, rhs ast.Expr) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		// an existing addressable value: copying it copies the lock
+	default:
+		return
+	}
+	t := info.TypeOf(rhs)
+	if t == nil {
+		return
+	}
+	if _, ptr := t.(*types.Pointer); ptr {
+		return
+	}
+	if containsLock(t) {
+		pass.Reportf(rhs.Pos(), "assignment copies %s by value (contains a sync lock); use a pointer", t)
+	}
+}
+
+// checkGoroutine flags go statements with no visible completion signal.
+func checkGoroutine(pass *Pass, info *types.Info, g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if !hasCompletionSignal(info, lit.Body) {
+			pass.Reportf(g.Pos(),
+				"goroutine has no visible completion signal (WaitGroup, channel, select or context); the sweep cannot wait for or cancel it")
+		}
+		return
+	}
+	// Named callee: a channel, context or *sync.WaitGroup argument (or a
+	// lock-bearing receiver pointer) is taken as the completion path.
+	for _, arg := range g.Call.Args {
+		if isSignalType(info.TypeOf(arg)) {
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+		if isSignalType(info.TypeOf(sel.X)) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine has no visible completion signal (no WaitGroup/channel/context reaches it); the sweep cannot wait for or cancel it")
+}
+
+// isSignalType reports whether t can carry a completion signal: a
+// channel, a context.Context, a *sync.WaitGroup, or something containing
+// one of those.
+func isSignalType(t types.Type) bool {
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return isSignalType(t.Elem()) || containsLock(t.Elem())
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+			return true
+		}
+		return isSignalType(t.Underlying())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if isSignalType(t.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Interface:
+		// context.Context reaches here when named; other interfaces: no.
+		return false
+	}
+	return false
+}
+
+// hasCompletionSignal scans a goroutine body for any construct that ties
+// its lifetime to the launcher: channel sends/receives/closes, select,
+// WaitGroup method calls, or use of a context.
+func hasCompletionSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				if name == "Done" || name == "Add" || name == "Wait" || name == "Lock" || name == "Unlock" {
+					if isSignalType(info.TypeOf(fun.X)) || isSyncType(info.TypeOf(fun.X)) {
+						found = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if t := info.TypeOf(n); t != nil && isContextType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isSyncType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// CounterClass guards the paper's two-way counter classification.
+//
+// Eq. (1)/(2) of Abe et al. split every performance counter into a
+// core-event term (scaled by the core clock) and a memory-event term
+// (scaled by the memory clock); the unified power/time models are only
+// correct if every counter in internal/counters carries exactly one such
+// classification. Go's zero value makes this fragile: a Def composite
+// literal that omits the Class field silently becomes CoreEvent, and a
+// Class(n) conversion can smuggle in an out-of-range class. Both would
+// skew the Tables V–VIII regressions without any runtime error.
+//
+// The analyzer applies to any package declaring the counters shape — a
+// struct type Def with a field Class of an in-package integer enum type
+// Class — and checks, against the type-checked AST:
+//
+//  1. every keyed Def composite literal sets Class explicitly (the
+//     zero-value default is never an acceptable classification);
+//  2. every expression of type Class (Def field values and call
+//     arguments) is a declared enum constant or an identifier of type
+//     Class passing one through; conversions and bare integers are
+//     rejected;
+//  3. a literal counter name is registered at most once per registry
+//     function, so no counter can be classified twice.
+var CounterClass = &Analyzer{
+	Name: "counterclass",
+	Doc:  "every registered counter classified core/memory-event exactly once",
+	Run:  runCounterClass,
+}
+
+// counterShape is the resolved Def/Class pair of an applicable package.
+type counterShape struct {
+	defType   types.Type              // the Def struct
+	classType types.Type              // the Class enum
+	consts    map[string]*types.Const // declared constants of Class
+}
+
+// findCounterShape reports whether the package declares the counters
+// shape, resolving the Def and Class types and the enum constants.
+func findCounterShape(pkg *Package) (*counterShape, bool) {
+	scope := pkg.Types.Scope()
+	defObj, _ := scope.Lookup("Def").(*types.TypeName)
+	classObj, _ := scope.Lookup("Class").(*types.TypeName)
+	if defObj == nil || classObj == nil {
+		return nil, false
+	}
+	classType := classObj.Type()
+	if b, ok := classType.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	st, ok := defObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, false
+	}
+	hasClassField := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Class" && types.Identical(f.Type(), classType) {
+			hasClassField = true
+		}
+	}
+	if !hasClassField {
+		return nil, false
+	}
+	shape := &counterShape{
+		defType:   defObj.Type(),
+		classType: classType,
+		consts:    map[string]*types.Const{},
+	}
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), classType) {
+			shape.consts[name] = c
+		}
+	}
+	return shape, len(shape.consts) > 0
+}
+
+func runCounterClass(pass *Pass) {
+	shape, ok := findCounterShape(pass.Pkg)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// registered maps "registry scope \x00 counter name" to the first
+		// registration, so a counter cannot be classified twice. The
+		// scope is the enclosing registry function (teslaDefs, fermiDefs,
+		// ...); package-level registrations share one file-wide scope.
+		registered := map[string]token.Pos{}
+		register := func(pos token.Pos, name string) {
+			fd := enclosingFunc(file, pos)
+			key := fmt.Sprintf("%p\x00%s", fd, name)
+			if first, dup := registered[key]; dup {
+				pass.Reportf(pos, "counter %q registered more than once (first at %s); a counter must be classified exactly once",
+					name, pass.Pkg.Fset.Position(first))
+				return
+			}
+			registered[key] = pos
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				t := info.TypeOf(n)
+				if t == nil || !types.Identical(unpointer(t), shape.defType) {
+					return true
+				}
+				checkDefLiteral(pass, shape, register, n)
+			case *ast.CallExpr:
+				checkRegistryCall(pass, shape, register, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDefLiteral enforces explicit classification on a Def literal and
+// registers its counter name when that name is a compile-time constant.
+func checkDefLiteral(pass *Pass, shape *counterShape, register func(token.Pos, string), lit *ast.CompositeLit) {
+	info := pass.Pkg.Info
+	name := "counter"
+	classSet := false
+	keyed := len(lit.Elts) == 0
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue // positional literal: the compiler forces every field
+		}
+		keyed = true
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Class":
+			classSet = true
+			checkClassValue(pass, shape, kv.Value)
+		case "Name":
+			if tv, ok := info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				name = fmt.Sprintf("%q", constant.StringVal(tv.Value))
+				register(lit.Pos(), constant.StringVal(tv.Value))
+			}
+		}
+	}
+	if keyed && !classSet {
+		pass.Reportf(lit.Pos(),
+			"counter %s is not classified: Def literal omits the Class field (the zero value silently means core-event)", name)
+	}
+}
+
+// checkRegistryCall checks Class-typed call arguments and treats any call
+// carrying both a constant counter-name string and a Class argument as a
+// registration (the def(...) helper idiom).
+func checkRegistryCall(pass *Pass, shape *counterShape, register func(token.Pos, string), call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // a conversion like Class(7), already checked as a value
+	}
+	var constName string
+	hasClassArg := false
+	for _, arg := range call.Args {
+		t := info.TypeOf(arg)
+		if t != nil && types.Identical(t, shape.classType) {
+			hasClassArg = true
+			checkClassValue(pass, shape, arg)
+			continue
+		}
+		if constName == "" {
+			if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				constName = constant.StringVal(tv.Value)
+			}
+		}
+	}
+	if hasClassArg && constName != "" {
+		register(call.Pos(), constName)
+	}
+}
+
+// checkClassValue requires a Class-typed expression to be a declared enum
+// constant, or an identifier of type Class passing one through.
+func checkClassValue(pass *Pass, shape *counterShape, e ast.Expr) {
+	info := pass.Pkg.Info
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	}
+	switch obj.(type) {
+	case *types.Const:
+		return // a declared enum constant (CoreEvent / MemEvent)
+	case *types.Var:
+		return // a parameter or variable of type Class passing through
+	}
+	pass.Reportf(e.Pos(),
+		"counter class value is not a declared Class constant; use CoreEvent or MemEvent, not a conversion or literal")
+}
+
+// unpointer strips one level of pointer.
+func unpointer(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck enforces error hygiene in shipped code.
+//
+// Two rules:
+//
+//  1. A call whose result set includes an error must not be used as a
+//     bare statement: a dropped error from bios.PatchBootPair or
+//     driver.SetClocks means an experiment silently runs at the wrong
+//     frequency pair — the measurement completes and the numbers are
+//     wrong. Assigning to _ is accepted as an explicit acknowledgement,
+//     and deferred calls are exempt (deferred Close on read paths is
+//     conventional). Print-style helpers whose error is conventionally
+//     ignored (fmt.Print*/Fprint*, strings.Builder, bytes.Buffer) are
+//     whitelisted.
+//
+//  2. fmt.Errorf formatting an error operand with %v or %s severs the
+//     error chain: callers can no longer errors.Is/As through it. Use
+//     %w. (Positional/indexed format arguments are beyond this
+//     analyzer and are skipped.)
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "unchecked error returns; fmt.Errorf without %w",
+	Run:  runErrCheck,
+}
+
+// errcheckWhitelist lists callee full-name prefixes whose returned error
+// is conventionally ignored.
+var errcheckWhitelist = []string{
+	"fmt.Print",
+	"fmt.Fprint",
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+	"(*text/tabwriter.Writer).Write",
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// Deferred calls are exempt; goroutines belong to the
+				// concurrency analyzer. Still descend into the call's
+				// arguments and any function literal body.
+				return true
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedError(pass, info, call)
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, info, n)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's type includes an error result.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFullName resolves a call's static callee to its qualified name
+// ("fmt.Errorf", "(*strings.Builder).WriteString"), or "".
+func calleeFullName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+func checkDroppedError(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	if !returnsError(info, call) {
+		return
+	}
+	name := calleeFullName(info, call)
+	for _, w := range errcheckWhitelist {
+		if strings.HasPrefix(name, w) {
+			return
+		}
+	}
+	display := name
+	if display == "" {
+		display = "call"
+	}
+	pass.Reportf(call.Pos(), "unchecked error returned by %s; handle it or assign to _ explicitly", display)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error operand
+// with %v or %s instead of wrapping it with %w.
+func checkErrorfWrap(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	if calleeFullName(info, call) != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic format string: nothing to analyze
+	}
+	format := constant.StringVal(tv.Value)
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // indexed arguments: out of scope
+	}
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break // vet territory (missing args), not ours
+		}
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		argType := info.TypeOf(call.Args[argIdx])
+		if argType == nil {
+			continue
+		}
+		errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+		if isErrorType(argType) || types.Implements(argType, errType) {
+			pass.Reportf(call.Args[argIdx].Pos(),
+				"error formatted with %%%c severs the error chain; use %%w so callers can errors.Is/As through it", verb)
+		}
+	}
+}
+
+// formatVerbs returns the argument-consuming verbs of a printf format
+// string in order. It understands flags, width and precision (including
+// *, which consumes an argument and is reported as verb '*'). It bails
+// out (ok=false) on explicit argument indexes.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width / precision, each possibly *
+		for pass := 0; pass < 2; pass++ {
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+			if pass == 0 && i < len(format) && format[i] == '.' {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) && format[i] == '[' {
+			return nil, false
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,180 @@
+// Package lint is a project-specific static-analysis suite for gpuperf.
+//
+// The codebase encodes physical invariants the compiler cannot see: MHz
+// vs. Hz scaling factors in internal/clock, the core-event vs. memory-event
+// counter classification that the paper's Eq. (1)/(2) depend on, and
+// H/M/L frequency pairs from Tables I/III. A wrong unit or an unclassified
+// counter silently corrupts the Fig. 4 energy-saving ladder and the
+// Tables V–VIII regression results. The analyzers here turn those
+// invariants into build-time checks:
+//
+//   - unitsafety:   unit conversions on frequency/latency-named values
+//     outside whitelisted conversion helpers, and exact float
+//     ==/!= comparisons.
+//   - counterclass: every registered counter carries an explicit
+//     core-event/memory-event classification, exactly once.
+//   - errcheck:     unchecked error returns and fmt.Errorf wrapping an
+//     error with %v/%s instead of %w.
+//   - concurrency:  sync.Mutex/WaitGroup values copied by value, and
+//     goroutines launched with no visible completion signal.
+//
+// The framework is stdlib-only (go/ast, go/parser, go/types): the module
+// deliberately has an empty dependency set, so golang.org/x/tools is not
+// available. Packages are loaded and type-checked by the loader in
+// load.go; analyzers receive fully type-checked syntax.
+//
+// A finding can be acknowledged in place with a trailing line comment
+//
+//	//gpulint:ignore <analyzer>[,<analyzer>...] -- reason
+//
+// which suppresses diagnostics from the named analyzers on that line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at one source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named rule. Run inspects the package held by the Pass
+// and reports findings through it.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) pairing through a run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{UnitSafety, CounterClass, ErrCheck, Concurrency}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by file, line and column. Findings on lines carrying
+// a matching //gpulint:ignore directive are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := ignoreDirectives(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if ignores.covers(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreSet maps file:line to the analyzer names suppressed there
+// ("*" suppresses all).
+type ignoreSet map[string]map[string]bool
+
+func (s ignoreSet) covers(d Diagnostic) bool {
+	names := s[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
+	return names != nil && (names["*"] || names[d.Analyzer])
+}
+
+// ignoreDirectives collects //gpulint:ignore directives from a package.
+func ignoreDirectives(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//gpulint:ignore")
+				if !ok {
+					continue
+				}
+				// Everything after "--" is a human-readable reason.
+				if i := strings.Index(text, "--"); i >= 0 {
+					text = text[:i]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				names := set[key]
+				if names == nil {
+					names = map[string]bool{}
+					set[key] = names
+				}
+				fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+				if len(fields) == 0 {
+					names["*"] = true
+				}
+				for _, n := range fields {
+					names[n] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// enclosingFunc returns the innermost FuncDecl containing pos in file,
+// or nil for package-level positions.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

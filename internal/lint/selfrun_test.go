@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestSelfRun is the meta-test: the full analyzer suite runs over this
+// repository itself, and any finding fails tier-1 `go test ./...`. This
+// is what keeps the unit, counter-classification, error and concurrency
+// invariants enforced as the codebase grows — a new violation anywhere
+// in the module breaks the build.
+func TestSelfRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module sweep is not covering the tree", len(pkgs))
+	}
+
+	// The counterclass analyzer must actually recognize the real
+	// internal/counters package — otherwise its completeness guarantee
+	// is silently void.
+	var counters *Package
+	for _, p := range pkgs {
+		if p.Path == "gpuperf/internal/counters" {
+			counters = p
+		}
+	}
+	if counters == nil {
+		t.Fatal("internal/counters not among loaded packages")
+	}
+	shape, ok := findCounterShape(counters)
+	if !ok {
+		t.Fatal("counterclass analyzer no longer recognizes internal/counters (Def/Class shape changed); its guarantee is void")
+	}
+	if len(shape.consts) < 2 {
+		t.Fatalf("expected at least CoreEvent and MemEvent constants, found %d", len(shape.consts))
+	}
+
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("gpulint: %s", d)
+	}
+}

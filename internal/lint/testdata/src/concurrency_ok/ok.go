@@ -1,0 +1,69 @@
+// Package concurrency_ok is a lint fixture: the concurrency analyzer
+// must report nothing here.
+package concurrency_ok
+
+import (
+	"context"
+	"sync"
+)
+
+type device struct {
+	mu sync.Mutex
+	n  int
+}
+
+// count takes the receiver by pointer, so the mutex is never copied.
+func (d *device) count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// sweep is the sanctioned worker-pool shape: WaitGroup plus channels.
+func sweep(items []int) int {
+	var wg sync.WaitGroup
+	results := make(chan int, len(items))
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			results <- v * 2
+		}(it)
+	}
+	wg.Wait()
+	close(results)
+	total := 0
+	for r := range results {
+		total += r
+	}
+	return total
+}
+
+// watch ties the goroutine's lifetime to a context.
+func watch(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// launch hands the worker a channel: the completion path is visible in
+// the call.
+func launch(jobs chan int) {
+	go worker(jobs)
+}
+
+func worker(jobs chan int) {
+	for range jobs {
+	}
+}
+
+var _ = (*device).count
+var _ = sweep
+var _ = watch
+var _ = launch

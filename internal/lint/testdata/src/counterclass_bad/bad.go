@@ -1,0 +1,38 @@
+// Package counterclass_bad is a lint fixture mirroring the shape of
+// internal/counters: every line marked with a want comment must be
+// flagged by the counterclass analyzer. The first case is the
+// acceptance-critical one — a counter left unclassified (the zero value
+// would silently mean core-event and skew the Eq. (1)/(2) split).
+package counterclass_bad
+
+type Class int
+
+const (
+	CoreEvent Class = iota
+	MemEvent
+)
+
+type Def struct {
+	Name  string
+	Class Class
+}
+
+func def(name string, c Class) Def { return Def{Name: name, Class: c} }
+
+var defs = []Def{
+	{Name: "inst_executed", Class: CoreEvent},
+	{Name: "dram_reads"}, // want:counterclass "not classified"
+}
+
+var smuggled = def("atom_count", Class(7)) // want:counterclass "not a declared Class constant"
+
+func registry() []Def {
+	return []Def{
+		def("branch", CoreEvent),
+		def("branch", MemEvent), // want:counterclass "registered more than once"
+	}
+}
+
+var _ = defs
+var _ = smuggled
+var _ = registry

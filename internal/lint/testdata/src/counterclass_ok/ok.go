@@ -1,0 +1,39 @@
+// Package counterclass_ok is a lint fixture: the counterclass analyzer
+// must report nothing here.
+package counterclass_ok
+
+type Class int
+
+const (
+	CoreEvent Class = iota
+	MemEvent
+)
+
+type Def struct {
+	Name  string
+	Class Class
+}
+
+// def passes the class through a parameter of type Class — the sanctioned
+// registration idiom.
+func def(name string, c Class) Def { return Def{Name: name, Class: c} }
+
+func teslaDefs() []Def {
+	return []Def{
+		def("branch", CoreEvent),
+		def("dram_reads", MemEvent),
+	}
+}
+
+// fermiDefs may reuse a name from another generation's registry: the
+// exactly-once rule is per registry function.
+func fermiDefs() []Def {
+	return []Def{def("branch", CoreEvent)}
+}
+
+// extra is a fully keyed literal with an explicit classification.
+var extra = Def{Name: "l2_hits", Class: MemEvent}
+
+var _ = teslaDefs
+var _ = fermiDefs
+var _ = extra

@@ -1,0 +1,32 @@
+// Package errcheck_bad is a lint fixture: every line marked with a want
+// comment must be flagged by the errcheck analyzer.
+package errcheck_bad
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func patch() error { return errors.New("invalid pair") }
+
+func run() {
+	patch()        // want:errcheck "unchecked error"
+	os.Remove("x") // want:errcheck "unchecked error"
+}
+
+func wrap() error {
+	if err := patch(); err != nil {
+		return fmt.Errorf("sweep: %v", err) // want:errcheck "use %w"
+	}
+	return nil
+}
+
+func describe() string {
+	err := patch()
+	return fmt.Errorf("sweep failed: %s", err).Error() // want:errcheck "use %w"
+}
+
+var _ = run
+var _ = wrap
+var _ = describe

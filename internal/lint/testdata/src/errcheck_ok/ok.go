@@ -1,0 +1,37 @@
+// Package errcheck_ok is a lint fixture: the errcheck analyzer must
+// report nothing here.
+package errcheck_ok
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func run() error {
+	if err := os.Remove("x"); err != nil {
+		return fmt.Errorf("cleanup: %w", err)
+	}
+	_ = os.Remove("y")  // assigning to _ is an explicit acknowledgement
+	fmt.Println("done") // print helpers are whitelisted
+	return nil
+}
+
+func report(err error) {
+	// Fprintf is whitelisted, and %v on an error is only a finding
+	// inside fmt.Errorf, where it severs the wrap chain.
+	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+}
+
+func read(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // deferred close on a read path is exempt
+	return io.ReadAll(f)
+}
+
+var _ = run
+var _ = report
+var _ = read

@@ -1,0 +1,10 @@
+// Package ignored is a lint fixture for the //gpulint:ignore directive:
+// the flagged comparison below is suppressed with a reason, so the suite
+// must report nothing.
+package ignored
+
+func same(a, b float64) bool {
+	return a == b //gpulint:ignore unitsafety -- fixture: bit-exactness is the point here
+}
+
+var _ = same

@@ -1,0 +1,31 @@
+// Package unitsafety_bad is a lint fixture: every line marked with a
+// want comment must be flagged by the unitsafety analyzer.
+package unitsafety_bad
+
+type spec struct {
+	CoreFreqMHz   float64
+	DRAMLatencyNS float64
+}
+
+// bandwidth converts MHz to Hz inline, outside any conversion helper —
+// the bug class that silently rescales the whole energy ladder.
+func bandwidth(s *spec) float64 {
+	return s.CoreFreqMHz * 1e6 // want:unitsafety "unit conversion"
+}
+
+func latencyBudget(s *spec) float64 {
+	return s.DRAMLatencyNS / 1e9 // want:unitsafety "unit conversion"
+}
+
+func sameFreq(a, b float64) bool {
+	return a == b // want:unitsafety "exact float"
+}
+
+func drifted(meas, truth float64) bool {
+	return meas != truth // want:unitsafety "exact float"
+}
+
+var _ = bandwidth
+var _ = latencyBudget
+var _ = sameFreq
+var _ = drifted

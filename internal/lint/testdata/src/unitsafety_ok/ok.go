@@ -1,0 +1,37 @@
+// Package unitsafety_ok is a lint fixture: the unitsafety analyzer must
+// report nothing here.
+package unitsafety_ok
+
+type spec struct {
+	CoreFreqMHz   float64
+	DRAMLatencyNS float64
+}
+
+// CoreHz is a declared conversion helper: the unit suffix names the
+// contract, so the MHz→Hz literal is sanctioned.
+func (s *spec) CoreHz() float64 { return s.CoreFreqMHz * 1e6 }
+
+// LatencySec likewise.
+func (s *spec) LatencySec() float64 { return s.DRAMLatencyNS * 1e-9 }
+
+const eps = 1e-9
+
+func within(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// unset compares against exact zero, the one float sentinel that is
+// preserved exactly.
+func unset(x float64) bool { return x == 0 }
+
+// doubled multiplies by a non-unit literal; only powers of a thousand
+// are unit conversions.
+func doubled(s *spec) float64 { return s.CoreFreqMHz * 2 }
+
+var _ = within
+var _ = unset
+var _ = doubled

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitSafety guards the MHz/Hz/ns unit conventions of the clock model.
+//
+// Frequencies cross the codebase in two unit systems: arch.Spec stores
+// board tables in MHz (Table I of the paper), while the timing simulator
+// and the energy model consume hertz and seconds. The only sanctioned
+// crossings are the conversion helpers (clock.State.CoreHz and friends,
+// and the arch derived-quantity accessors). Anywhere else, multiplying a
+// frequency- or latency-named value by a power-of-a-thousand literal is
+// a unit conversion hiding in model code — the exact bug class that
+// corrupts the Fig. 4 ladder silently, since a 1e3 error still produces
+// plausible-looking joules.
+//
+// The same analyzer flags exact float ==/!= comparisons: regression
+// coefficients, R̄² scores and energy totals come out of iterative
+// arithmetic, so exact comparison is almost always a latent bug.
+// Comparisons against an exact constant 0 are allowed (zero is a common
+// sentinel and is preserved exactly), as are packages clock and arch —
+// the two places whose whole job is unit conversion.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "unit conversions outside conversion helpers; exact float equality",
+	Run:  runUnitSafety,
+}
+
+// unitScales are the power-of-a-thousand factors that convert between
+// MHz/GHz/Hz and ns/s.
+var unitScales = map[float64]bool{
+	1e3: true, 1e6: true, 1e9: true,
+	1e-3: true, 1e-6: true, 1e-9: true,
+}
+
+// conversionPackages may convert units freely: they define the unit system.
+var conversionPackages = map[string]bool{"clock": true, "arch": true}
+
+// unitSuffixes mark identifiers carrying an explicit unit, and functions
+// whose name promises a unit conversion.
+var unitSuffixes = []string{"Hz", "NS", "Ns", "Sec", "Secs", "GBs", "PerSec"}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// unitName extracts the identifier name an expression is "about":
+// x.CoreFreqMHz(...) → CoreFreqMHz, spec.DRAMLatencyNS → DRAMLatencyNS.
+func unitName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		return unitName(e.Fun)
+	case *ast.ParenExpr:
+		return unitName(e.X)
+	}
+	return ""
+}
+
+func runUnitSafety(pass *Pass) {
+	if conversionPackages[pass.Pkg.Name] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.MUL, token.QUO:
+				checkUnitMix(pass, file, be)
+			case token.EQL, token.NEQ:
+				checkFloatEq(pass, info, be)
+			}
+			return true
+		})
+	}
+}
+
+// checkUnitMix flags freqLike * 1e6 (and /, in either operand order)
+// outside functions whose name itself carries a unit suffix.
+func checkUnitMix(pass *Pass, file *ast.File, be *ast.BinaryExpr) {
+	info := pass.Pkg.Info
+	scaleOf := func(e ast.Expr) (float64, bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil {
+			return 0, false
+		}
+		f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return f, unitScales[f]
+	}
+	check := func(val, lit ast.Expr) {
+		name := unitName(val)
+		if name == "" || !hasUnitSuffix(name) {
+			return
+		}
+		scale, ok := scaleOf(lit)
+		if !ok {
+			return
+		}
+		// A constant-valued "frequency" operand is itself a literal
+		// (e.g. a named const table); that is a definition, not a use.
+		if tv, ok := info.Types[val]; ok && tv.Value != nil {
+			return
+		}
+		if fd := enclosingFunc(file, be.Pos()); fd != nil && hasUnitSuffix(fd.Name.Name) {
+			return // a declared conversion helper
+		}
+		pass.Reportf(be.Pos(),
+			"unit conversion (%s %s %g) outside a conversion helper; use the clock/arch accessors or name the function with a unit suffix",
+			name, be.Op, scale)
+	}
+	check(be.X, be.Y)
+	check(be.Y, be.X)
+}
+
+// checkFloatEq flags exact ==/!= between floating-point operands.
+func checkFloatEq(pass *Pass, info *types.Info, be *ast.BinaryExpr) {
+	isFloat := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	isZero := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil {
+			return false
+		}
+		f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return f == 0
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && tv.Value != nil
+	}
+	if !isFloat(be.X) || !isFloat(be.Y) {
+		return
+	}
+	if isZero(be.X) || isZero(be.Y) {
+		return // zero is preserved exactly; a common "unset" sentinel
+	}
+	if isConst(be.X) && isConst(be.Y) {
+		return // compile-time comparison
+	}
+	pass.Reportf(be.Pos(),
+		"exact float %s comparison in model code; compare against a tolerance (or //gpulint:ignore unitsafety if bit-exactness is the point)",
+		be.Op)
+}

@@ -65,7 +65,7 @@ func (t Trace) Append(duration, watts float64) Trace {
 	if duration <= 0 {
 		return t
 	}
-	if n := len(t); n > 0 && t[n-1].Watts == watts {
+	if n := len(t); n > 0 && t[n-1].Watts == watts { //gpulint:ignore unitsafety -- segments merge only on bit-identical power levels
 		t[n-1].Duration += duration
 		return t
 	}

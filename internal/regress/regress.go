@@ -233,7 +233,7 @@ func ForwardSelect(x [][]float64, y []float64, maxVars int) (*Selection, error) 
 		bestJ, bestAdj := -1, math.Inf(-1)
 		var bestFit *Fit
 		for c := range results {
-			if c.fit.AdjR2 > bestAdj || (c.fit.AdjR2 == bestAdj && c.j < bestJ) {
+			if c.fit.AdjR2 > bestAdj || (c.fit.AdjR2 == bestAdj && c.j < bestJ) { //gpulint:ignore unitsafety -- exact tie-break keeps selection independent of goroutine scheduling
 				bestJ, bestAdj, bestFit = c.j, c.fit.AdjR2, c.fit
 			}
 		}

@@ -70,10 +70,10 @@ func (c *Chart) String() string {
 			ymin, ymax = math.Min(ymin, s.ys[i]), math.Max(ymax, s.ys[i])
 		}
 	}
-	if xmax == xmin {
+	if xmax == xmin { //gpulint:ignore unitsafety -- guards division by zero, which only exact equality causes
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax == ymin { //gpulint:ignore unitsafety -- guards division by zero, which only exact equality causes
 		ymax = ymin + 1
 	}
 	// A little vertical headroom reads better.

@@ -176,7 +176,7 @@ func (p *Plan) add(job string, o Option) {
 func frontier(opts []Option) []Option {
 	sorted := append([]Option(nil), opts...)
 	sort.Slice(sorted, func(a, b int) bool {
-		if sorted[a].TimeS != sorted[b].TimeS {
+		if sorted[a].TimeS != sorted[b].TimeS { //gpulint:ignore unitsafety -- sort comparator; exact tie-break keeps the order total
 			return sorted[a].TimeS < sorted[b].TimeS
 		}
 		return sorted[a].EnergyJ < sorted[b].EnergyJ

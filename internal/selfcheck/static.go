@@ -1,0 +1,35 @@
+package selfcheck
+
+import (
+	"fmt"
+
+	"gpuperf/internal/lint"
+)
+
+// RunStatic executes the gpulint analyzer suite over the module rooted
+// at root — the static half of the apparatus check. Where Run exercises
+// dynamic invariants (energy conservation, DVFS monotonicity, …),
+// RunStatic verifies the invariants the compiler cannot see: unit-safe
+// frequency arithmetic, a complete core/memory-event counter
+// classification, error hygiene and concurrency hygiene. One Result per
+// analyzer, plus one for the load/type-check itself.
+func RunStatic(root string) []Result {
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		return []Result{{Name: "lint/load", OK: false, Detail: err.Error()}}
+	}
+	out := []Result{{
+		Name:   "lint/load",
+		OK:     true,
+		Detail: fmt.Sprintf("%d packages type-checked", len(pkgs)),
+	}}
+	for _, a := range lint.All() {
+		diags := lint.Run(pkgs, []*lint.Analyzer{a})
+		r := Result{Name: "lint/" + a.Name, OK: len(diags) == 0, Detail: "clean"}
+		if len(diags) > 0 {
+			r.Detail = fmt.Sprintf("%d findings, first: %s", len(diags), diags[0])
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -93,8 +93,8 @@ func (b *Benchmark) HostGap(scale float64) float64 {
 		// widely; spread the fixed part over [15 ms, 400 ms] and the
 		// size-dependent (memcpy) part over [4 ms, 150 ms] per unit scale.
 		h := fnv.New32a()
-		h.Write([]byte(b.Name))
-		h.Write([]byte("host"))
+		_, _ = h.Write([]byte(b.Name)) // fnv: hash.Hash.Write never errors
+		_, _ = h.Write([]byte("host"))
 		v := h.Sum32()
 		fixed = 0.015 + 0.385*float64(v%997)/996
 		perScale = 0.004 + 0.146*float64((v/997)%997)/996
@@ -156,8 +156,8 @@ func kern(name string, nblocks, tpb, regs, shared int, ph gpu.PhaseDesc) *gpu.Ke
 // the input data, not just the kernel code.
 func activityFactor(name string, nblocks int) float64 {
 	h := fnv.New32a()
-	h.Write([]byte(name))
-	h.Write([]byte{byte(nblocks), byte(nblocks >> 8)})
+	_, _ = h.Write([]byte(name)) // fnv: hash.Hash.Write never errors
+	_, _ = h.Write([]byte{byte(nblocks), byte(nblocks >> 8)})
 	return 0.62 + 0.85*float64(h.Sum32()%1000)/999
 }
 

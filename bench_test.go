@@ -12,6 +12,7 @@
 package gpuperf
 
 import (
+	"io"
 	"sync"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"gpuperf/internal/driver"
 	"gpuperf/internal/regress"
 	"gpuperf/internal/report"
+	"gpuperf/internal/reproduce"
 	"gpuperf/internal/thermal"
 	"gpuperf/internal/workloads"
 )
@@ -507,7 +509,7 @@ func BenchmarkExtensionThermal(b *testing.B) {
 			b.Fatal(err)
 		}
 		params := thermal.DefaultParams(dev.Spec().CoreLeakWatts)
-		res, err := thermal.Simulate(rr.Trace, params, params.AmbientC)
+		res, err := thermal.Simulate(rr.Trace.Flatten(), params, params.AmbientC)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -576,4 +578,17 @@ func BenchmarkAblationRidge(b *testing.B) {
 	}
 	b.ReportMetric(forward, "forward10-err-%")
 	b.ReportMetric(ridge, "ridge-all-err-%")
+}
+
+// BenchmarkReproduce runs the complete paper reproduction — every table,
+// figure, ablation and the future-work extension — end to end, exactly as
+// cmd/paper does. This is the PR-acceptance wall-clock benchmark; the
+// before/after numbers live in BENCH_baseline.json.
+func BenchmarkReproduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := reproduce.DefaultOptions()
+		if _, err := reproduce.Run(opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/characterize"
@@ -29,6 +30,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV where available")
 	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
 	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"sweep pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
 	flag.Parse()
 
 	if *table == 0 && *fig == 0 && !*suite {
@@ -63,7 +66,8 @@ func main() {
 		}
 		name := figBench[n]
 		for _, spec := range boards {
-			results, err := characterize.SweepBoard(spec.Name, []*workloads.Benchmark{workloads.ByName(name)}, *seed)
+			results, err := characterize.SweepBoardParallel(spec.Name,
+				[]*workloads.Benchmark{workloads.ByName(name)}, *seed, *workers)
 			if err != nil {
 				fatal(err)
 			}
@@ -96,7 +100,7 @@ func main() {
 	}
 
 	if *all || *table == 4 || *fig == 4 {
-		results, err := characterize.Table4(*seed)
+		results, err := characterize.Table4Workers(*seed, *workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -143,7 +143,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := trace.FromRun(name, rr.Trace).WriteJSON(f); err != nil {
+		if err := trace.FromRun(name, rr.Trace.Flatten()).WriteJSON(f); err != nil {
 			_ = f.Close() // already failing; surface the write error
 			fatal(err)
 		}

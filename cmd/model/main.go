@@ -15,11 +15,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/core"
 	"gpuperf/internal/report"
+	"gpuperf/internal/workloads"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 	board := flag.String("board", "", "restrict figures to one board (default: all)")
 	vars := flag.Int("vars", core.MaxVariables, "explanatory-variable cap")
 	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"collect pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
 	saveDir := flag.String("save", "", "directory to write trained models and datasets as JSON")
 	diagnose := flag.Bool("diagnose", false, "print per-variable VIF and standardized coefficients")
 	flag.Parse()
@@ -42,7 +46,7 @@ func main() {
 
 	datasets := map[string]*core.Dataset{}
 	for _, spec := range boards {
-		ds, err := core.CollectAll(spec.Name, *seed)
+		ds, err := core.CollectParallel(spec.Name, workloads.ModelingSet(), *seed, *workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -14,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"gpuperf/internal/driver"
 	"gpuperf/internal/reproduce"
 )
 
@@ -24,10 +26,18 @@ func main() {
 	board := flag.String("board", "", "restrict to one board")
 	artifacts := flag.String("artifacts", "", "also write per-table/figure CSVs into this directory")
 	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"sweep/collect pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
+	nocache := flag.Bool("nocache", false,
+		"disable launch memoization (uncached reference mode; output is identical either way)")
 	flag.Parse()
 
+	if *nocache {
+		driver.SetLaunchCachingEnabled(false)
+	}
 	opts := reproduce.DefaultOptions()
 	opts.Seed = *seed
+	opts.Workers = *workers
 	if *quick {
 		opts.Modeling = false
 		opts.Ablations = false

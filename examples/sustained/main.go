@@ -26,7 +26,7 @@ func main() {
 		}
 
 		params := gpuperf.DefaultThermalParams(dev.Spec())
-		res, err := gpuperf.SimulateThermal(rr.Trace, params, params.AmbientC)
+		res, err := gpuperf.SimulateThermal(rr.Trace.Flatten(), params, params.AmbientC)
 		if err != nil {
 			log.Fatal(err)
 		}

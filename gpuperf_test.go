@@ -224,7 +224,7 @@ func TestThermalFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	params := DefaultThermalParams(dev.Spec())
-	res, err := SimulateThermal(rr.Trace, params, params.AmbientC)
+	res, err := SimulateThermal(rr.Trace.Flatten(), params, params.AmbientC)
 	if err != nil {
 		t.Fatal(err)
 	}

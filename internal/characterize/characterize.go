@@ -8,6 +8,8 @@ package characterize
 
 import (
 	"fmt"
+	"hash/fnv"
+	"runtime"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/clock"
@@ -120,52 +122,144 @@ func SweepBenchmark(dev *driver.Device, b *workloads.Benchmark) (*BenchResult, e
 	return out, nil
 }
 
-// SweepBoard sweeps a set of benchmarks on one board.
-func SweepBoard(boardName string, benches []*workloads.Benchmark, seed int64) ([]*BenchResult, error) {
+// sweepSeed derives one benchmark's independent noise seed: seed ⊕
+// FNV-1a(benchmark name), the same scheme core.Collect uses. Independent
+// per-benchmark streams are what make sequential and parallel sweeps
+// byte-identical — no benchmark's noise depends on which benchmarks ran
+// before it on the same device.
+func sweepSeed(seed int64, benchName string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(benchName)) // fnv: hash.Hash.Write never errors
+	return seed ^ int64(h.Sum64())
+}
+
+// sweepBench measures one benchmark on a freshly booted board with its
+// own independently seeded noise stream.
+func sweepBench(boardName string, b *workloads.Benchmark, seed int64) (*BenchResult, error) {
 	dev, err := driver.OpenBoard(boardName)
 	if err != nil {
 		return nil, err
 	}
-	dev.Seed(seed)
-	var out []*BenchResult
-	for _, b := range benches {
-		r, err := SweepBenchmark(dev, b)
+	dev.Seed(sweepSeed(seed, b.Name))
+	return SweepBenchmark(dev, b)
+}
+
+// SweepBoard sweeps a set of benchmarks on one board, sequentially. Each
+// benchmark runs on its own device with an independent noise seed, so the
+// output is byte-identical to SweepBoardParallel at any worker count.
+func SweepBoard(boardName string, benches []*workloads.Benchmark, seed int64) ([]*BenchResult, error) {
+	out := make([]*BenchResult, len(benches))
+	for i, b := range benches {
+		r, err := sweepBench(boardName, b, seed)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
+		out[i] = r
+	}
+	return out, nil
+}
+
+// SweepBoardParallel is SweepBoard with the benchmarks measured by a
+// worker pool, mirroring core.CollectParallel. Each worker boots its own
+// device per benchmark, so there is no shared mutable state, and the
+// per-benchmark seeding makes the result byte-identical to SweepBoard.
+func SweepBoardParallel(boardName string, benches []*workloads.Benchmark, seed int64, workers int) ([]*BenchResult, error) {
+	return sweepPool(
+		func(int) string { return boardName },
+		func(job int) *workloads.Benchmark { return benches[job] },
+		seed, workers, len(benches))
+}
+
+// sweepPool runs `jobs` (board, benchmark) measurements through a bounded
+// worker pool and returns the results in job order. Both channels are
+// buffered to the job count so every goroutine can always complete: the
+// workers drain a pre-filled job queue and deliver into spare capacity
+// even if a consumer were to stop reading early (the leak-proofing audit
+// of core.collect, applied from the start).
+func sweepPool(boardOf func(int) string, benchOf func(int) *workloads.Benchmark,
+	seed int64, workers, jobs int) ([]*BenchResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	type done struct {
+		idx int
+		res *BenchResult
+		err error
+	}
+	queue := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		queue <- i
+	}
+	close(queue)
+	results := make(chan done, jobs)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for idx := range queue {
+				r, err := sweepBench(boardOf(idx), benchOf(idx), seed)
+				results <- done{idx: idx, res: r, err: err}
+			}
+		}()
+	}
+	out := make([]*BenchResult, jobs)
+	var firstErr error
+	firstIdx := jobs
+	for i := 0; i < jobs; i++ {
+		d := <-results
+		if d.err != nil && d.idx < firstIdx {
+			firstErr, firstIdx = d.err, d.idx
+		}
+		out[d.idx] = d.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// SweepBoards sweeps the benches on every named board through one shared
+// worker pool over (board, benchmark) jobs — the full-width fan-out the
+// larger DVFS grids need. Results are indexed [board][benchmark] and
+// byte-identical to per-board SweepBoard calls.
+func SweepBoards(boardNames []string, benches []*workloads.Benchmark, seed int64, workers int) (map[string][]*BenchResult, error) {
+	nb := len(benches)
+	jobs := len(boardNames) * nb
+	if jobs == 0 {
+		return map[string][]*BenchResult{}, nil
+	}
+	flat, err := sweepPool(
+		func(idx int) string { return boardNames[idx/nb] },
+		func(idx int) *workloads.Benchmark { return benches[idx%nb] },
+		seed, workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]*BenchResult, len(boardNames))
+	for bi, name := range boardNames {
+		out[name] = flat[bi*nb : (bi+1)*nb]
 	}
 	return out, nil
 }
 
 // Table4 runs the full Table IV experiment: every Table IV benchmark on
-// every board, returning results indexed [board][benchmark]. The four
-// boards are swept concurrently — each sweep owns its device, and each
-// board's noise stream is seeded independently, so the results are
-// identical to sequential execution.
+// every board, returning results indexed [board][benchmark], with the
+// (board, benchmark) grid swept by one GOMAXPROCS-wide worker pool.
 func Table4(seed int64) (map[string][]*BenchResult, error) {
+	return Table4Workers(seed, runtime.GOMAXPROCS(0))
+}
+
+// Table4Workers is Table4 with an explicit worker count; 1 is the
+// bit-exact sequential reference (the output is identical either way —
+// every (board, benchmark) cell owns its device and noise stream).
+func Table4Workers(seed int64, workers int) (map[string][]*BenchResult, error) {
 	boards := arch.AllBoards()
-	type sweep struct {
-		board string
-		res   []*BenchResult
-		err   error
+	names := make([]string, len(boards))
+	for i, s := range boards {
+		names[i] = s.Name
 	}
-	results := make(chan sweep, len(boards))
-	for _, spec := range boards {
-		go func(name string) {
-			res, err := SweepBoard(name, workloads.Table4(), seed)
-			results <- sweep{board: name, res: res, err: err}
-		}(spec.Name)
-	}
-	out := make(map[string][]*BenchResult, len(boards))
-	for range boards {
-		s := <-results
-		if s.err != nil {
-			return nil, s.err
-		}
-		out[s.board] = s.res
-	}
-	return out, nil
+	return SweepBoards(names, workloads.Table4(), seed, workers)
 }
 
 // MeanImprovementPct averages the Fig. 4 metric over a board's results.

@@ -17,7 +17,6 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
-	"sync"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/clock"
@@ -109,41 +108,49 @@ func collect(boardName string, benches []*workloads.Benchmark, seed int64, worke
 		samples int
 		err     error
 	}
-	jobs := make(chan int)
-	results := make(chan chunk)
-	var wg sync.WaitGroup
+	// Both channels are buffered to the benchmark count so every worker
+	// can always deliver its chunk and exit. The previous unbuffered
+	// version leaked on error: the collector returned at the first failed
+	// chunk while the remaining workers blocked forever sending results
+	// (and the feeder goroutine blocked sending jobs).
+	if workers > len(benches) {
+		workers = len(benches)
+	}
+	jobs := make(chan int, len(benches))
+	for i := range benches {
+		jobs <- i
+	}
+	close(jobs)
+	results := make(chan chunk, len(benches))
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
-			defer wg.Done()
 			for idx := range jobs {
-				rows, samples, err := collectBenchmark(boardName, benches[idx], seed)
+				rows, samples, err := collectBench(boardName, benches[idx], seed)
 				results <- chunk{idx: idx, rows: rows, samples: samples, err: err}
 			}
 		}()
 	}
-	go func() {
-		for i := range benches {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
 
+	// Collect every chunk, then fail on the lowest-index error so the
+	// reported error does not depend on goroutine scheduling.
 	ordered := make([]chunk, len(benches))
-	for c := range results {
-		if c.err != nil {
-			return nil, c.err
-		}
+	for range benches {
+		c := <-results
 		ordered[c.idx] = c
 	}
 	for _, c := range ordered {
+		if c.err != nil {
+			return nil, c.err
+		}
 		ds.Rows = append(ds.Rows, c.rows...)
 		ds.Samples += c.samples
 	}
 	return ds, nil
 }
+
+// collectBench is the per-benchmark collector the pool workers call; a
+// variable so tests can inject failures into the error path.
+var collectBench = collectBenchmark
 
 // collectBenchmark gathers one benchmark's samples on its own device.
 func collectBenchmark(boardName string, b *workloads.Benchmark, seed int64) ([]Observation, int, error) {

@@ -1,0 +1,156 @@
+package driver
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/counters"
+	"gpuperf/internal/meter"
+)
+
+// The launch cache memoizes the *noiseless* outcome of a kernel launch:
+// the simulated execution time, the per-launch power waveform, and the
+// base activity vector. All of these are pure functions of (board spec,
+// programmed clock pair, kernel description) — the interval simulator and
+// the hardware power model draw no randomness. Everything stochastic
+// (profiler counter jitter, meter sampling noise) is applied *after* a
+// cache lookup, from the device's own rng, so a run consumes exactly the
+// same noise stream whether its launches hit or miss the cache and the
+// results are byte-identical either way.
+
+// launchKey identifies one cacheable launch. The profiler flag is part of
+// the key even though the cached payload is noise-free: keeping profiled
+// and unprofiled populations separate makes the cache's behaviour easy to
+// audit per ISSUE of record, at the cost of at most doubling entries.
+type launchKey struct {
+	spec      uint64 // board-spec fingerprint (full contents, not the name)
+	pair      clock.Pair
+	kernel    uint64 // gpu.KernelDesc fingerprint
+	profiling bool
+}
+
+// cachedLaunch is the immutable noiseless payload. The trace must never be
+// handed to callers directly — meter.Trace.Append mutates its last segment
+// in place, so exposure requires a copy (see Device.Launch).
+type cachedLaunch struct {
+	time  float64
+	trace meter.Trace
+	acts  counters.Vector
+}
+
+// DefaultSharedLaunchCacheEntries bounds the process-wide cache. A full
+// reproduction touches a few thousand distinct (spec, pair, kernel)
+// combinations; entries are a few hundred bytes each.
+const DefaultSharedLaunchCacheEntries = 16384
+
+// LaunchCache is a concurrency-safe, size-bounded LRU of noiseless launch
+// results, shareable between devices and goroutines.
+type LaunchCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[launchKey]*list.Element
+}
+
+type cacheEntry struct {
+	key launchKey
+	val *cachedLaunch
+}
+
+// NewLaunchCache returns an empty cache holding at most capacity entries.
+func NewLaunchCache(capacity int) *LaunchCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LaunchCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[launchKey]*list.Element),
+	}
+}
+
+// Len reports the current number of cached launches.
+func (c *LaunchCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *LaunchCache) get(k launchKey) (*cachedLaunch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *LaunchCache) put(k launchKey, v *cachedLaunch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).val = v
+		return
+	}
+	c.items[k] = c.order.PushFront(&cacheEntry{key: k, val: v})
+	for len(c.items) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Process-wide cache shared by every device, plus a global enable switch.
+// Both are read on the launch path and written only by setup code
+// (cmd flags, tests), hence the atomics.
+var (
+	launchCachingOff atomic.Bool // zero value: caching enabled
+	sharedCache      atomic.Pointer[LaunchCache]
+)
+
+func init() {
+	sharedCache.Store(NewLaunchCache(DefaultSharedLaunchCacheEntries))
+}
+
+// SetLaunchCachingEnabled globally enables or disables launch memoization
+// for devices opened afterwards (the uncached reference mode of cmd/paper
+// -nocache). Cached and uncached runs are byte-identical by construction;
+// the switch exists so that claim stays checkable.
+func SetLaunchCachingEnabled(on bool) { launchCachingOff.Store(!on) }
+
+// LaunchCachingEnabled reports the global switch.
+func LaunchCachingEnabled() bool { return !launchCachingOff.Load() }
+
+// SetSharedLaunchCache replaces the process-wide cache (nil keeps devices
+// on their per-device caches only).
+func SetSharedLaunchCache(c *LaunchCache) { sharedCache.Store(c) }
+
+// SharedLaunchCache returns the process-wide cache, or nil when unset.
+func SharedLaunchCache() *LaunchCache { return sharedCache.Load() }
+
+// DisableLaunchCache detaches this device from both its per-device cache
+// and the shared cache; every subsequent launch re-runs the simulator.
+// Determinism tests use this as the uncached reference.
+func (d *Device) DisableLaunchCache() {
+	d.cache = nil
+	d.useShared = false
+}
+
+// specFingerprint digests the complete spec contents. Hashing the full
+// value rather than the board name matters: the ablation experiments boot
+// modified specs (flattened voltage curves, disabled caches) that keep the
+// original name, and those must never share cache entries with the
+// unmodified board.
+func specFingerprint(spec *arch.Spec) uint64 {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "%+v", *spec) // fnv: hash.Hash.Write never errors
+	return h.Sum64()
+}

@@ -35,6 +35,21 @@ type Device struct {
 
 	profiling bool
 	rng       *rand.Rand
+
+	// Launch memoization (see cache.go). The per-device map is private to
+	// this device; the shared LRU is consulted when useShared is set.
+	specFP    uint64
+	cache     map[launchKey]*cachedLaunch
+	useShared bool
+}
+
+// initCaches attaches the launch caches according to the global switch.
+func (d *Device) initCaches() {
+	d.specFP = specFingerprint(d.spec)
+	if LaunchCachingEnabled() {
+		d.cache = make(map[launchKey]*cachedLaunch)
+		d.useShared = true
+	}
 }
 
 // Open boots a device from a VBIOS image. The image's board name must match
@@ -68,7 +83,7 @@ func Open(img []byte) (*Device, error) {
 	own := append([]byte(nil), img...)
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(spec.Name)) // fnv: hash.Hash.Write never errors
-	return &Device{
+	d := &Device{
 		spec: spec,
 		img:  own,
 		clk:  clk,
@@ -77,7 +92,9 @@ func Open(img []byte) (*Device, error) {
 		set:  counters.ForGeneration(spec.Generation),
 		inst: meter.New(),
 		rng:  rand.New(rand.NewSource(int64(h.Sum64()))),
-	}, nil
+	}
+	d.initCaches()
+	return d, nil
 }
 
 // OpenBoard builds a pristine VBIOS image for a named board and boots it.
@@ -107,7 +124,7 @@ func OpenSpec(spec *arch.Spec) (*Device, error) {
 	}
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(spec.Name)) // fnv: hash.Hash.Write never errors
-	return &Device{
+	d := &Device{
 		spec: spec,
 		img:  bios.Build(spec),
 		clk:  clk,
@@ -116,7 +133,9 @@ func OpenSpec(spec *arch.Spec) (*Device, error) {
 		set:  counters.ForGeneration(spec.Generation),
 		inst: meter.New(),
 		rng:  rand.New(rand.NewSource(int64(h.Sum64()))),
-	}, nil
+	}
+	d.initCaches()
+	return d, nil
 }
 
 // Spec returns the booted board's description.
@@ -180,33 +199,78 @@ func (d *Device) MicroSim(k *gpu.KernelDesc) (*gpu.MicroResult, error) {
 	return gpu.NewMicro(d.sim).RunKernel(k)
 }
 
-// Launch runs one kernel at the current clocks.
-func (d *Device) Launch(k *gpu.KernelDesc) (*LaunchResult, error) {
+// launch returns the noiseless outcome of running k at the current
+// clocks, consulting the per-device and shared launch caches before the
+// simulator. The returned value is shared and immutable; it never touches
+// d.rng, so the device's noise stream is identical on hits and misses.
+func (d *Device) launch(k *gpu.KernelDesc) (*cachedLaunch, error) {
+	key := launchKey{spec: d.specFP, pair: d.clk.Pair(), kernel: k.Fingerprint(), profiling: d.profiling}
+	if cl, ok := d.cache[key]; ok {
+		return cl, nil
+	}
+	var shared *LaunchCache
+	if d.useShared {
+		shared = SharedLaunchCache()
+		if shared != nil {
+			if cl, ok := shared.get(key); ok {
+				if d.cache != nil {
+					d.cache[key] = cl
+				}
+				return cl, nil
+			}
+		}
+	}
 	res, err := d.sim.RunKernel(k)
 	if err != nil {
 		return nil, err
 	}
-	out := &LaunchResult{Kernel: k.Name, Time: res.Time, Activities: res.Activities}
+	cl := &cachedLaunch{time: res.Time, acts: res.Activities}
 	for _, ph := range res.Phases {
 		// Apply the phase's data-dependent switching activity to the
 		// energy accounting; the profiler's counters never see it.
 		ev := ph.Events
 		ev.Scale(ph.EnergyScale)
 		w := d.pm.SystemWatts(d.clk, ev, ph.Duration)
-		out.Trace = out.Trace.Append(ph.Duration, w)
+		cl.trace = cl.trace.Append(ph.Duration, w)
+	}
+	if d.cache != nil {
+		d.cache[key] = cl
+	}
+	if shared != nil {
+		shared.put(key, cl)
+	}
+	return cl, nil
+}
+
+// Launch runs one kernel at the current clocks.
+func (d *Device) Launch(k *gpu.KernelDesc) (*LaunchResult, error) {
+	cl, err := d.launch(k)
+	if err != nil {
+		return nil, err
+	}
+	out := &LaunchResult{
+		Kernel: k.Name,
+		Time:   cl.time,
+		// Copy: Trace.Append mutates its receiver's last segment, so the
+		// cached waveform must never escape by reference.
+		Trace:      append(meter.Trace(nil), cl.trace...),
+		Activities: cl.acts,
 	}
 	if d.profiling {
-		out.Counters = d.set.Collect(&res.Activities, d.rng)
+		out.Counters = d.set.Collect(&out.Activities, d.rng)
 	}
 	return out, nil
 }
 
 // RunResult reports a metered, possibly repeated, workload run.
 type RunResult struct {
-	Workload    string
-	Iterations  int     // kernel-sequence repetitions
-	Time        float64 // total simulated run time, seconds
-	Trace       meter.Trace
+	Workload   string
+	Iterations int     // kernel-sequence repetitions
+	Time       float64 // total simulated run time, seconds
+	// Trace is the run's wall-power waveform in its natural form: one
+	// iteration's period tiled Iterations times. Flatten() materializes
+	// the explicit segment list when a consumer needs it.
+	Trace       meter.Periodic
 	Activities  counters.Vector // accumulated over all iterations
 	Counters    []float64       // profiler counters over the whole run; nil unless profiling
 	Measurement *meter.Measurement
@@ -247,45 +311,45 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 	if hostGapSeconds < 0 {
 		return nil, fmt.Errorf("driver: workload %q: negative host gap", name)
 	}
-	// One pass to learn the iteration time and collect per-iteration
-	// results (the simulator is deterministic, so one pass suffices).
-	launches := make([]*LaunchResult, 0, len(ks))
+	// One noiseless pass builds a single iteration's period waveform and
+	// activity vector (the simulator is deterministic, so one pass
+	// suffices). The run is then represented as that period tiled — the
+	// stretch loop that used to materialize iters × segments is gone.
 	iterTime := hostGapSeconds
+	var period meter.Trace
+	var iterActs counters.Vector
 	for _, k := range ks {
-		lr, err := d.Launch(k)
+		cl, err := d.launch(k)
 		if err != nil {
 			return nil, fmt.Errorf("driver: workload %q: %w", name, err)
 		}
-		launches = append(launches, lr)
-		iterTime += lr.Time
+		iterTime += cl.time
+		for _, seg := range cl.trace {
+			period = period.Append(seg.Duration, seg.Watts)
+		}
+		iterActs.Add(&cl.acts)
 	}
 	iters := 1
 	if iterTime < minDuration {
 		iters = int(minDuration/iterTime) + 1
 	}
-
-	hostWatts := d.pm.SystemWatts(d.clk, gpu.Events{}, 1) // idle GPU, busy host
-
-	out := &RunResult{Workload: name, Iterations: iters}
-	var acts counters.Vector
-	for it := 0; it < iters; it++ {
-		for _, lr := range launches {
-			out.Time += lr.Time
-			for _, seg := range lr.Trace {
-				out.Trace = out.Trace.Append(seg.Duration, seg.Watts)
-			}
-			acts.Add(&lr.Activities)
-		}
-		if hostGapSeconds > 0 {
-			out.Time += hostGapSeconds
-			out.Trace = out.Trace.Append(hostGapSeconds, hostWatts)
-		}
+	if hostGapSeconds > 0 {
+		hostWatts := d.pm.SystemWatts(d.clk, gpu.Events{}, 1) // idle GPU, busy host
+		period = period.Append(hostGapSeconds, hostWatts)
 	}
-	out.Activities = acts
+
+	out := &RunResult{
+		Workload:   name,
+		Iterations: iters,
+		Time:       iterTime * float64(iters),
+		Trace:      meter.Tile(period, iters),
+	}
+	iterActs.Scale(float64(iters))
+	out.Activities = iterActs
 	if d.profiling {
-		out.Counters = d.set.Collect(&acts, d.rng)
+		out.Counters = d.set.Collect(&out.Activities, d.rng)
 	}
-	m, err := d.inst.Measure(out.Trace, d.rng)
+	m, err := d.inst.MeasurePeriodic(out.Trace, d.rng)
 	if err != nil {
 		return nil, fmt.Errorf("driver: workload %q: %w", name, err)
 	}

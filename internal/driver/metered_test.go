@@ -24,9 +24,10 @@ func TestHostGapAppearsInTrace(t *testing.T) {
 	}
 	// The trace must alternate busy (high watts) and host (low watts)
 	// segments; find at least one segment near the host power level.
-	hostLevel := rr.Trace[len(rr.Trace)-1].Watts // runs end with a host gap
+	tr := rr.Trace.Flatten()
+	hostLevel := tr[len(tr)-1].Watts // runs end with a host gap
 	var busyMax float64
-	for _, seg := range rr.Trace {
+	for _, seg := range tr {
 		if seg.Watts > busyMax {
 			busyMax = seg.Watts
 		}
@@ -36,7 +37,7 @@ func TestHostGapAppearsInTrace(t *testing.T) {
 	}
 	// Total host time = iterations × gap.
 	var hostTime float64
-	for _, seg := range rr.Trace {
+	for _, seg := range tr {
 		if seg.Watts == hostLevel {
 			hostTime += seg.Duration
 		}

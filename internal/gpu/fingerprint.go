@@ -1,0 +1,55 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a stable 64-bit FNV-1a digest of the complete kernel
+// description — name, grid, per-thread resources, and the exact bit
+// patterns of every phase parameter. Two descriptions hash equal iff the
+// simulator would treat them identically, which makes the fingerprint a
+// safe launch-cache key: the interval simulator is deterministic, so
+// (board spec, clock pair, kernel fingerprint) fully determines a launch.
+func (k *KernelDesc) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:]) // fnv: hash.Hash.Write never errors
+	}
+	str := func(s string) {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0}) // terminator: no concatenation aliasing
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	str(k.Name)
+	u64(uint64(k.Blocks))
+	u64(uint64(k.ThreadsPerBlock))
+	u64(uint64(k.RegsPerThread))
+	u64(uint64(k.SharedPerBlock))
+	u64(uint64(len(k.Phases)))
+	for i := range k.Phases {
+		p := &k.Phases[i]
+		str(p.Name)
+		f64(p.WarpInstsPerWarp)
+		f64(p.FracALU)
+		f64(p.FracSFU)
+		f64(p.FracDP)
+		f64(p.FracMem)
+		f64(p.FracShared)
+		f64(p.FracBranch)
+		f64(p.DivergentFrac)
+		f64(p.TxnPerMemInst)
+		f64(p.StoreFrac)
+		f64(p.L1Hit)
+		f64(p.L2Hit)
+		f64(p.WorkingSetBytes)
+		f64(p.MLP)
+		f64(p.IssueEff)
+		f64(p.ActivityFactor)
+	}
+	return h.Sum64()
+}

@@ -77,6 +77,12 @@ var ErrRankDeficient = errors.New("linalg: rank-deficient system")
 
 // SolveLS solves min‖A·x − b‖₂ for x via Householder QR. A must have at
 // least as many rows as columns. A and b are not modified.
+//
+// The reflectors are applied to all trailing columns in two row-major
+// sweeps per step (gather the projections, then update), so the inner
+// loops walk the Data slice contiguously instead of striding down
+// columns — this routine sits under every candidate fit of forward
+// selection and dominates training time.
 func SolveLS(a *Matrix, b []float64) ([]float64, error) {
 	if len(b) != a.Rows {
 		return nil, fmt.Errorf("linalg: SolveLS: len(b) = %d, want %d", len(b), a.Rows)
@@ -86,61 +92,89 @@ func SolveLS(a *Matrix, b []float64) ([]float64, error) {
 	}
 	m, n := a.Rows, a.Cols
 	qr := a.Clone()
+	data := qr.Data
 	rhs := append([]float64(nil), b...)
+	proj := make([]float64, n) // per-column reflector projections, reused
 
 	// Householder triangularization, applying the reflectors to rhs.
 	for k := 0; k < n; k++ {
-		// Norm of the k-th column below the diagonal.
-		var norm float64
+		// Norm of the k-th column below the diagonal, scaled by the
+		// largest magnitude so squaring cannot overflow or underflow.
+		var scale float64
 		for i := k; i < m; i++ {
-			norm = math.Hypot(norm, qr.At(i, k))
+			if v := math.Abs(data[i*n+k]); v > scale {
+				scale = v
+			}
 		}
-		if norm == 0 {
+		if scale == 0 {
 			return nil, ErrRankDeficient
 		}
+		var ssq float64
+		invScale := 1 / scale
+		for i := k; i < m; i++ {
+			v := data[i*n+k] * invScale
+			ssq += v * v
+		}
+		norm := scale * math.Sqrt(ssq)
 		// Choose the reflector sign that avoids cancellation when the
 		// diagonal element is shifted by 1 below.
-		if qr.At(k, k) < 0 {
+		if data[k*n+k] < 0 {
 			norm = -norm
 		}
+		invNorm := 1 / norm
 		for i := k; i < m; i++ {
-			qr.Set(i, k, qr.At(i, k)/norm)
+			data[i*n+k] *= invNorm
 		}
-		qr.Set(k, k, qr.At(k, k)+1)
+		data[k*n+k]++
 
-		// Apply the reflector to the remaining columns.
-		for j := k + 1; j < n; j++ {
-			var s float64
-			for i := k; i < m; i++ {
-				s += qr.At(i, k) * qr.At(i, j)
-			}
-			s = -s / qr.At(k, k)
-			for i := k; i < m; i++ {
-				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
-			}
+		// Apply the reflector to the remaining columns and rhs: one pass
+		// gathers every column's projection onto the reflector, a second
+		// pass subtracts; both touch each matrix row exactly once.
+		s := proj[k+1:]
+		for j := range s {
+			s[j] = 0
 		}
-		// And to the right-hand side.
-		var s float64
+		var sr float64
 		for i := k; i < m; i++ {
-			s += qr.At(i, k) * rhs[i]
+			row := data[i*n : i*n+n]
+			vi := row[k]
+			if vi == 0 {
+				continue
+			}
+			for j, aij := range row[k+1:] {
+				s[j] += vi * aij
+			}
+			sr += vi * rhs[i]
 		}
-		s = -s / qr.At(k, k)
+		invDiag := -1 / data[k*n+k]
+		for j := range s {
+			s[j] *= invDiag
+		}
+		sr *= invDiag
 		for i := k; i < m; i++ {
-			rhs[i] += s * qr.At(i, k)
+			row := data[i*n : i*n+n]
+			vi := row[k]
+			if vi == 0 {
+				continue
+			}
+			for j := range row[k+1:] {
+				row[k+1+j] += s[j] * vi
+			}
+			rhs[i] += sr * vi
 		}
-		qr.Set(k, k, -norm) // store R's diagonal
+		data[k*n+k] = -norm // store R's diagonal
 	}
 
 	// Back substitution on R·x = rhs[:n].
 	x := make([]float64, n)
 	for k := n - 1; k >= 0; k-- {
-		d := qr.At(k, k)
+		d := data[k*n+k]
 		if math.Abs(d) < 1e-12 {
 			return nil, ErrRankDeficient
 		}
 		s := rhs[k]
 		for j := k + 1; j < n; j++ {
-			s -= qr.At(k, j) * x[j]
+			s -= data[k*n+j] * x[j]
 		}
 		x[k] = s / d
 	}

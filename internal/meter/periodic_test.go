@@ -1,0 +1,176 @@
+package meter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// An asymmetric period that does not divide the 50 ms sample window, so
+// sample boundaries land inside segments and across period boundaries.
+func testPeriod() Trace {
+	var p Trace
+	p = p.Append(0.013, 140)
+	p = p.Append(0.007, 95)
+	p = p.Append(0.021, 210.5)
+	p = p.Append(0.004, 95)
+	return p
+}
+
+func TestPeriodicInvariants(t *testing.T) {
+	period := testPeriod()
+	for _, n := range []int{1, 3, 17, 128} {
+		p := Tile(period, n)
+		flat := p.Flatten()
+		if got, want := p.TotalDuration(), flat.TotalDuration(); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("n=%d: TotalDuration %g, flat %g", n, got, want)
+		}
+		if got, want := p.TrueEnergy(), flat.TrueEnergy(); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("n=%d: TrueEnergy %g, flat %g", n, got, want)
+		}
+		if got, want := p.TrueAvgWatts(), flat.TrueAvgWatts(); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("n=%d: TrueAvgWatts %g, flat %g", n, got, want)
+		}
+		// Full-span integral must equal the total energy.
+		if got, want := p.EnergyUpTo(p.TotalDuration()+1), p.TrueEnergy(); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("n=%d: EnergyUpTo(total) %g, TrueEnergy %g", n, got, want)
+		}
+	}
+}
+
+// TestFlattenMergesLikeAppend: tiling a period whose last and first power
+// levels are equal must merge across the seam, exactly as repeated Append
+// calls would.
+func TestFlattenMergesLikeAppend(t *testing.T) {
+	var period Trace
+	period = period.Append(0.01, 95) // equal to the tail → seams merge
+	period = period.Append(0.02, 150)
+	period = period.Append(0.01, 95)
+	flat := Tile(period, 3).Flatten()
+	// 3 repeats × 3 segments, minus 2 merged seams.
+	if len(flat) != 7 {
+		t.Fatalf("flattened into %d segments, want 7 (seams must merge)", len(flat))
+	}
+	for i := 1; i < len(flat); i++ {
+		if flat[i].Watts == flat[i-1].Watts {
+			t.Fatalf("segments %d and %d share a power level — unmerged", i-1, i)
+		}
+	}
+}
+
+func TestEnergyUpToMatchesSegmentWalk(t *testing.T) {
+	period := testPeriod()
+	p := Tile(period, 11)
+	flat := p.Flatten()
+	// Walk the flat trace for the oracle integral at assorted times,
+	// including segment boundaries and mid-period points.
+	times := []float64{0, 1e-9, 0.013, 0.02, 0.045, 0.0451, 0.09, 0.23456, p.TotalDuration(), p.TotalDuration() * 2}
+	for _, tm := range times {
+		var want, acc float64
+		for _, s := range flat {
+			if acc+s.Duration <= tm {
+				want += s.Duration * s.Watts
+				acc += s.Duration
+				continue
+			}
+			if tm > acc {
+				want += (tm - acc) * s.Watts
+			}
+			acc = tm
+			break
+		}
+		if got := p.EnergyUpTo(tm); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("EnergyUpTo(%g) = %g, want %g", tm, got, want)
+		}
+	}
+}
+
+// TestMeasurePeriodicMatchesMeasure is the fast-path correctness claim:
+// sampling the tiled representation must agree with sampling the flat
+// trace, window by window (ideal instrument; the noise stream is identical
+// by construction since both draw one NormFloat64 per sample).
+func TestMeasurePeriodicMatchesMeasure(t *testing.T) {
+	m := New()
+	period := testPeriod()
+	for _, n := range []int{12, 57, 400} {
+		p := Tile(period, n)
+		got, err := m.MeasurePeriodic(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.Measure(p.Flatten(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Samples) != len(want.Samples) {
+			t.Fatalf("n=%d: %d samples, want %d", n, len(got.Samples), len(want.Samples))
+		}
+		for i := range want.Samples {
+			if math.Abs(got.Samples[i]-want.Samples[i]) > 1e-9 {
+				t.Fatalf("n=%d: sample %d = %.15g, want %.15g", n, i, got.Samples[i], want.Samples[i])
+			}
+		}
+		if math.Abs(got.AvgWatts-want.AvgWatts) > 1e-9 {
+			t.Errorf("n=%d: AvgWatts %g, want %g", n, got.AvgWatts, want.AvgWatts)
+		}
+		if math.Abs(got.EnergyJoules-want.EnergyJoules) > 1e-9 {
+			t.Errorf("n=%d: EnergyJoules %g, want %g", n, got.EnergyJoules, want.EnergyJoules)
+		}
+		if got.Duration != want.Duration {
+			t.Errorf("n=%d: Duration %g, want %g", n, got.Duration, want.Duration)
+		}
+	}
+}
+
+// TestMeasurePeriodicNoiseStream: with the same seed both paths must draw
+// the identical noise sequence (one NormFloat64 per sample).
+func TestMeasurePeriodicNoiseStream(t *testing.T) {
+	m := New()
+	p := Tile(testPeriod(), 60)
+	got, err := m.MeasurePeriodic(p, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Measure(p.Flatten(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Samples {
+		if math.Abs(got.Samples[i]-want.Samples[i]) > 1e-9 {
+			t.Fatalf("noisy sample %d = %.15g, want %.15g", i, got.Samples[i], want.Samples[i])
+		}
+	}
+}
+
+// TestMeasurePeriodicRangeClip: clipping and the Overloaded flag behave as
+// on the flat path.
+func TestMeasurePeriodicRangeClip(t *testing.T) {
+	m := New()
+	m.RangeWatts = 150
+	p := Tile(testPeriod(), 60)
+	got, err := m.MeasurePeriodic(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Overloaded {
+		t.Error("210 W segments on a 150 W range did not flag Overloaded")
+	}
+	for i, w := range got.Samples {
+		if w > m.RangeWatts {
+			t.Fatalf("sample %d = %g exceeds the %g W range", i, w, m.RangeWatts)
+		}
+	}
+}
+
+func TestMeasurePeriodicTooShort(t *testing.T) {
+	m := New()
+	if _, err := m.MeasurePeriodic(Tile(testPeriod(), 2), nil); err != ErrTooShort {
+		t.Errorf("90 ms waveform: err = %v, want ErrTooShort", err)
+	}
+	if _, err := m.MeasurePeriodic(Tile(nil, 5), nil); err != ErrTooShort {
+		t.Errorf("empty period: err = %v, want ErrTooShort", err)
+	}
+	if _, err := m.MeasurePeriodic(Tile(testPeriod(), 0), nil); err != ErrTooShort {
+		t.Errorf("zero repeats: err = %v, want ErrTooShort", err)
+	}
+}

@@ -9,9 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"gpuperf/internal/linalg"
 )
@@ -178,77 +176,165 @@ var ErrNoUsableVariables = errors.New("regress: no usable variables")
 // continues to maxVars even if adjusted R² dips (the Fig. 7/8 sweeps need
 // fits at every size); Best() recovers the paper's "optimal" model — the
 // step with maximum adjusted R².
+//
+// Candidate evaluation is incremental rather than one OLS refit per
+// candidate per step: the residual target and every unselected column are
+// kept orthogonal to the selected set (modified Gram–Schmidt, with the
+// intercept projected out up front by centering), so a candidate's R²
+// gain is (w·t)²/‖w‖² — one pass over the column. A step costs O(p·n)
+// and the whole selection O(maxVars·p·n), where the per-fit approach
+// pays an extra factor of the subset size cubed. Within a step every
+// candidate's adjusted R² shares the same degrees-of-freedom factor, so
+// maximizing the gain maximizes adjusted R²; ties resolve to the lowest
+// column index. The reported Fit is refit by QR on the selected subset
+// for full numerical accuracy.
 func ForwardSelect(x [][]float64, y []float64, maxVars int) (*Selection, error) {
 	if maxVars <= 0 {
 		return nil, fmt.Errorf("regress: ForwardSelect: maxVars = %d", maxVars)
 	}
-	if len(x) == 0 {
+	n := len(x)
+	if n == 0 {
 		return nil, errors.New("regress: ForwardSelect: no observations")
 	}
 	p := len(x[0])
+
+	// Column-major working copy, centered: mean-free columns and target
+	// are already orthogonal to the intercept.
+	flat := make([]float64, p*n)
+	cols := make([][]float64, p)
+	for j := range cols {
+		cols[j] = flat[j*n : (j+1)*n]
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("regress: ForwardSelect: ragged row %d", i)
+		}
+		for j, v := range row {
+			cols[j][i] = v
+		}
+	}
+	norm0 := make([]float64, p) // squared norm of each centered column
+	for j, w := range cols {
+		var mean float64
+		for _, v := range w {
+			mean += v
+		}
+		mean /= float64(n)
+		var ss float64
+		for i := range w {
+			w[i] -= mean
+			ss += w[i] * w[i]
+		}
+		norm0[j] = ss
+	}
+	var ymean float64
+	for _, v := range y {
+		ymean += v
+	}
+	ymean /= float64(n)
+	t := make([]float64, n) // residual target, orthogonal to the selection
+	var ssTot float64
+	for i, v := range y {
+		t[i] = v - ymean
+		ssTot += t[i] * t[i]
+	}
+
+	// A candidate whose orthogonalized component has lost (almost) all of
+	// its original mass is numerically in the span of the selected set.
+	const tol = 1e-10
+
 	sel := &Selection{}
 	used := make([]bool, p)
-
-	// Candidate evaluation dominates the training cost (p fits of size
-	// n×k per step); the candidates are independent, so a worker pool
-	// evaluates them concurrently. Determinism: the winner is chosen by
-	// (adjusted R², then lowest column index), which no scheduling order
-	// can change.
-	workers := runtime.GOMAXPROCS(0)
 	for len(sel.Indices) < maxVars && len(sel.Indices) < p {
-		cols := append([]int(nil), sel.Indices...)
-
-		type candidate struct {
-			j   int
-			fit *Fit
+		k := len(sel.Indices)
+		if n <= k+2 {
+			break // one more variable would exhaust the observations
 		}
-		jobs := make(chan int)
-		results := make(chan candidate)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range jobs {
-					trial := append(append([]int(nil), cols...), j)
-					fit, err := OLS(subset(x, trial), y)
-					if err != nil {
-						continue // rank-deficient candidate: skip
-					}
-					results <- candidate{j, fit}
-				}
-			}()
-		}
-		go func() {
-			for j := 0; j < p; j++ {
-				if !used[j] {
-					jobs <- j
-				}
+		bestJ := -1
+		var bestGain float64
+		for j := 0; j < p; j++ {
+			if used[j] || norm0[j] == 0 {
+				continue
 			}
-			close(jobs)
-			wg.Wait()
-			close(results)
-		}()
-
-		bestJ, bestAdj := -1, math.Inf(-1)
-		var bestFit *Fit
-		for c := range results {
-			if c.fit.AdjR2 > bestAdj || (c.fit.AdjR2 == bestAdj && c.j < bestJ) { //gpulint:ignore unitsafety -- exact tie-break keeps selection independent of goroutine scheduling
-				bestJ, bestAdj, bestFit = c.j, c.fit.AdjR2, c.fit
+			w := cols[j]
+			var dot, ww float64
+			for i, wi := range w {
+				dot += wi * t[i]
+				ww += wi * wi
+			}
+			if ww <= tol*norm0[j] {
+				continue // collinear with the selected set: skip
+			}
+			gain := dot * dot / ww
+			if bestJ < 0 || gain > bestGain {
+				bestJ, bestGain = j, gain
 			}
 		}
 		if bestJ < 0 {
 			break
 		}
+
+		// Project the winner out of the target and every remaining
+		// candidate, then report fit quality from the residual.
+		u := cols[bestJ]
+		var uu float64
+		for _, v := range u {
+			uu += v * v
+		}
+		invUU := 1 / uu
+		var ut float64
+		for i, v := range u {
+			ut += v * t[i]
+		}
+		c := ut * invUU
+		for i, v := range u {
+			t[i] -= c * v
+		}
+		for j := 0; j < p; j++ {
+			if used[j] || j == bestJ || norm0[j] == 0 {
+				continue
+			}
+			w := cols[j]
+			var uw float64
+			for i, v := range u {
+				uw += v * w[i]
+			}
+			cj := uw * invUU
+			for i, v := range u {
+				w[i] -= cj * v
+			}
+		}
 		used[bestJ] = true
 		sel.Indices = append(sel.Indices, bestJ)
-		sel.Fit = bestFit
-		sel.Steps = append(sel.Steps, Step{Added: bestJ, AdjR2: bestFit.AdjR2, R2: bestFit.R2})
+
+		var rss float64
+		for _, v := range t {
+			rss += v * v
+		}
+		r2, adj := 1.0, 1.0
+		if ssTot > 0 {
+			r2 = 1 - rss/ssTot
+			adj = 1 - (1-r2)*float64(n-1)/float64(n-k-2)
+		}
+		sel.Steps = append(sel.Steps, Step{Added: bestJ, AdjR2: adj, R2: r2})
 	}
 	if len(sel.Indices) == 0 {
 		return nil, ErrNoUsableVariables
 	}
-	return sel, nil
+	// Refit the reported model by QR. If accumulated orthogonalization
+	// error let a dependent column through, drop trailing picks until the
+	// refit is full-rank — mirroring the per-candidate skip of a per-fit
+	// implementation.
+	for len(sel.Indices) > 0 {
+		fit, err := OLS(subset(x, sel.Indices), y)
+		if err == nil {
+			sel.Fit = fit
+			return sel, nil
+		}
+		sel.Indices = sel.Indices[:len(sel.Indices)-1]
+		sel.Steps = sel.Steps[:len(sel.Steps)-1]
+	}
+	return nil, ErrNoUsableVariables
 }
 
 // Best returns the number of variables (1-based) at which adjusted R²

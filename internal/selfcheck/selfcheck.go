@@ -68,19 +68,8 @@ func Run(seed int64) []Result {
 			continue
 		}
 		obs := rr.Measurement.Duration
-		truthOverWindow := 0.0
-		{
-			// Integrate the trace over the observed window only.
-			left := obs
-			for _, seg := range rr.Trace {
-				d := math.Min(seg.Duration, left)
-				truthOverWindow += d * seg.Watts
-				left -= d
-				if left <= 0 {
-					break
-				}
-			}
-		}
+		// Integrate the trace over the observed window only.
+		truthOverWindow := rr.Trace.EnergyUpTo(obs)
 		drift := math.Abs(rr.Measurement.EnergyJoules-truthOverWindow) / truthOverWindow
 		add(prefix+"energy-conservation", drift < 0.03,
 			"meter vs trace drift %.2f%% over %.2f s", drift*100, obs)

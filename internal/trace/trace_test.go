@@ -66,7 +66,7 @@ func TestFromRealRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := FromRun("gaussian", rr.Trace).WriteJSON(&buf); err != nil {
+	if err := FromRun("gaussian", rr.Trace.Flatten()).WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
 	var events []map[string]interface{}

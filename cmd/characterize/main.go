@@ -18,6 +18,7 @@ import (
 	"gpuperf/internal/arch"
 	"gpuperf/internal/characterize"
 	"gpuperf/internal/driver"
+	"gpuperf/internal/fault"
 	"gpuperf/internal/report"
 	"gpuperf/internal/workloads"
 )
@@ -32,7 +33,55 @@ func main() {
 	seed := flag.Int64("seed", 42, "measurement-noise seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"sweep pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
+	faults := flag.String("faults", "",
+		`fault-injection profile, e.g. "launch.hang:0.02,meter.drop:0.001" (empty: fault-free)`)
+	maxRetries := flag.Int("max-retries", fault.DefaultMaxRetries,
+		"transient-fault retry budget per boot/clock-set/metered run")
+	launchTimeout := flag.Duration("launch-timeout", fault.DefaultLaunchTimeout,
+		"per-run watchdog deadline for hung launches")
+	checkpoint := flag.String("checkpoint", "",
+		"journal completed sweep cells to this path and resume from it")
 	flag.Parse()
+
+	if err := fault.ValidateHarness(*workers, *maxRetries, *launchTimeout); err != nil {
+		usage(err)
+	}
+	var res *fault.Resilience
+	var journal *characterize.Journal
+	if *faults != "" || *checkpoint != "" {
+		var profile *fault.Profile
+		if *faults != "" {
+			p, err := fault.ParseProfile(*faults)
+			if err != nil {
+				usage(err)
+			}
+			profile = p
+		}
+		res = &fault.Resilience{
+			Campaign:      &fault.Campaign{Profile: profile, Seed: *seed},
+			MaxRetries:    *maxRetries,
+			LaunchTimeout: *launchTimeout,
+		}
+		if *checkpoint != "" {
+			spec := ""
+			if profile != nil {
+				spec = profile.String()
+			}
+			j, err := characterize.OpenJournal(*checkpoint, *seed, spec)
+			if err != nil {
+				fatal(err)
+			}
+			defer j.Close()
+			journal = j
+		}
+	}
+	sweepBoard := func(boardName string, benches []*workloads.Benchmark) ([]*characterize.BenchResult, error) {
+		if res == nil {
+			return characterize.SweepBoardParallel(boardName, benches, *seed, *workers)
+		}
+		return characterize.SweepBoardR(boardName, benches,
+			characterize.SweepOptions{Seed: *seed, Workers: *workers, Res: res, Journal: journal})
+	}
 
 	if *table == 0 && *fig == 0 && !*suite {
 		*all = true
@@ -66,8 +115,7 @@ func main() {
 		}
 		name := figBench[n]
 		for _, spec := range boards {
-			results, err := characterize.SweepBoardParallel(spec.Name,
-				[]*workloads.Benchmark{workloads.ByName(name)}, *seed, *workers)
+			results, err := sweepBoard(spec.Name, []*workloads.Benchmark{workloads.ByName(name)})
 			if err != nil {
 				fatal(err)
 			}
@@ -100,7 +148,18 @@ func main() {
 	}
 
 	if *all || *table == 4 || *fig == 4 {
-		results, err := characterize.Table4Workers(*seed, *workers)
+		var results map[string][]*characterize.BenchResult
+		var err error
+		if res == nil {
+			results, err = characterize.Table4Workers(*seed, *workers)
+		} else {
+			names := make([]string, len(boards))
+			for i, s := range boards {
+				names[i] = s.Name
+			}
+			results, err = characterize.SweepBoardsR(names, workloads.Table4(),
+				characterize.SweepOptions{Seed: *seed, Workers: *workers, Res: res, Journal: journal})
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -110,12 +169,23 @@ func main() {
 		if *all || *fig == 4 {
 			fmt.Println(report.Fig4(boards, results))
 		}
+		for _, d := range characterize.Degradations(results) {
+			fmt.Fprintln(os.Stderr, "degraded:", d.Line)
+		}
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "characterize:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation error and exits 2, like flag's own
+// parse failures.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 // suiteSummary characterizes every Table II benchmark on the GTX 480 at

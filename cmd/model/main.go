@@ -20,6 +20,7 @@ import (
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/core"
+	"gpuperf/internal/fault"
 	"gpuperf/internal/report"
 	"gpuperf/internal/workloads"
 )
@@ -33,7 +34,29 @@ func main() {
 		"collect pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
 	saveDir := flag.String("save", "", "directory to write trained models and datasets as JSON")
 	diagnose := flag.Bool("diagnose", false, "print per-variable VIF and standardized coefficients")
+	faults := flag.String("faults", "",
+		`fault-injection profile, e.g. "launch.hang:0.02,meter.drop:0.001" (empty: fault-free)`)
+	maxRetries := flag.Int("max-retries", fault.DefaultMaxRetries,
+		"transient-fault retry budget per boot/clock-set/metered run")
+	launchTimeout := flag.Duration("launch-timeout", fault.DefaultLaunchTimeout,
+		"per-run watchdog deadline for hung launches")
 	flag.Parse()
+
+	if err := fault.ValidateHarness(*workers, *maxRetries, *launchTimeout); err != nil {
+		usage(err)
+	}
+	var res *fault.Resilience
+	if *faults != "" {
+		p, err := fault.ParseProfile(*faults)
+		if err != nil {
+			usage(err)
+		}
+		res = &fault.Resilience{
+			Campaign:      &fault.Campaign{Profile: p, Seed: *seed},
+			MaxRetries:    *maxRetries,
+			LaunchTimeout: *launchTimeout,
+		}
+	}
 
 	boards := arch.AllBoards()
 	if *board != "" {
@@ -46,9 +69,21 @@ func main() {
 
 	datasets := map[string]*core.Dataset{}
 	for _, spec := range boards {
-		ds, err := core.CollectParallel(spec.Name, workloads.ModelingSet(), *seed, *workers)
+		var ds *core.Dataset
+		var err error
+		if res != nil {
+			ds, err = core.CollectResilient(spec.Name, workloads.ModelingSet(), *seed, *workers, res)
+		} else {
+			ds, err = core.CollectParallel(spec.Name, workloads.ModelingSet(), *seed, *workers)
+		}
 		if err != nil {
 			fatal(err)
+		}
+		for _, d := range ds.Dropped {
+			fmt.Fprintf(os.Stderr, "dropped: %s / %s (%s)\n", spec.Name, d.Benchmark, d.Point)
+		}
+		if len(ds.Rows) == 0 {
+			fatal(fmt.Errorf("%s: no modeling data survived the fault campaign", spec.Name))
 		}
 		datasets[spec.Name] = ds
 	}
@@ -184,4 +219,12 @@ func persist(dir, board string, ds *core.Dataset, pm, tm *core.Model) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "model:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation error and exits 2, like flag's own
+// parse failures.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "model:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -8,6 +8,9 @@
 //	paper -o report.txt        write to a file
 //	paper -quick               characterization only (seconds)
 //	paper -board "GTX 680"     restrict to one board
+//	paper -faults "launch.hang:0.02" -max-retries 5
+//	                           chaos campaign: inject faults, retry, quarantine
+//	paper -checkpoint j.jsonl  journal sweep cells; resume after a crash
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"runtime"
 
 	"gpuperf/internal/driver"
+	"gpuperf/internal/fault"
 	"gpuperf/internal/reproduce"
 )
 
@@ -30,8 +34,19 @@ func main() {
 		"sweep/collect pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
 	nocache := flag.Bool("nocache", false,
 		"disable launch memoization (uncached reference mode; output is identical either way)")
+	faults := flag.String("faults", "",
+		`fault-injection profile, e.g. "launch.hang:0.02,meter.drop:0.001" (empty: fault-free)`)
+	maxRetries := flag.Int("max-retries", fault.DefaultMaxRetries,
+		"transient-fault retry budget per boot/clock-set/metered run")
+	launchTimeout := flag.Duration("launch-timeout", fault.DefaultLaunchTimeout,
+		"per-run watchdog deadline for hung launches")
+	checkpoint := flag.String("checkpoint", "",
+		"journal completed sweep cells to this path and resume from it")
 	flag.Parse()
 
+	if err := fault.ValidateHarness(*workers, *maxRetries, *launchTimeout); err != nil {
+		usage(err)
+	}
 	if *nocache {
 		driver.SetLaunchCachingEnabled(false)
 	}
@@ -48,6 +63,16 @@ func main() {
 		opts.Boards = []string{*board}
 	}
 	opts.ArtifactsDir = *artifacts
+	if *faults != "" {
+		p, err := fault.ParseProfile(*faults)
+		if err != nil {
+			usage(err)
+		}
+		opts.Faults = p
+	}
+	opts.MaxRetries = *maxRetries
+	opts.LaunchTimeout = *launchTimeout
+	opts.Checkpoint = *checkpoint
 
 	w := os.Stdout
 	if *out != "" {
@@ -68,4 +93,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "paper:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation error and exits 2, like flag's own
+// parse failures.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "paper:", err)
+	flag.Usage()
+	os.Exit(2)
 }

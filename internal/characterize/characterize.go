@@ -14,6 +14,7 @@ import (
 	"gpuperf/internal/arch"
 	"gpuperf/internal/clock"
 	"gpuperf/internal/driver"
+	"gpuperf/internal/fault"
 	"gpuperf/internal/workloads"
 )
 
@@ -27,12 +28,24 @@ type PairResult struct {
 	TimePerIter   float64 // seconds per kernel-sequence iteration
 	AvgWatts      float64 // measured wall power
 	EnergyPerIter float64 // joules per iteration
+
+	// Fault-campaign bookkeeping (zero values on a clean sweep). A
+	// quarantined cell repeatedly failed past the retry budget and holds
+	// no measurement; FailPoint names the fault that exhausted it.
+	// Confidence is the measurement's genuine-sample fraction (0 for
+	// quarantined cells, 1 for clean ones — see meter.Measurement) and
+	// Interpolated counts its reconstructed samples.
+	Quarantined  bool        `json:",omitempty"`
+	FailPoint    fault.Point `json:",omitempty"`
+	Retries      int         `json:",omitempty"`
+	Confidence   float64     `json:",omitempty"`
+	Interpolated int         `json:",omitempty"`
 }
 
 // Efficiency returns the paper's power-efficiency metric, the reciprocal of
-// energy consumption.
+// energy consumption. A quarantined cell has no measurement and reports 0.
 func (p *PairResult) Efficiency() float64 {
-	if p.EnergyPerIter <= 0 {
+	if p.Quarantined || p.EnergyPerIter <= 0 {
 		return 0
 	}
 	return 1 / p.EnergyPerIter
@@ -58,21 +71,41 @@ func (r *BenchResult) ByPair(p clock.Pair) *PairResult {
 // Best returns the pair with maximum power efficiency (minimum energy).
 // Ties resolve to the earlier Table III row, which puts (H-H) first —
 // matching the paper's convention of reporting the default on a tie.
+// Quarantined cells hold no measurement and never win; a sweep whose every
+// cell is quarantined has no best pair and returns nil.
 func (r *BenchResult) Best() *PairResult {
-	if len(r.Pairs) == 0 {
-		return nil
-	}
-	best := &r.Pairs[0]
+	var best *PairResult
 	for i := range r.Pairs {
-		if r.Pairs[i].Efficiency() > best.Efficiency() {
+		if r.Pairs[i].Quarantined {
+			continue
+		}
+		if best == nil || r.Pairs[i].Efficiency() > best.Efficiency() {
 			best = &r.Pairs[i]
 		}
 	}
 	return best
 }
 
-// Default returns the (H-H) measurement.
-func (r *BenchResult) Default() *PairResult { return r.ByPair(clock.DefaultPair()) }
+// Default returns the (H-H) measurement, or nil when that cell was
+// quarantined — normalized metrics have no baseline then.
+func (r *BenchResult) Default() *PairResult {
+	pr := r.ByPair(clock.DefaultPair())
+	if pr != nil && pr.Quarantined {
+		return nil
+	}
+	return pr
+}
+
+// QuarantinedCells reports how many of the sweep's cells were quarantined.
+func (r *BenchResult) QuarantinedCells() int {
+	n := 0
+	for i := range r.Pairs {
+		if r.Pairs[i].Quarantined {
+			n++
+		}
+	}
+	return n
+}
 
 // ImprovementPct returns the Fig. 4 metric: the power-efficiency gain of
 // the best pair over the default pair, in percent.
@@ -97,6 +130,12 @@ func (r *BenchResult) PerfLossPct() float64 {
 
 // SweepBenchmark measures one benchmark at every valid frequency pair of
 // the given device. The device is left at the default pair.
+//
+// Each pair's measurement draws its noise from a stream scoped to the
+// pair (SeedScoped), so a cell's result depends only on the device's base
+// seed and the pair — not on how many cells ran before it. The resilient
+// sweep relies on exactly this to make retried and checkpoint-resumed
+// runs byte-identical to clean ones.
 func SweepBenchmark(dev *driver.Device, b *workloads.Benchmark) (*BenchResult, error) {
 	out := &BenchResult{Benchmark: b.Name, Board: dev.Spec().Name}
 	kernels := b.Kernels(1)
@@ -105,21 +144,31 @@ func SweepBenchmark(dev *driver.Device, b *workloads.Benchmark) (*BenchResult, e
 		if err := dev.SetClocks(p); err != nil {
 			return nil, fmt.Errorf("characterize: %s: %w", b.Name, err)
 		}
+		dev.SeedScoped("pair|" + p.String())
 		rr, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
 		if err != nil {
 			return nil, fmt.Errorf("characterize: %s at %s: %w", b.Name, p, err)
 		}
-		out.Pairs = append(out.Pairs, PairResult{
-			Pair:          p,
-			TimePerIter:   rr.TimePerIteration(),
-			AvgWatts:      rr.Measurement.AvgWatts,
-			EnergyPerIter: rr.EnergyPerIteration(),
-		})
+		out.Pairs = append(out.Pairs, pairResult(p, rr, 0))
 	}
 	if err := dev.SetClocks(clock.DefaultPair()); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// pairResult builds one sweep cell from a metered run.
+func pairResult(p clock.Pair, rr *driver.RunResult, retries int) PairResult {
+	out := PairResult{
+		Pair:          p,
+		TimePerIter:   rr.TimePerIteration(),
+		AvgWatts:      rr.Measurement.AvgWatts,
+		EnergyPerIter: rr.EnergyPerIteration(),
+		Retries:       retries,
+		Interpolated:  rr.Measurement.Interpolated,
+		Confidence:    rr.Measurement.Confidence(),
+	}
+	return out
 }
 
 // sweepSeed derives one benchmark's independent noise seed: seed ⊕
@@ -164,20 +213,18 @@ func SweepBoard(boardName string, benches []*workloads.Benchmark, seed int64) ([
 // device per benchmark, so there is no shared mutable state, and the
 // per-benchmark seeding makes the result byte-identical to SweepBoard.
 func SweepBoardParallel(boardName string, benches []*workloads.Benchmark, seed int64, workers int) ([]*BenchResult, error) {
-	return sweepPool(
-		func(int) string { return boardName },
-		func(job int) *workloads.Benchmark { return benches[job] },
-		seed, workers, len(benches))
+	return sweepPool(func(job int) (*BenchResult, error) {
+		return sweepBench(boardName, benches[job], seed)
+	}, workers, len(benches))
 }
 
-// sweepPool runs `jobs` (board, benchmark) measurements through a bounded
-// worker pool and returns the results in job order. Both channels are
-// buffered to the job count so every goroutine can always complete: the
-// workers drain a pre-filled job queue and deliver into spare capacity
-// even if a consumer were to stop reading early (the leak-proofing audit
-// of core.collect, applied from the start).
-func sweepPool(boardOf func(int) string, benchOf func(int) *workloads.Benchmark,
-	seed int64, workers, jobs int) ([]*BenchResult, error) {
+// sweepPool runs `jobs` measurements through a bounded worker pool and
+// returns the results in job order; run maps a job index to its sweep.
+// Both channels are buffered to the job count so every goroutine can
+// always complete: the workers drain a pre-filled job queue and deliver
+// into spare capacity even if a consumer were to stop reading early (the
+// leak-proofing audit of core.collect, applied from the start).
+func sweepPool(run func(int) (*BenchResult, error), workers, jobs int) ([]*BenchResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -198,7 +245,7 @@ func sweepPool(boardOf func(int) string, benchOf func(int) *workloads.Benchmark,
 	for w := 0; w < workers; w++ {
 		go func() {
 			for idx := range queue {
-				r, err := sweepBench(boardOf(idx), benchOf(idx), seed)
+				r, err := run(idx)
 				results <- done{idx: idx, res: r, err: err}
 			}
 		}()
@@ -229,10 +276,9 @@ func SweepBoards(boardNames []string, benches []*workloads.Benchmark, seed int64
 	if jobs == 0 {
 		return map[string][]*BenchResult{}, nil
 	}
-	flat, err := sweepPool(
-		func(idx int) string { return boardNames[idx/nb] },
-		func(idx int) *workloads.Benchmark { return benches[idx%nb] },
-		seed, workers, jobs)
+	flat, err := sweepPool(func(idx int) (*BenchResult, error) {
+		return sweepBench(boardNames[idx/nb], benches[idx%nb], seed)
+	}, workers, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +348,7 @@ func Curves(r *BenchResult, spec *arch.Spec) []Curve {
 		c := Curve{MemLevel: mem, MemMHz: spec.MemFreqMHz(mem)}
 		for _, core := range arch.Levels() {
 			pr := r.ByPair(clock.Pair{Core: core, Mem: mem})
-			if pr == nil {
+			if pr == nil || pr.Quarantined {
 				continue
 			}
 			c.Points = append(c.Points, CurvePoint{

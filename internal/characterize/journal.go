@@ -1,0 +1,200 @@
+package characterize
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"gpuperf/internal/clock"
+)
+
+// The checkpoint journal persists completed sweep cells as JSON lines so a
+// crashed or killed campaign resumes where it stopped instead of repaying
+// hours of sweeping. The first line is a header binding the journal to a
+// (seed, fault-profile) configuration; cells recorded under a different
+// configuration would silently change the results, so a mismatched header
+// resets the journal. Because every cell's noise stream is scoped to the
+// cell (SeedScoped), a resumed run is byte-identical to an uninterrupted
+// one — the journal replays exactly what the sweep would have measured.
+
+// journalVersion guards the on-disk format.
+const journalVersion = 1
+
+type journalHeader struct {
+	Kind    string `json:"kind"` // "header"
+	Version int    `json:"version"`
+	Seed    int64  `json:"seed"`
+	Profile string `json:"profile"` // canonical fault-profile spec
+}
+
+type journalCell struct {
+	Kind   string     `json:"kind"` // "cell"
+	Board  string     `json:"board"`
+	Bench  string     `json:"bench"`
+	Pair   string     `json:"pair"`
+	Result PairResult `json:"result"`
+}
+
+// Journal is an append-only checkpoint of completed (board, benchmark,
+// pair) cells. Safe for concurrent use by sweep workers.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	cells map[string]PairResult
+	hits  int
+}
+
+func cellKey(board, bench string, p clock.Pair) string {
+	return board + "|" + bench + "|" + p.String()
+}
+
+// OpenJournal opens (or creates) a checkpoint journal at path. Cells
+// recorded under the same seed and canonical profile spec are loaded for
+// replay; a header mismatch — different seed, different profile, or a
+// format change — discards the stale cells. The file is rewritten on open
+// so a line half-written by a crash cannot poison later parses.
+func OpenJournal(path string, seed int64, profile string) (*Journal, error) {
+	j := &Journal{cells: make(map[string]PairResult)}
+	if data, err := os.ReadFile(path); err == nil {
+		j.load(data, seed, profile)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("characterize: checkpoint: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("characterize: checkpoint: %w", err)
+	}
+	j.f = f
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(journalHeader{Kind: "header", Version: journalVersion, Seed: seed, Profile: profile}); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("characterize: checkpoint: %w", err)
+	}
+	for _, line := range j.lines() {
+		if err := enc.Encode(line); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("characterize: checkpoint: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("characterize: checkpoint: %w", err)
+	}
+	return j, nil
+}
+
+// load parses a prior journal, keeping its cells only when the header
+// matches the campaign configuration. Undecodable lines — typically one
+// truncated trailing line from a crash — are skipped.
+func (j *Journal) load(data []byte, seed int64, profile string) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var h journalHeader
+			if json.Unmarshal(line, &h) != nil || h.Kind != "header" ||
+				h.Version != journalVersion || h.Seed != seed || h.Profile != profile {
+				return // stale or foreign journal: start fresh
+			}
+			continue
+		}
+		var c journalCell
+		if json.Unmarshal(line, &c) != nil || c.Kind != "cell" {
+			continue
+		}
+		if _, err := clock.ParsePair(c.Pair); err != nil {
+			continue
+		}
+		if c.Result.Pair.String() != c.Pair {
+			continue // pair key disagrees with the payload: corrupt line
+		}
+		j.cells[c.Board+"|"+c.Bench+"|"+c.Pair] = c.Result
+	}
+}
+
+// lines returns the retained cells as journal lines in a stable order.
+func (j *Journal) lines() []journalCell {
+	out := make([]journalCell, 0, len(j.cells))
+	for k, r := range j.cells {
+		// The key is board|bench|pair; neither boards, benches nor pairs
+		// contain the separator.
+		parts := strings.SplitN(k, "|", 3)
+		out = append(out, journalCell{Kind: "cell", Board: parts[0], Bench: parts[1], Pair: r.Pair.String(), Result: r})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Board != out[b].Board {
+			return out[a].Board < out[b].Board
+		}
+		if out[a].Bench != out[b].Bench {
+			return out[a].Bench < out[b].Bench
+		}
+		return out[a].Pair < out[b].Pair
+	})
+	return out
+}
+
+// Lookup returns a previously completed cell, if the journal holds one.
+func (j *Journal) Lookup(board, bench string, p clock.Pair) (PairResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.cells[cellKey(board, bench, p)]
+	if ok {
+		j.hits++
+	}
+	return r, ok
+}
+
+// Record appends a completed cell and syncs it to disk, so a crash at any
+// later point cannot lose it.
+func (j *Journal) Record(board, bench string, r PairResult) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cells[cellKey(board, bench, r.Pair)] = r
+	line, err := json.Marshal(journalCell{Kind: "cell", Board: board, Bench: bench, Pair: r.Pair.String(), Result: r})
+	if err != nil {
+		return fmt.Errorf("characterize: checkpoint: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("characterize: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Hits reports how many sweep cells were answered from the journal — the
+// work a resumed campaign did not repeat.
+func (j *Journal) Hits() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits
+}
+
+// Len reports the number of completed cells the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cells)
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,244 @@
+package characterize
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/fault"
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/workloads"
+)
+
+// The resilient sweep is the plain sweep wrapped in the fault harness:
+// every boot, clock set and metered run may fail transiently under a fault
+// campaign, so each one runs inside a bounded retry loop with backoff, a
+// watchdog kills hung launches and reboots the device, and a frequency
+// pair that exhausts its retry budget is quarantined — its Table IV cell
+// renders "n/a (unstable)" instead of sinking the whole campaign.
+//
+// Determinism: each cell's measurement noise comes from a stream scoped to
+// the cell (SeedScoped) and each attempt's faults from a stream keyed by
+// (campaign seed, cell scope, attempt). A retried cell therefore replays
+// the same measurement it would have produced on the first try, and a run
+// under an all-transient profile with enough retries is byte-identical to
+// a fault-free run.
+
+// SweepOptions configures a resilient sweep campaign.
+type SweepOptions struct {
+	Seed    int64
+	Workers int
+	// Res carries the fault campaign and the retry/watchdog policy. nil
+	// behaves like a fault-free harness with a single attempt per cell.
+	Res *fault.Resilience
+	// Journal, when non-nil, checkpoints completed cells and replays them
+	// on resume.
+	Journal *Journal
+}
+
+func (o *SweepOptions) res() *fault.Resilience {
+	if o.Res != nil {
+		return o.Res
+	}
+	return &fault.Resilience{}
+}
+
+// SweepBoardsR is SweepBoards under the fault harness. The result map has
+// the same shape; quarantined cells are marked rather than omitted, and a
+// benchmark whose device never boots has every cell quarantined.
+func SweepBoardsR(boardNames []string, benches []*workloads.Benchmark, opts SweepOptions) (map[string][]*BenchResult, error) {
+	nb := len(benches)
+	jobs := len(boardNames) * nb
+	if jobs == 0 {
+		return map[string][]*BenchResult{}, nil
+	}
+	flat, err := sweepPool(func(idx int) (*BenchResult, error) {
+		return sweepBenchR(boardNames[idx/nb], benches[idx%nb], opts)
+	}, opts.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]*BenchResult, len(boardNames))
+	for bi, name := range boardNames {
+		out[name] = flat[bi*nb : (bi+1)*nb]
+	}
+	return out, nil
+}
+
+// SweepBoardR sweeps one board's benchmarks under the fault harness.
+func SweepBoardR(boardName string, benches []*workloads.Benchmark, opts SweepOptions) ([]*BenchResult, error) {
+	m, err := SweepBoardsR([]string{boardName}, benches, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m[boardName], nil
+}
+
+// bootR boots the board inside the retry loop. A boot that exhausts its
+// budget returns the fault that kept failing with a nil device — the
+// caller quarantines the benchmark's cells.
+func bootR(boardName, scope string, res *fault.Resilience) (*driver.Device, fault.Point, error) {
+	var lastPt fault.Point
+	for attempt := 0; attempt < res.Attempts(); attempt++ {
+		in := res.Injector("boot|"+scope, attempt)
+		dev, err := driver.OpenBoardWithFaults(boardName, in)
+		if err == nil {
+			return dev, "", nil
+		}
+		pt, transient := fault.PointOf(err)
+		if !transient {
+			return nil, "", err
+		}
+		lastPt = pt
+		res.Pause("boot|"+scope, attempt)
+	}
+	return nil, lastPt, nil
+}
+
+// quarantineAll marks every valid pair of the board as quarantined — the
+// degradation shape of a benchmark whose device never booted.
+func quarantineAll(boardName, bench string, pt fault.Point, retries int) *BenchResult {
+	out := &BenchResult{Benchmark: bench, Board: boardName}
+	spec := arch.BoardByName(boardName)
+	if spec == nil {
+		return out
+	}
+	for _, p := range clock.ValidPairs(spec) {
+		out.Pairs = append(out.Pairs, PairResult{Pair: p, Quarantined: true, FailPoint: pt, Retries: retries})
+	}
+	return out
+}
+
+// sweepBenchR measures one benchmark on one board under the fault harness.
+func sweepBenchR(boardName string, b *workloads.Benchmark, opts SweepOptions) (*BenchResult, error) {
+	res := opts.res()
+	scope := boardName + "|" + b.Name
+	dev, failPt, err := bootR(boardName, scope, res)
+	if err != nil {
+		return nil, err
+	}
+	if dev == nil {
+		return quarantineAll(boardName, b.Name, failPt, res.Attempts()-1), nil
+	}
+	dev.Seed(sweepSeed(opts.Seed, b.Name))
+
+	out := &BenchResult{Benchmark: b.Name, Board: boardName}
+	kernels := b.Kernels(1)
+	hostGap := b.HostGap(1)
+	for _, p := range clock.ValidPairs(dev.Spec()) {
+		if opts.Journal != nil {
+			if cell, ok := opts.Journal.Lookup(boardName, b.Name, p); ok {
+				out.Pairs = append(out.Pairs, cell)
+				continue
+			}
+		}
+		cell, err := sweepCellR(dev, b.Name, kernels, hostGap, p, scope, res)
+		if err != nil {
+			return nil, err
+		}
+		out.Pairs = append(out.Pairs, cell)
+		if opts.Journal != nil {
+			if err := opts.Journal.Record(boardName, b.Name, cell); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Park the device at the default pair with faults detached — recovery
+	// housekeeping must not itself draw faults.
+	dev.AttachFaults(nil)
+	if err := dev.SetClocks(clock.DefaultPair()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sweepCellR measures one (pair) cell inside the retry loop. Transient
+// faults retry with backoff; a hang additionally reboots the device from
+// its golden image; exhaustion quarantines the cell.
+func sweepCellR(dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hostGap float64, p clock.Pair, scope string, res *fault.Resilience) (PairResult, error) {
+	cellScope := scope + "|" + p.String()
+	var lastPt fault.Point
+	for attempt := 0; attempt < res.Attempts(); attempt++ {
+		dev.AttachFaults(res.Injector(cellScope, attempt))
+		dev.SeedScoped("pair|" + p.String())
+		if err := dev.SetClocks(p); err != nil {
+			pt, transient := fault.PointOf(err)
+			if !transient {
+				return PairResult{}, fmt.Errorf("characterize: %s: %w", bench, err)
+			}
+			lastPt = pt
+			res.Pause(cellScope, attempt)
+			continue
+		}
+		ctx, cancel := res.LaunchContext(context.Background())
+		rr, err := dev.RunMeteredCtx(ctx, bench, kernels, hostGap, MinRunSeconds)
+		cancel()
+		if err != nil {
+			pt, transient := fault.PointOf(err)
+			if !transient {
+				return PairResult{}, fmt.Errorf("characterize: %s at %s: %w", bench, p, err)
+			}
+			lastPt = pt
+			if pt == fault.LaunchHang {
+				// The watchdog killed a hung launch; the device is wedged
+				// and needs a reboot before the next attempt.
+				if rerr := dev.Reflash(); rerr != nil {
+					return PairResult{}, fmt.Errorf("characterize: %s at %s: %w", bench, p, rerr)
+				}
+			}
+			res.Pause(cellScope, attempt)
+			continue
+		}
+		if rr.Measurement.Degraded() && attempt+1 < res.Attempts() {
+			// The measurement survived but leans on interpolated windows;
+			// retry for a clean one, accepting low confidence only when
+			// the budget runs out.
+			lastPt = fault.MeterDegraded
+			res.Pause(cellScope, attempt)
+			continue
+		}
+		return pairResult(p, rr, attempt), nil
+	}
+	return PairResult{Pair: p, Quarantined: true, FailPoint: lastPt, Retries: res.Attempts() - 1}, nil
+}
+
+// Degradation is one human-readable line of the campaign's damage report.
+type Degradation struct {
+	Board string
+	Bench string
+	Line  string
+}
+
+// Degradations summarizes quarantined and low-confidence cells of a
+// campaign, sorted by board then benchmark then pair — empty when the
+// campaign fully recovered, which keeps recovered reports byte-identical
+// to fault-free ones.
+func Degradations(results map[string][]*BenchResult) []Degradation {
+	var out []Degradation
+	for board, rs := range results {
+		for _, r := range rs {
+			for i := range r.Pairs {
+				pr := &r.Pairs[i]
+				switch {
+				case pr.Quarantined:
+					why := "unstable"
+					if pr.FailPoint != "" {
+						why = string(pr.FailPoint)
+					}
+					out = append(out, Degradation{Board: board, Bench: r.Benchmark,
+						Line: fmt.Sprintf("%s / %s @ %s: quarantined after %d retries (%s)",
+							board, r.Benchmark, pr.Pair, pr.Retries, why)})
+				case pr.Confidence > 0 && pr.Confidence < 1:
+					out = append(out, Degradation{Board: board, Bench: r.Benchmark,
+						Line: fmt.Sprintf("%s / %s @ %s: accepted at %.0f%% confidence (%d samples interpolated)",
+							board, r.Benchmark, pr.Pair, pr.Confidence*100, pr.Interpolated)})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Line < out[b].Line })
+	return out
+}

@@ -57,6 +57,13 @@ type Dataset struct {
 	Set     *counters.Set
 	Samples int // distinct (benchmark, size) samples; the paper has 114
 	Rows    []Observation
+
+	// Fault-campaign bookkeeping, populated only by CollectResilient and
+	// deliberately absent from the persisted form (persist.go): Dropped
+	// lists benchmarks excluded after exhausting their retry budget, and
+	// Retries counts the transient-fault retries the collection absorbed.
+	Dropped []DroppedBench
+	Retries int
 }
 
 // RowsAtPair filters the rows measured at one frequency pair.
@@ -174,10 +181,14 @@ func collectBenchmark(boardName string, b *workloads.Benchmark, seed int64) ([]O
 		hostGap := b.HostGap(scale)
 
 		// Profile once at the default pair, like the paper's single
-		// CUDA-profiler pass per sample.
+		// CUDA-profiler pass per sample. Each profiling pass and each
+		// observation draws from a stream scoped to its (scale, pair), so
+		// a fault-harness retry of any one measurement replays exactly the
+		// noise the plain path would have drawn (see CollectResilient).
 		if err := dev.SetClocks(clock.DefaultPair()); err != nil {
 			return nil, 0, err
 		}
+		dev.SeedScoped(fmt.Sprintf("profile|%g", scale))
 		dev.EnableProfiler()
 		prof, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
 		dev.DisableProfiler()
@@ -194,6 +205,7 @@ func collectBenchmark(boardName string, b *workloads.Benchmark, seed int64) ([]O
 			if err := dev.SetClocks(p); err != nil {
 				return nil, 0, err
 			}
+			dev.SeedScoped(fmt.Sprintf("obs|%g|%s", scale, p))
 			rr, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
 			if err != nil {
 				return nil, 0, fmt.Errorf("core: measuring %s at %s: %w", b.Name, p, err)

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"gpuperf/internal/clock"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/fault"
+	"gpuperf/internal/workloads"
+)
+
+// The resilient collector is Collect wrapped in the fault harness: boots,
+// clock sets, profiling passes and metered observations all retry
+// transient faults with backoff, hung launches are killed by the watchdog
+// and recovered by a reflash, and a benchmark that exhausts its retry
+// budget is dropped from the dataset — recorded in Dataset.Dropped so the
+// report can say the model was trained without it — instead of failing
+// the campaign.
+
+// DroppedBench names a benchmark excluded from a resilient dataset and
+// the fault that exhausted its retry budget.
+type DroppedBench struct {
+	Benchmark string
+	Point     fault.Point
+}
+
+// CollectResilient is CollectParallel under the fault harness. With a nil
+// or fault-free Resilience it produces a dataset byte-identical to
+// CollectParallel; under an all-transient campaign with enough retries it
+// converges to the same dataset, and under permanent faults it degrades
+// by dropping benchmarks.
+func CollectResilient(boardName string, benches []*workloads.Benchmark, seed int64, workers int, res *fault.Resilience) (*Dataset, error) {
+	if res == nil {
+		res = &fault.Resilience{}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	probe, err := driver.OpenBoard(boardName)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Board: boardName,
+		Spec:  probe.Spec(),
+		Set:   probe.CounterSet(),
+	}
+
+	type chunk struct {
+		idx     int
+		rows    []Observation
+		samples int
+		retries int
+		dropped *DroppedBench
+		err     error
+	}
+	// Buffered to the benchmark count, like collect: no goroutine can ever
+	// block on delivery, so the error path leaks nothing.
+	if workers > len(benches) {
+		workers = len(benches)
+	}
+	jobs := make(chan int, len(benches))
+	for i := range benches {
+		jobs <- i
+	}
+	close(jobs)
+	results := make(chan chunk, len(benches))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for idx := range jobs {
+				rows, samples, retries, dropped, err := collectBenchR(boardName, benches[idx], seed, res)
+				results <- chunk{idx: idx, rows: rows, samples: samples, retries: retries, dropped: dropped, err: err}
+			}
+		}()
+	}
+	ordered := make([]chunk, len(benches))
+	for range benches {
+		c := <-results
+		ordered[c.idx] = c
+	}
+	for _, c := range ordered {
+		if c.err != nil {
+			return nil, c.err
+		}
+		ds.Retries += c.retries
+		if c.dropped != nil {
+			ds.Dropped = append(ds.Dropped, *c.dropped)
+			continue
+		}
+		ds.Rows = append(ds.Rows, c.rows...)
+		ds.Samples += c.samples
+	}
+	return ds, nil
+}
+
+// collectBenchR gathers one benchmark's samples under the fault harness.
+// A nil *DroppedBench and nil error mean success; a non-nil *DroppedBench
+// means the benchmark was sacrificed to a fault that would not go away.
+func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fault.Resilience) ([]Observation, int, int, *DroppedBench, error) {
+	scope := boardName + "|" + b.Name
+	retries := 0
+	var dev *driver.Device
+	var lastPt fault.Point
+	for attempt := 0; attempt < res.Attempts(); attempt++ {
+		d, err := driver.OpenBoardWithFaults(boardName, res.Injector("boot|"+scope, attempt))
+		if err == nil {
+			dev = d
+			retries += attempt
+			break
+		}
+		pt, transient := fault.PointOf(err)
+		if !transient {
+			return nil, 0, 0, nil, err
+		}
+		lastPt = pt
+		res.Pause("boot|"+scope, attempt)
+	}
+	if dev == nil {
+		return nil, 0, res.Attempts() - 1, &DroppedBench{Benchmark: b.Name, Point: lastPt}, nil
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(b.Name)) // fnv: hash.Hash.Write never errors
+	dev.Seed(seed ^ int64(h.Sum64()))
+
+	pairs := clock.ValidPairs(dev.Spec())
+	var rows []Observation
+	samples := 0
+	sizes := b.Sizes
+	if len(sizes) == 0 {
+		sizes = []float64{1}
+	}
+	for _, scale := range sizes {
+		kernels := b.Kernels(scale)
+		hostGap := b.HostGap(scale)
+
+		// run is one metered pass (optionally profiled) at the given pair
+		// inside the retry loop. The seed tag matches collectBenchmark's
+		// for the same pass, so a successful attempt replays the plain
+		// path's noise exactly; a nil result with a fault point means the
+		// budget ran out.
+		run := func(p clock.Pair, seedTag, passScope string, profiled bool) (*driver.RunResult, fault.Point, error) {
+			var last fault.Point
+			for attempt := 0; attempt < res.Attempts(); attempt++ {
+				if attempt > 0 {
+					retries++
+				}
+				dev.AttachFaults(res.Injector(passScope, attempt))
+				dev.SeedScoped(seedTag)
+				if err := dev.SetClocks(p); err != nil {
+					pt, transient := fault.PointOf(err)
+					if !transient {
+						return nil, "", err
+					}
+					last = pt
+					res.Pause(passScope, attempt)
+					continue
+				}
+				if profiled {
+					dev.EnableProfiler()
+				}
+				ctx, cancel := res.LaunchContext(context.Background())
+				rr, err := dev.RunMeteredCtx(ctx, b.Name, kernels, hostGap, MinRunSeconds)
+				cancel()
+				if profiled {
+					dev.DisableProfiler()
+				}
+				if err != nil {
+					pt, transient := fault.PointOf(err)
+					if !transient {
+						return nil, "", err
+					}
+					last = pt
+					if pt == fault.LaunchHang {
+						if rerr := dev.Reflash(); rerr != nil {
+							return nil, "", rerr
+						}
+					}
+					res.Pause(passScope, attempt)
+					continue
+				}
+				if rr.Measurement.Degraded() && attempt+1 < res.Attempts() {
+					last = fault.MeterDegraded
+					res.Pause(passScope, attempt)
+					continue
+				}
+				return rr, "", nil
+			}
+			return nil, last, nil
+		}
+
+		prof, pt, err := run(clock.DefaultPair(), fmt.Sprintf("profile|%g", scale),
+			fmt.Sprintf("%s|profile|%g", scope, scale), true)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		if prof == nil {
+			return nil, 0, retries, &DroppedBench{Benchmark: b.Name, Point: pt}, nil
+		}
+		perIter := make([]float64, len(prof.Counters))
+		for i, c := range prof.Counters {
+			perIter[i] = c / float64(prof.Iterations)
+		}
+
+		samples++
+		for _, p := range pairs {
+			rr, pt, err := run(p, fmt.Sprintf("obs|%g|%s", scale, p),
+				fmt.Sprintf("%s|obs|%g|%s", scope, scale, p), false)
+			if err != nil {
+				return nil, 0, 0, nil, err
+			}
+			if rr == nil {
+				return nil, 0, retries, &DroppedBench{Benchmark: b.Name, Point: pt}, nil
+			}
+			rows = append(rows, Observation{
+				Benchmark: b.Name,
+				Scale:     scale,
+				Pair:      p,
+				CoreGHz:   dev.Spec().CoreFreqGHz(p.Core),
+				MemGHz:    dev.Spec().MemFreqGHz(p.Mem),
+				Counters:  perIter,
+				TimeS:     rr.TimePerIteration(),
+				PowerW:    rr.Measurement.AvgWatts,
+			})
+		}
+	}
+	return rows, samples, retries, nil, nil
+}

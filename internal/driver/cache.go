@@ -129,9 +129,29 @@ func SetLaunchCachingEnabled(on bool) { launchCachingOff.Store(!on) }
 // LaunchCachingEnabled reports the global switch.
 func LaunchCachingEnabled() bool { return !launchCachingOff.Load() }
 
+// PushLaunchCachingEnabled flips the global caching switch and returns a
+// restore function that puts the previous state back — the save/restore
+// idiom tests must use so a failing test cannot leak a flipped switch
+// into the rest of the suite:
+//
+//	defer driver.PushLaunchCachingEnabled(false)()
+func PushLaunchCachingEnabled(on bool) (restore func()) {
+	prev := !launchCachingOff.Swap(!on)
+	return func() { launchCachingOff.Store(!prev) }
+}
+
 // SetSharedLaunchCache replaces the process-wide cache (nil keeps devices
 // on their per-device caches only).
 func SetSharedLaunchCache(c *LaunchCache) { sharedCache.Store(c) }
+
+// PushSharedLaunchCache swaps in a replacement process-wide cache (nil to
+// detach) and returns a restore function for the previous one — the
+// save/restore idiom for tests that need an isolated or absent shared
+// cache.
+func PushSharedLaunchCache(c *LaunchCache) (restore func()) {
+	prev := sharedCache.Swap(c)
+	return func() { sharedCache.Store(prev) }
+}
 
 // SharedLaunchCache returns the process-wide cache, or nil when unset.
 func SharedLaunchCache() *LaunchCache { return sharedCache.Load() }

@@ -18,6 +18,7 @@ import (
 	"gpuperf/internal/bios"
 	"gpuperf/internal/clock"
 	"gpuperf/internal/counters"
+	"gpuperf/internal/fault"
 	"gpuperf/internal/gpu"
 	"gpuperf/internal/meter"
 	"gpuperf/internal/power"
@@ -35,6 +36,14 @@ type Device struct {
 
 	profiling bool
 	rng       *rand.Rand
+	baseSeed  int64 // seed SeedScoped derives per-unit streams from
+
+	// Fault injection (see faulty.go). pristine is an untouched copy of
+	// the boot image, kept so a detected bit-flip can be recovered by
+	// reflashing from the golden image — faults stays nil outside fault
+	// campaigns and every check on it is nil-safe.
+	faults   *fault.Injector
+	pristine []byte
 
 	// Launch memoization (see cache.go). The per-device map is private to
 	// this device; the shared LRU is consulted when useShared is set.
@@ -83,15 +92,18 @@ func Open(img []byte) (*Device, error) {
 	own := append([]byte(nil), img...)
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(spec.Name)) // fnv: hash.Hash.Write never errors
+	seed := int64(h.Sum64())
 	d := &Device{
-		spec: spec,
-		img:  own,
-		clk:  clk,
-		sim:  gpu.New(spec, clk),
-		pm:   power.NewModel(spec),
-		set:  counters.ForGeneration(spec.Generation),
-		inst: meter.New(),
-		rng:  rand.New(rand.NewSource(int64(h.Sum64()))),
+		spec:     spec,
+		img:      own,
+		pristine: append([]byte(nil), img...),
+		clk:      clk,
+		sim:      gpu.New(spec, clk),
+		pm:       power.NewModel(spec),
+		set:      counters.ForGeneration(spec.Generation),
+		inst:     meter.New(),
+		rng:      rand.New(rand.NewSource(seed)),
+		baseSeed: seed,
 	}
 	d.initCaches()
 	return d, nil
@@ -124,15 +136,19 @@ func OpenSpec(spec *arch.Spec) (*Device, error) {
 	}
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(spec.Name)) // fnv: hash.Hash.Write never errors
+	seed := int64(h.Sum64())
+	img := bios.Build(spec)
 	d := &Device{
-		spec: spec,
-		img:  bios.Build(spec),
-		clk:  clk,
-		sim:  gpu.New(spec, clk),
-		pm:   power.NewModel(spec),
-		set:  counters.ForGeneration(spec.Generation),
-		inst: meter.New(),
-		rng:  rand.New(rand.NewSource(int64(h.Sum64()))),
+		spec:     spec,
+		img:      img,
+		pristine: append([]byte(nil), img...),
+		clk:      clk,
+		sim:      gpu.New(spec, clk),
+		pm:       power.NewModel(spec),
+		set:      counters.ForGeneration(spec.Generation),
+		inst:     meter.New(),
+		rng:      rand.New(rand.NewSource(seed)),
+		baseSeed: seed,
 	}
 	d.initCaches()
 	return d, nil
@@ -157,19 +173,60 @@ func (d *Device) Meter() *meter.Meter { return d.inst }
 // SetClocks reprograms the device to a new frequency pair by patching the
 // VBIOS image and rebooting, as the paper does. Invalid pairs (Table III)
 // are rejected and leave the device untouched.
+//
+// Under a fault campaign the reflash can fail transiently (the clock-set
+// interface refuses the request) or corrupt the image with a single bit
+// flip. A flip always breaks the image checksum, so the reboot's Parse
+// detects it; the driver then restores the golden image and reports a
+// transient fault for the harness to retry.
 func (d *Device) SetClocks(p clock.Pair) error {
+	if err := d.faults.Fail(fault.ClockSetFail, d.spec.Name); err != nil {
+		return fmt.Errorf("driver: %w", err)
+	}
 	if err := bios.PatchBootPair(d.img, p); err != nil {
 		return fmt.Errorf("driver: %w", err)
 	}
+	flipped := false
+	if d.faults.Hit(fault.BiosBitFlip) {
+		bit := d.faults.Intn(fault.BiosBitFlip, len(d.img)*8)
+		d.img[bit/8] ^= 1 << (bit % 8)
+		flipped = true
+	}
 	decoded, err := bios.Parse(d.img)
 	if err != nil {
+		if flipped {
+			// Reflash from the golden image (re-applying the requested
+			// pair so the retry starts from a consistent state).
+			copy(d.img, d.pristine)
+			if perr := bios.PatchBootPair(d.img, p); perr != nil {
+				return fmt.Errorf("driver: recovery reflash: %w", perr)
+			}
+			return fmt.Errorf("driver: %w",
+				&fault.Error{Point: fault.BiosBitFlip, Scope: d.spec.Name, Err: err})
+		}
 		return fmt.Errorf("driver: reboot failed: %w", err)
 	}
 	return d.clk.SetPair(decoded.Boot)
 }
 
-// Seed reseeds the device's noise sources (profiler jitter, meter noise).
-func (d *Device) Seed(seed int64) { d.rng = rand.New(rand.NewSource(seed)) }
+// Seed reseeds the device's noise sources (profiler jitter, meter noise)
+// and sets the base seed SeedScoped derives from.
+func (d *Device) Seed(seed int64) {
+	d.baseSeed = seed
+	d.rng = rand.New(rand.NewSource(seed))
+}
+
+// SeedScoped reseeds the noise sources to a stream derived from the base
+// seed and a scope tag (e.g. "pair|(H-L)"). Each tag yields an
+// independent, reproducible stream regardless of how many draws earlier
+// scopes consumed — so retries, skipped cells and reordered sweeps leave
+// every other measurement's noise untouched. The base seed itself is
+// unchanged; call Seed to move it.
+func (d *Device) SeedScoped(tag string) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(tag)) // fnv: hash.Hash.Write never errors
+	d.rng = rand.New(rand.NewSource(d.baseSeed ^ int64(h.Sum64())))
+}
 
 // EnableProfiler turns on counter collection for subsequent launches,
 // emulating runs under the CUDA Profiler.

@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseProfile drives the profile parser with arbitrary specs. The
+// invariants on accepted input: every rule is a known point with a
+// probability in [0, 1] and a non-negative param, and the canonical
+// String() form re-parses to the same canonical form (the fixpoint the
+// checkpoint journal's header comparison relies on).
+func FuzzParseProfile(f *testing.F) {
+	// Corpus seeds: the canned CI chaos profile, every syntax feature,
+	// and the error-path shapes.
+	for _, seed := range []string{
+		"",
+		"launch.hang:0.05,meter.drop:0.1",
+		"launch.hang:0.02",
+		"meter.spike:0.05:2500",
+		"meter.stuck:0.01:7",
+		"bios.bitflip:1",
+		"boot.fail:0,clockset.fail:0.5,launch.corrupt:1e-3",
+		" launch.hang : 0.5 ",
+		"launch.hang:0.5,launch.hang:0.5",
+		"nosuch.point:0.5",
+		"launch.hang:NaN",
+		"launch.hang:-1",
+		"launch.hang:2",
+		"meter.spike:0.5:-2500",
+		"launch.hang",
+		"launch.hang:0.5:1:2",
+		",,,",
+		"launch.hang:0.5,",
+		"meter.degraded:0.5",
+		"launch.hang:1e309",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseProfile(spec)
+		if err != nil {
+			return // rejected input carries no invariants
+		}
+		for _, r := range p.Rules() {
+			if !KnownPoint(r.Point) {
+				t.Fatalf("accepted unknown point %q from %q", r.Point, spec)
+			}
+			if !(r.Probability >= 0 && r.Probability <= 1) {
+				t.Fatalf("accepted probability %v from %q", r.Probability, spec)
+			}
+			if !(r.Param >= 0) {
+				t.Fatalf("accepted param %v from %q", r.Param, spec)
+			}
+		}
+		canon := p.String()
+		p2, err := ParseProfile(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("canonical form not a fixpoint: %q -> %q -> %q", spec, canon, got)
+		}
+		if strings.TrimSpace(spec) == "" && !p.Empty() {
+			t.Fatalf("blank spec %q produced rules", spec)
+		}
+	})
+}

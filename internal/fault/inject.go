@@ -1,0 +1,114 @@
+package fault
+
+import "math/rand"
+
+// Campaign pairs a fault profile with its own seed. Fault decisions are a
+// pure function of (seed, scope, attempt, point, draw index): reproducible
+// run to run, independent across scopes and attempts, and — because the
+// streams are derived under a "fault|" hash domain no noise stream uses —
+// provably independent of the meter/profiler noise RNGs. Attaching a
+// campaign whose probabilities are all zero changes no measured byte.
+type Campaign struct {
+	Profile *Profile
+	Seed    int64
+}
+
+// Injector derives the injector for one (scope, attempt). scope names the
+// unit of work being attempted (e.g. "GTX 680|backprop|(H-L)"); attempt is
+// the zero-based retry ordinal, so each retry sees a fresh, deterministic
+// fault stream rather than replaying the failure forever.
+func (c *Campaign) Injector(scope string, attempt int) *Injector {
+	if c == nil || c.Profile.Empty() {
+		return nil
+	}
+	return &Injector{
+		profile: c.Profile,
+		base:    uint64(c.Seed) ^ hash64("fault|"+scope),
+		attempt: attempt,
+	}
+}
+
+// Injector draws fault decisions for one (scope, attempt). Each point owns
+// an independent rand stream, lazily seeded, so the draw count at one
+// point never shifts another point's decisions. The zero number of
+// methods is safe on a nil receiver — un-faulted code paths pass nil
+// injectors and pay only a nil check.
+//
+// An Injector is used by a single goroutine (the harness attaches one per
+// device per attempt); it is not safe for concurrent use.
+type Injector struct {
+	profile *Profile
+	base    uint64
+	attempt int
+	rngs    map[Point]*rand.Rand
+}
+
+// rng returns the point's lazily created stream.
+func (in *Injector) rng(pt Point) *rand.Rand {
+	if in.rngs == nil {
+		in.rngs = map[Point]*rand.Rand{}
+	}
+	r, ok := in.rngs[pt]
+	if !ok {
+		seed := in.base ^ hash64("point|"+string(pt)) ^ (uint64(in.attempt+1) * 0x9e3779b97f4a7c15)
+		r = rand.New(rand.NewSource(int64(seed)))
+		in.rngs[pt] = r
+	}
+	return r
+}
+
+// Enabled reports whether the campaign can ever fire at this point
+// (a rule exists with probability > 0). Fault-handling passes gate on it
+// so a zero-probability profile is structurally identical to no profile.
+func (in *Injector) Enabled(pt Point) bool {
+	if in == nil {
+		return false
+	}
+	r, ok := in.profile.Rule(pt)
+	return ok && r.Probability > 0
+}
+
+// Hit draws one fault decision at the point. Certain outcomes
+// (probability 0 or 1) do not consume a draw.
+func (in *Injector) Hit(pt Point) bool {
+	if in == nil {
+		return false
+	}
+	r, ok := in.profile.Rule(pt)
+	if !ok || r.Probability <= 0 {
+		return false
+	}
+	if r.Probability >= 1 {
+		return true
+	}
+	return in.rng(pt).Float64() < r.Probability
+}
+
+// Fail returns a classified *Error if the point fires, nil otherwise.
+func (in *Injector) Fail(pt Point, scope string) error {
+	if in.Hit(pt) {
+		return &Error{Point: pt, Scope: scope}
+	}
+	return nil
+}
+
+// Param returns the point's configured magnitude, or def when the rule is
+// absent or carries no param.
+func (in *Injector) Param(pt Point, def float64) float64 {
+	if in == nil {
+		return def
+	}
+	if r, ok := in.profile.Rule(pt); ok && r.Param > 0 {
+		return r.Param
+	}
+	return def
+}
+
+// Intn draws a uniform int in [0, n) from the point's stream — used to
+// place a fault (which bit flips, where a stuck run starts).
+func (in *Injector) Intn(pt Point, n int) int {
+	if in == nil || n <= 0 {
+		return 0
+	}
+	return in.rng(pt).Intn(n)
+}

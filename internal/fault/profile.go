@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rule is one profile entry: inject Point with the given per-draw
+// Probability. Param is a point-specific magnitude (spike watts, stuck-run
+// length); zero means the point's default.
+type Rule struct {
+	Point       Point
+	Probability float64
+	Param       float64
+}
+
+// Profile is a parsed fault campaign specification.
+type Profile struct {
+	rules map[Point]Rule
+}
+
+// ParseProfile parses the "-faults" syntax: comma-separated
+// "point:probability[:param]" entries, e.g.
+//
+//	launch.hang:0.02,meter.drop:0.1,meter.spike:0.05:2500
+//
+// Whitespace around entries is ignored. Probabilities must lie in [0, 1];
+// params must be non-negative; duplicate points and unknown point names
+// are errors. The empty string parses to an empty profile (no rules).
+func ParseProfile(s string) (*Profile, error) {
+	p := &Profile{rules: map[Point]Rule{}}
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("fault: empty entry in profile %q", s)
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("fault: entry %q: want point:probability[:param]", entry)
+		}
+		pt := Point(strings.TrimSpace(parts[0]))
+		if !KnownPoint(pt) {
+			return nil, fmt.Errorf("fault: unknown injection point %q (known: %s)", pt, pointList())
+		}
+		if _, dup := p.rules[pt]; dup {
+			return nil, fmt.Errorf("fault: point %q appears twice", pt)
+		}
+		prob, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: entry %q: bad probability: %w", entry, err)
+		}
+		if !(prob >= 0 && prob <= 1) { // also rejects NaN
+			return nil, fmt.Errorf("fault: entry %q: probability %v outside [0, 1]", entry, prob)
+		}
+		r := Rule{Point: pt, Probability: prob}
+		if len(parts) == 3 {
+			param, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: entry %q: bad param: %w", entry, err)
+			}
+			if !(param >= 0) || param > 1e12 {
+				return nil, fmt.Errorf("fault: entry %q: param %v outside [0, 1e12]", entry, param)
+			}
+			r.Param = param
+		}
+		p.rules[pt] = r
+	}
+	return p, nil
+}
+
+// pointList renders the injectable points for error messages.
+func pointList() string {
+	var names []string
+	for _, pt := range Points() {
+		names = append(names, string(pt))
+	}
+	return strings.Join(names, " ")
+}
+
+// Rule returns the entry for a point, if the profile has one.
+func (p *Profile) Rule(pt Point) (Rule, bool) {
+	if p == nil {
+		return Rule{}, false
+	}
+	r, ok := p.rules[pt]
+	return r, ok
+}
+
+// Empty reports whether the profile has no rules at all. A profile whose
+// rules all carry probability zero is not Empty — it still routes runs
+// through the resilient harness, which the zero-probability determinism
+// tests rely on.
+func (p *Profile) Empty() bool { return p == nil || len(p.rules) == 0 }
+
+// Rules returns the entries sorted by point name.
+func (p *Profile) Rules() []Rule {
+	if p == nil {
+		return nil
+	}
+	out := make([]Rule, 0, len(p.rules))
+	for _, r := range p.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out
+}
+
+// String renders the canonical form: entries sorted by point, params
+// omitted when zero. ParseProfile(p.String()) reproduces p exactly, which
+// the checkpoint journal uses to detect profile mismatches.
+func (p *Profile) String() string {
+	var parts []string
+	for _, r := range p.Rules() {
+		e := fmt.Sprintf("%s:%s", r.Point, strconv.FormatFloat(r.Probability, 'g', -1, 64))
+		if r.Param != 0 {
+			e += ":" + strconv.FormatFloat(r.Param, 'g', -1, 64)
+		}
+		parts = append(parts, e)
+	}
+	return strings.Join(parts, ",")
+}

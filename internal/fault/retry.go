@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Harness defaults. The backoff exists to model (and test) the real
+// harness's pacing, not to wait out real hardware, so the scale is
+// milliseconds.
+const (
+	DefaultMaxRetries    = 3
+	DefaultLaunchTimeout = 5 * time.Second
+	DefaultBackoffBase   = time.Millisecond
+	DefaultBackoffMax    = 50 * time.Millisecond
+)
+
+// Resilience bundles the retry/watchdog policy the sweep and collect
+// harnesses share. A nil *Resilience (or one with a nil Campaign) means
+// "run exactly once, inject nothing" — the plain fast path.
+type Resilience struct {
+	Campaign *Campaign
+	// MaxRetries bounds retries per unit of work (attempts = MaxRetries+1).
+	MaxRetries int
+	// LaunchTimeout arms the per-launch watchdog; <= 0 disables it (an
+	// injected hang then fails fast instead of blocking).
+	LaunchTimeout time.Duration
+	// BackoffBase/BackoffMax shape the capped exponential backoff between
+	// attempts; zero values take the package defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Sleep is the pause implementation, injectable so tests run at full
+	// speed; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Attempts returns how many times a unit of work may run.
+func (r *Resilience) Attempts() int {
+	if r == nil || r.MaxRetries < 0 {
+		return 1
+	}
+	return r.MaxRetries + 1
+}
+
+// Injector derives the (scope, attempt) injector, nil-safe.
+func (r *Resilience) Injector(scope string, attempt int) *Injector {
+	if r == nil {
+		return nil
+	}
+	return r.Campaign.Injector(scope, attempt)
+}
+
+// Backoff returns the pause before retry #attempt (zero-based): a capped
+// exponential with deterministic jitter in [d/2, d), derived by hashing
+// (scope, attempt) so concurrent workers desynchronize without any global
+// rand — reruns pause identically, keeping retry traces reproducible.
+func (r *Resilience) Backoff(scope string, attempt int) time.Duration {
+	base, max := DefaultBackoffBase, DefaultBackoffMax
+	if r != nil && r.BackoffBase > 0 {
+		base = r.BackoffBase
+	}
+	if r != nil && r.BackoffMax > 0 {
+		max = r.BackoffMax
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	jitter := time.Duration(hash64(fmt.Sprintf("backoff|%s|%d", scope, attempt)) % uint64(half))
+	return half + jitter
+}
+
+// Pause sleeps the backoff for retry #attempt.
+func (r *Resilience) Pause(scope string, attempt int) {
+	sleep := time.Sleep
+	if r != nil && r.Sleep != nil {
+		sleep = r.Sleep
+	}
+	sleep(r.Backoff(scope, attempt))
+}
+
+// LaunchContext arms the per-launch watchdog: a context that expires
+// after LaunchTimeout. With no timeout configured it returns the parent
+// unchanged with a no-op cancel, so callers can always `defer cancel()`.
+func (r *Resilience) LaunchContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	if r == nil || r.LaunchTimeout <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, r.LaunchTimeout)
+}
+
+// ValidateHarness is the shared CLI flag validation: every command
+// surfacing the harness flags rejects nonsense before booting anything.
+func ValidateHarness(workers, maxRetries int, launchTimeout time.Duration) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", workers)
+	}
+	if maxRetries < 0 {
+		return fmt.Errorf("-max-retries must be >= 0 (got %d)", maxRetries)
+	}
+	if launchTimeout <= 0 {
+		return fmt.Errorf("-launch-timeout must be positive (got %v)", launchTimeout)
+	}
+	return nil
+}

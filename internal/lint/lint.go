@@ -17,6 +17,9 @@
 //     error with %v/%s instead of %w.
 //   - concurrency:  sync.Mutex/WaitGroup values copied by value, and
 //     goroutines launched with no visible completion signal.
+//   - faultsafety:  context cancel functions that are discarded rather
+//     than released, and fault-aware driver calls in files with no
+//     visible retry/classification machinery.
 //
 // The framework is stdlib-only (go/ast, go/parser, go/types): the module
 // deliberately has an empty dependency set, so golang.org/x/tools is not
@@ -77,7 +80,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{UnitSafety, CounterClass, ErrCheck, Concurrency}
+	return []*Analyzer{UnitSafety, CounterClass, ErrCheck, Concurrency, FaultSafety}
 }
 
 // ByName returns the named analyzer, or nil.

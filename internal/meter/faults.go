@@ -1,0 +1,175 @@
+package meter
+
+import "gpuperf/internal/fault"
+
+// Instrument-fault pipeline. Three failure modes of a physical meter are
+// injected into the raw sample vector and then *detected* the way a real
+// acquisition pipeline would detect them — a gap in the sample stream, an
+// implausible reading, a flat run from a hung ADC — and the affected
+// windows are reconstructed by linear interpolation between the nearest
+// genuine neighbours. The measurement keeps a per-window validity mask and
+// fault counts so downstream consumers know how much of the energy
+// integral is reconstruction rather than observation.
+//
+// Every pass is gated on Injector.Enabled, so a profile with zero
+// probability at a point leaves the measurement bit-for-bit identical to
+// one taken with no campaign attached.
+
+// SpikeThresholdWatts is the plausibility ceiling of the acquisition
+// pipeline: no simulated system draws remotely close to 2 kW at the wall,
+// so any reading above it is discarded as a glitch.
+const SpikeThresholdWatts = 2000
+
+// DefaultSpikeWatts is the default magnitude an injected spike adds —
+// comfortably above SpikeThresholdWatts so default-parameter spikes are
+// always caught. A profile param below the threshold models glitches that
+// evade detection (and silently bias the integral, as on real hardware).
+const DefaultSpikeWatts = 2500
+
+// DefaultStuckRun is the default length, in samples, of a stuck-reading
+// run. Detection needs runs of >= 3 identical readings, which gaussian
+// sampling noise makes (almost surely) impossible naturally.
+const DefaultStuckRun = 5
+
+// injectFaults runs the inject→detect→interpolate pipeline over the
+// sample vector. It returns an error — classified as a transient meter
+// fault — when no genuine sample survives, since an all-reconstructed
+// "measurement" observes nothing.
+func (m *Meter) injectFaults(out *Measurement) error {
+	in := m.Faults
+	n := len(out.Samples)
+	if in == nil || n == 0 {
+		return nil
+	}
+	var invalid []bool
+	mark := func(i int) {
+		if invalid == nil {
+			invalid = make([]bool, n)
+		}
+		invalid[i] = true
+	}
+
+	// Sample dropout: the instrument returned nothing for the window.
+	if in.Enabled(fault.MeterDrop) {
+		for i := 0; i < n; i++ {
+			if in.Hit(fault.MeterDrop) {
+				out.Samples[i] = 0
+				out.Dropped++
+				mark(i)
+			}
+		}
+	}
+
+	// Transient spikes: inject an out-of-range excursion, then detect by
+	// the plausibility threshold. Dropped windows cannot also spike.
+	if in.Enabled(fault.MeterSpike) {
+		magnitude := in.Param(fault.MeterSpike, DefaultSpikeWatts)
+		for i := 0; i < n; i++ {
+			if (invalid == nil || !invalid[i]) && in.Hit(fault.MeterSpike) {
+				out.Samples[i] += magnitude
+			}
+		}
+		for i := 0; i < n; i++ {
+			if out.Samples[i] > SpikeThresholdWatts && (invalid == nil || !invalid[i]) {
+				out.Spiked++
+				mark(i)
+			}
+		}
+	}
+
+	// Stuck reading: at most once per measurement, the instrument repeats
+	// one value for a run of windows. Detected as a run of >= 3 exactly
+	// equal readings; the first window of the run is the genuine one.
+	if in.Enabled(fault.MeterStuck) && in.Hit(fault.MeterStuck) {
+		run := int(in.Param(fault.MeterStuck, DefaultStuckRun))
+		if run < 3 {
+			run = 3
+		}
+		start := in.Intn(fault.MeterStuck, n)
+		for i := start + 1; i < n && i < start+run; i++ {
+			out.Samples[i] = out.Samples[start]
+		}
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && out.Samples[j] == out.Samples[i] { //gpulint:ignore unitsafety -- a hung ADC repeats the reading bit-exactly; that is the detection signature
+				j++
+			}
+			if j-i >= 3 {
+				for k := i + 1; k < j; k++ {
+					if invalid == nil || !invalid[k] {
+						out.Stuck++
+						mark(k)
+					}
+				}
+			}
+			i = j
+		}
+	}
+
+	if invalid == nil {
+		return nil // enabled but nothing fired: bit-identical measurement
+	}
+	bad := 0
+	for _, iv := range invalid {
+		if iv {
+			bad++
+		}
+	}
+	if bad == n {
+		return &fault.Error{Point: fault.MeterDrop, Scope: "meter",
+			Err: errNoValidSamples}
+	}
+	interpolate(out.Samples, invalid)
+	out.Interpolated = bad
+	out.Valid = make([]bool, n)
+	for i := range invalid {
+		out.Valid[i] = !invalid[i]
+	}
+	return nil
+}
+
+// errNoValidSamples reports a measurement with zero genuine windows.
+var errNoValidSamples = ErrAllSamplesInvalid
+
+// ErrAllSamplesInvalid is returned (wrapped in a *fault.Error) when every
+// sampling window of a measurement was lost to instrument faults.
+var ErrAllSamplesInvalid = errTooFaulty{}
+
+type errTooFaulty struct{}
+
+func (errTooFaulty) Error() string {
+	return "meter: every sampling window lost to instrument faults"
+}
+
+// interpolate reconstructs the invalid samples in place: linear
+// interpolation between the nearest valid neighbours, with flat
+// extrapolation at the edges. At least one valid sample must exist.
+func interpolate(samples []float64, invalid []bool) {
+	n := len(samples)
+	prev := -1 // index of the last valid sample seen
+	for i := 0; i < n; i++ {
+		if !invalid[i] {
+			prev = i
+			continue
+		}
+		// Find the next valid sample.
+		next := -1
+		for j := i + 1; j < n; j++ {
+			if !invalid[j] {
+				next = j
+				break
+			}
+		}
+		switch {
+		case prev < 0 && next < 0:
+			// unreachable: the caller guarantees a valid sample exists
+		case prev < 0:
+			samples[i] = samples[next]
+		case next < 0:
+			samples[i] = samples[prev]
+		default:
+			t := float64(i-prev) / float64(next-prev)
+			samples[i] = samples[prev] + t*(samples[next]-samples[prev])
+		}
+	}
+}

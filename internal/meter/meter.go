@@ -10,6 +10,8 @@ package meter
 import (
 	"errors"
 	"math/rand"
+
+	"gpuperf/internal/fault"
 )
 
 // DefaultSamplePeriod is the WT1600's 50 ms update interval.
@@ -82,6 +84,34 @@ type Measurement struct {
 	// range: the clipped readings understate the true power, exactly as a
 	// real instrument flags OL on a mis-ranged channel.
 	Overloaded bool
+
+	// Valid flags, per sample, whether the reading is genuine (true) or
+	// was reconstructed by interpolation after a detected instrument
+	// fault (false). nil — the common case — means every sample is
+	// genuine; the slice is only allocated when a fault actually fired,
+	// so fault-free measurements stay structurally identical to runs
+	// without any fault campaign attached.
+	Valid []bool
+	// Per-measurement fault accounting (all zero on a clean measurement):
+	// how many samples were dropped, spiked or stuck, and how many were
+	// filled in by interpolation (= the number of false entries in Valid).
+	Dropped      int
+	Spiked       int
+	Stuck        int
+	Interpolated int
+}
+
+// Degraded reports whether any sample had to be reconstructed — the
+// energy integral then carries interpolation error on top of noise.
+func (m *Measurement) Degraded() bool { return m.Interpolated > 0 }
+
+// Confidence is the fraction of genuine samples backing the integral:
+// 1 for a clean measurement, approaching 0 as reconstruction dominates.
+func (m *Measurement) Confidence() float64 {
+	if m.Valid == nil || len(m.Samples) == 0 {
+		return 1
+	}
+	return float64(len(m.Samples)-m.Interpolated) / float64(len(m.Samples))
 }
 
 // Meter is a configured instrument.
@@ -91,6 +121,11 @@ type Meter struct {
 	// RangeWatts is the selected measurement range; readings clip there
 	// and set Measurement.Overloaded. Zero means auto-range (no clipping).
 	RangeWatts float64
+	// Faults, when non-nil, injects instrument failures (sample dropout,
+	// transient spikes, stuck readings) into every measurement — see
+	// faults.go. The injector's streams are independent of the sampling-
+	// noise rng, so attaching a zero-probability campaign changes nothing.
+	Faults *fault.Injector
 }
 
 // New returns a WT1600-like meter on auto-range.
@@ -143,7 +178,16 @@ func (m *Meter) Measure(trace Trace, rng *rand.Rand) (*Measurement, error) {
 		}
 		out.Samples = append(out.Samples, w)
 	}
+	return m.finalize(out)
+}
 
+// finalize applies the instrument-fault pipeline (no-op without an
+// injector) and derives the summary statistics from the surviving
+// samples. Shared by Measure and MeasurePeriodic.
+func (m *Meter) finalize(out *Measurement) (*Measurement, error) {
+	if err := m.injectFaults(out); err != nil {
+		return nil, err
+	}
 	var sum float64
 	for _, w := range out.Samples {
 		sum += w

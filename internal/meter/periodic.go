@@ -148,13 +148,5 @@ func (m *Meter) MeasurePeriodic(p Periodic, rng *rand.Rand) (*Measurement, error
 		}
 		out.Samples = append(out.Samples, w)
 	}
-
-	var sum float64
-	for _, w := range out.Samples {
-		sum += w
-	}
-	out.AvgWatts = sum / float64(len(out.Samples))
-	out.Duration = float64(len(out.Samples)) * m.SamplePeriod
-	out.EnergyJoules = sum * m.SamplePeriod
-	return out, nil
+	return m.finalize(out)
 }

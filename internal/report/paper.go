@@ -65,7 +65,14 @@ func Table4(boards []*arch.Spec, results map[string][]*characterize.BenchResult)
 		for _, s := range boards {
 			rs := results[s.Name]
 			if i < len(rs) {
-				row = append(row, rs[i].Best().Pair.String())
+				// A cell whose sweep was quarantined by the fault harness
+				// has no best pair — report it as unstable rather than
+				// inventing one.
+				if best := rs[i].Best(); best != nil {
+					row = append(row, best.Pair.String())
+				} else {
+					row = append(row, "n/a (unstable)")
+				}
 			} else {
 				row = append(row, "?")
 			}
@@ -84,6 +91,10 @@ func Fig4(boards []*arch.Spec, results map[string][]*characterize.BenchResult) s
 		rs := results[s.Name]
 		b.WriteString(fmt.Sprintf("\n%s (mean %.1f%%)\n", s.Name, characterize.MeanImprovementPct(rs)))
 		for _, r := range rs {
+			if r.Best() == nil || r.Default() == nil {
+				b.WriteString(fmt.Sprintf("  %-22s %6s  (unstable — no measurement)\n", r.Benchmark, "n/a"))
+				continue
+			}
 			imp := r.ImprovementPct()
 			b.WriteString(fmt.Sprintf("  %-22s %6.1f%% %s\n", r.Benchmark, imp, Bar(imp/80, 40)))
 		}

@@ -33,8 +33,8 @@ func TestReportByteIdenticalAcrossModes(t *testing.T) {
 
 	run := func(workers int, cached bool) string {
 		t.Helper()
-		driver.SetLaunchCachingEnabled(cached)
-		defer driver.SetLaunchCachingEnabled(true)
+		restore := driver.PushLaunchCachingEnabled(cached)
+		defer restore()
 		opts := DefaultOptions()
 		opts.Workers = workers
 		var buf bytes.Buffer

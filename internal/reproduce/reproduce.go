@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"gpuperf/internal/characterize"
 	"gpuperf/internal/core"
 	"gpuperf/internal/driver"
+	"gpuperf/internal/fault"
 	"gpuperf/internal/report"
 	"gpuperf/internal/selfcheck"
 	"gpuperf/internal/workloads"
@@ -48,6 +50,22 @@ type Options struct {
 	// independently derived noise seed, so the report is byte-identical
 	// at any worker count; 1 is the bit-exact sequential reference.
 	Workers int
+
+	// Faults, when non-nil, runs the characterization and modeling
+	// sections under a fault-injection campaign: every boot, clock set
+	// and metered run may fail per the profile, retried up to MaxRetries
+	// times with backoff, with LaunchTimeout as the per-run watchdog.
+	// Cells/benchmarks that exhaust the budget degrade gracefully (Table
+	// IV shows "n/a (unstable)", models train without the benchmark) and
+	// a degradation summary section reports exactly what was lost.
+	// Ablations and future work always run fault-free — they are
+	// mechanism probes, not measurement campaigns.
+	Faults        *fault.Profile
+	MaxRetries    int
+	LaunchTimeout time.Duration
+	// Checkpoint, when set, journals completed sweep cells to this path
+	// and resumes from it, so a killed run repays only unfinished cells.
+	Checkpoint string
 }
 
 // workers resolves the configured pool width.
@@ -69,6 +87,68 @@ func DefaultOptions() Options {
 		FutureWork:       true,
 		SelfCheck:        true,
 		MaxVars:          core.MaxVariables,
+		MaxRetries:       fault.DefaultMaxRetries,
+		LaunchTimeout:    fault.DefaultLaunchTimeout,
+	}
+}
+
+// harness bundles the fault campaign's runtime state: the retry policy the
+// resilient sweeps use, the checkpoint journal, and the degradation
+// bookkeeping the summary section renders.
+type harness struct {
+	use      bool
+	res      *fault.Resilience
+	journal  *characterize.Journal
+	degraded []characterize.Degradation
+	dropped  map[string][]core.DroppedBench
+	retries  int
+}
+
+// newHarness resolves the fault/checkpoint options. The harness engages
+// when a fault profile or a checkpoint path is configured; a checkpoint
+// without faults journals a fault-free campaign.
+func newHarness(opts Options) (*harness, error) {
+	h := &harness{dropped: map[string][]core.DroppedBench{}}
+	h.use = opts.Faults != nil || opts.Checkpoint != ""
+	if !h.use {
+		return h, nil
+	}
+	h.res = &fault.Resilience{
+		Campaign:      &fault.Campaign{Profile: opts.Faults, Seed: opts.Seed},
+		MaxRetries:    opts.MaxRetries,
+		LaunchTimeout: opts.LaunchTimeout,
+	}
+	if opts.Checkpoint != "" {
+		spec := ""
+		if opts.Faults != nil {
+			spec = opts.Faults.String()
+		}
+		j, err := characterize.OpenJournal(opts.Checkpoint, opts.Seed, spec)
+		if err != nil {
+			return nil, err
+		}
+		h.journal = j
+	}
+	return h, nil
+}
+
+func (h *harness) close() {
+	if h.journal != nil {
+		// Every cell was already flushed by Record; a close error here
+		// cannot lose checkpoint data.
+		_ = h.journal.Close()
+	}
+}
+
+// note records a campaign's degradations and retry tally for the summary.
+func (h *harness) note(results map[string][]*characterize.BenchResult) {
+	h.degraded = append(h.degraded, characterize.Degradations(results)...)
+	for _, rs := range results {
+		for _, r := range rs {
+			for _, pr := range r.Pairs {
+				h.retries += pr.Retries
+			}
+		}
 	}
 }
 
@@ -80,7 +160,17 @@ type Result struct {
 	PowerErrPct        map[string]float64 // Table VII
 	PowerErrW          map[string]float64 // Table VII
 	TimeErrPct         map[string]float64 // Table VIII
-	Elapsed            time.Duration
+
+	// Fault-campaign bookkeeping; all zero/empty when no campaign ran or
+	// when every fault was retried away. Retries is deliberately absent
+	// from the report text so a fully recovered run stays byte-identical
+	// to a fault-free one.
+	Retries        int
+	DegradedCells  int
+	CheckpointHits int
+	Dropped        map[string][]core.DroppedBench
+
+	Elapsed time.Duration
 }
 
 // Run executes the configured sections, writing the report to w.
@@ -101,6 +191,11 @@ func Run(opts Options, w io.Writer) (*Result, error) {
 		PowerErrW:          map[string]float64{},
 		TimeErrPct:         map[string]float64{},
 	}
+	h, err := newHarness(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer h.close()
 
 	fmt.Fprintf(w, "gpuperf — full reproduction (seed %d)\n", opts.Seed)
 	fmt.Fprintf(w, "Abe et al., \"Power and Performance Characterization and Modeling of GPU-Accelerated Systems\", 2014\n\n")
@@ -117,13 +212,13 @@ func Run(opts Options, w io.Writer) (*Result, error) {
 	}
 
 	if opts.Characterization {
-		if err := runCharacterization(opts, boards, res, w); err != nil {
+		if err := runCharacterization(opts, boards, h, res, w); err != nil {
 			return nil, err
 		}
 	}
 
 	if opts.Modeling {
-		if err := runModeling(opts, boards, res, w); err != nil {
+		if err := runModeling(opts, boards, h, res, w); err != nil {
 			return nil, err
 		}
 	}
@@ -138,6 +233,16 @@ func Run(opts Options, w io.Writer) (*Result, error) {
 		if err := runFutureWork(opts, w); err != nil {
 			return nil, err
 		}
+	}
+
+	if h.use {
+		res.Retries = h.retries
+		res.DegradedCells = len(h.degraded)
+		res.Dropped = h.dropped
+		if h.journal != nil {
+			res.CheckpointHits = h.journal.Hits()
+		}
+		writeDegradationSummary(h, w)
 	}
 
 	if opts.SelfCheck {
@@ -162,6 +267,35 @@ func Run(opts Options, w io.Writer) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	fmt.Fprintf(w, "\nreproduction completed in %v\n", res.Elapsed.Round(time.Millisecond))
 	return res, nil
+}
+
+// writeDegradationSummary renders what the fault campaign could not
+// recover. It prints nothing for a fully recovered campaign, which keeps
+// such reports byte-identical to fault-free runs.
+func writeDegradationSummary(h *harness, w io.Writer) {
+	ndropped := 0
+	for _, ds := range h.dropped {
+		ndropped += len(ds)
+	}
+	if len(h.degraded) == 0 && ndropped == 0 {
+		return
+	}
+	fmt.Fprintln(w, "== Fault-campaign degradation summary ==")
+	fmt.Fprintln(w)
+	for _, d := range h.degraded {
+		fmt.Fprintf(w, "  %s\n", d.Line)
+	}
+	boards := make([]string, 0, len(h.dropped))
+	for b := range h.dropped {
+		boards = append(boards, b)
+	}
+	sort.Strings(boards)
+	for _, b := range boards {
+		for _, d := range h.dropped[b] {
+			fmt.Fprintf(w, "  %s / %s: dropped from the modeling set (%s)\n", b, d.Benchmark, d.Point)
+		}
+	}
+	fmt.Fprintf(w, "\n%d degraded cells, %d dropped benchmarks\n\n", len(h.degraded), ndropped)
 }
 
 // saveArtifact writes content under the artifacts directory; no-op when
@@ -201,13 +335,31 @@ func resolveBoards(names []string) ([]*arch.Spec, error) {
 	return out, nil
 }
 
-func runCharacterization(opts Options, boards []*arch.Spec, res *Result, w io.Writer) error {
+func runCharacterization(opts Options, boards []*arch.Spec, h *harness, res *Result, w io.Writer) error {
 	fmt.Fprintln(w, "== Section III — power and performance characterization ==")
 	fmt.Fprintln(w)
 
 	boardNames := make([]string, len(boards))
 	for i, spec := range boards {
 		boardNames[i] = spec.Name
+	}
+
+	// sweep routes through the resilient harness when a campaign is
+	// configured; otherwise it is the plain sweep.
+	sweep := func(benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
+		if !h.use {
+			return characterize.SweepBoards(boardNames, benches, opts.Seed, opts.workers())
+		}
+		out, err := characterize.SweepBoardsR(boardNames, benches, characterize.SweepOptions{
+			Seed:    opts.Seed,
+			Workers: opts.workers(),
+			Res:     h.res,
+			Journal: h.journal,
+		})
+		if err == nil {
+			h.note(out)
+		}
+		return out, err
 	}
 
 	// Figs. 1–3: the three showcase benchmarks. The (benchmark, board)
@@ -221,16 +373,22 @@ func runCharacterization(opts Options, boards []*arch.Spec, res *Result, w io.Wr
 	for i, sc := range showcases {
 		showBenches[i] = workloads.ByName(sc.bench)
 	}
-	showSweeps, err := characterize.SweepBoards(boardNames, showBenches, opts.Seed, opts.workers())
+	showSweeps, err := sweep(showBenches)
 	if err != nil {
 		return err
 	}
 	for i, sc := range showcases {
 		for _, spec := range boards {
 			sw := showSweeps[spec.Name][i]
-			title := fmt.Sprintf("Fig. %d — %s on %s (best %s, +%.1f%% efficiency, %.1f%% perf loss)",
-				sc.fig, sc.bench, spec.Name,
-				sw.Best().Pair, sw.ImprovementPct(), sw.PerfLossPct())
+			var title string
+			if best := sw.Best(); best != nil {
+				title = fmt.Sprintf("Fig. %d — %s on %s (best %s, +%.1f%% efficiency, %.1f%% perf loss)",
+					sc.fig, sc.bench, spec.Name,
+					best.Pair, sw.ImprovementPct(), sw.PerfLossPct())
+			} else {
+				title = fmt.Sprintf("Fig. %d — %s on %s (unstable — no surviving cells)",
+					sc.fig, sc.bench, spec.Name)
+			}
 			tbl := report.FigCurves(title, spec, characterize.Curves(sw, spec))
 			fmt.Fprintln(w, tbl.String())
 			name := fmt.Sprintf("fig%d-%s.csv", sc.fig, spec.Name)
@@ -241,7 +399,7 @@ func runCharacterization(opts Options, boards []*arch.Spec, res *Result, w io.Wr
 	}
 
 	// Table IV and Fig. 4 over the full Table IV benchmark set.
-	all, err := characterize.SweepBoards(boardNames, workloads.Table4(), opts.Seed, opts.workers())
+	all, err := sweep(workloads.Table4())
 	if err != nil {
 		return err
 	}
@@ -259,7 +417,7 @@ func runCharacterization(opts Options, boards []*arch.Spec, res *Result, w io.Wr
 	return nil
 }
 
-func runModeling(opts Options, boards []*arch.Spec, res *Result, w io.Writer) error {
+func runModeling(opts Options, boards []*arch.Spec, h *harness, res *Result, w io.Writer) error {
 	fmt.Fprintln(w, "== Section IV — statistical modeling ==")
 	fmt.Fprintln(w)
 
@@ -269,9 +427,31 @@ func runModeling(opts Options, boards []*arch.Spec, res *Result, w io.Writer) er
 	datasets := map[string]*core.Dataset{}
 
 	for _, spec := range boards {
-		ds, err := core.CollectParallel(spec.Name, workloads.ModelingSet(), opts.Seed, opts.workers())
+		var ds *core.Dataset
+		var err error
+		if h.use {
+			ds, err = core.CollectResilient(spec.Name, workloads.ModelingSet(), opts.Seed, opts.workers(), h.res)
+		} else {
+			ds, err = core.CollectParallel(spec.Name, workloads.ModelingSet(), opts.Seed, opts.workers())
+		}
 		if err != nil {
 			return err
+		}
+		if h.use {
+			h.retries += ds.Retries
+			if len(ds.Dropped) > 0 {
+				h.dropped[spec.Name] = ds.Dropped
+				names := make([]string, len(ds.Dropped))
+				for i, d := range ds.Dropped {
+					names[i] = fmt.Sprintf("%s (%s)", d.Benchmark, d.Point)
+				}
+				fmt.Fprintf(w, "note: %s models trained without %s — retry budget exhausted\n\n",
+					spec.Name, strings.Join(names, ", "))
+			}
+			if len(ds.Rows) == 0 {
+				fmt.Fprintf(w, "note: %s — no modeling data survived the fault campaign; models skipped\n\n", spec.Name)
+				continue
+			}
 		}
 		pm, err := core.Train(ds, core.Power, opts.MaxVars)
 		if err != nil {
@@ -292,18 +472,31 @@ func runModeling(opts Options, boards []*arch.Spec, res *Result, w io.Writer) er
 		res.PowerErrW[spec.Name] = pe.MeanAbsRaw
 		res.TimeErrPct[spec.Name] = te.MeanAbsPct
 	}
-	fmt.Fprintln(w, report.Table56(r2, boards).String())
-	fmt.Fprintln(w, report.Table78(evals, boards).String())
-	if err := saveArtifact(opts.ArtifactsDir, "table5-6.csv", report.Table56(r2, boards).CSV()); err != nil {
+
+	// A board whose entire modeling set was sacrificed to the campaign has
+	// no models; the tables and figures below cover the survivors.
+	modeled := boards
+	if h.use {
+		modeled = make([]*arch.Spec, 0, len(boards))
+		for _, spec := range boards {
+			if _, ok := datasets[spec.Name]; ok {
+				modeled = append(modeled, spec)
+			}
+		}
+	}
+
+	fmt.Fprintln(w, report.Table56(r2, modeled).String())
+	fmt.Fprintln(w, report.Table78(evals, modeled).String())
+	if err := saveArtifact(opts.ArtifactsDir, "table5-6.csv", report.Table56(r2, modeled).CSV()); err != nil {
 		return err
 	}
-	if err := saveArtifact(opts.ArtifactsDir, "table7-8.csv", report.Table78(evals, boards).CSV()); err != nil {
+	if err := saveArtifact(opts.ArtifactsDir, "table7-8.csv", report.Table78(evals, modeled).CSV()); err != nil {
 		return err
 	}
 
 	// Figs. 5 and 6: error distributions.
 	for i, kind := range []core.Kind{core.Power, core.Time} {
-		for _, spec := range boards {
+		for _, spec := range modeled {
 			m := models[spec.Name][i]
 			title := fmt.Sprintf("Fig. %d — %s-model error distribution (%s)", 5+i, kind, spec.Name)
 			tbl := report.Fig56(title, m.PerBenchmarkErrors(datasets[spec.Name].Rows))
@@ -317,7 +510,7 @@ func runModeling(opts Options, boards []*arch.Spec, res *Result, w io.Writer) er
 
 	// Figs. 7 and 8: explanatory-variable sweeps.
 	for i, kind := range []core.Kind{core.Power, core.Time} {
-		for _, spec := range boards {
+		for _, spec := range modeled {
 			points, err := core.VariableSweep(datasets[spec.Name], kind, 5, 20)
 			if err != nil {
 				return err
@@ -329,7 +522,7 @@ func runModeling(opts Options, boards []*arch.Spec, res *Result, w io.Writer) er
 
 	// Figs. 9 and 10: per-pair vs unified.
 	for i, kind := range []core.Kind{core.Power, core.Time} {
-		for _, spec := range boards {
+		for _, spec := range modeled {
 			cols, err := core.PerPairComparison(datasets[spec.Name], kind, opts.MaxVars)
 			if err != nil {
 				return err
@@ -340,7 +533,7 @@ func runModeling(opts Options, boards []*arch.Spec, res *Result, w io.Writer) er
 	}
 
 	// Fig. 11: influence breakdowns.
-	for _, spec := range boards {
+	for _, spec := range modeled {
 		for i, kind := range []core.Kind{core.Power, core.Time} {
 			m := models[spec.Name][i]
 			title := fmt.Sprintf("Fig. 11 — influence, %s model (%s)", kind, spec.Name)

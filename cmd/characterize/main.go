@@ -14,12 +14,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/characterize"
 	"gpuperf/internal/driver"
 	"gpuperf/internal/fault"
+	"gpuperf/internal/obs"
 	"gpuperf/internal/report"
+	"gpuperf/internal/trace"
 	"gpuperf/internal/workloads"
 )
 
@@ -41,10 +44,26 @@ func main() {
 		"per-run watchdog deadline for hung launches")
 	checkpoint := flag.String("checkpoint", "",
 		"journal completed sweep cells to this path and resume from it")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome/Perfetto trace of the sweeps to this path")
+	metricsOut := flag.String("metrics-out", "",
+		"write Prometheus-style metrics exposition to this path")
+	progress := flag.Bool("progress", false,
+		"print a periodic one-line sweep status to stderr (implies instrumentation)")
 	flag.Parse()
 
 	if err := fault.ValidateHarness(*workers, *maxRetries, *launchTimeout); err != nil {
 		usage(err)
+	}
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" || *progress {
+		rec = obs.New()
+	}
+	if *progress {
+		stop := rec.StartProgress(os.Stderr, 2*time.Second,
+			"characterize_cells_total", "fault_retries_total",
+			"characterize_cells_quarantined_total", "driver_launch_cache_hits_total")
+		defer stop()
 	}
 	var res *fault.Resilience
 	var journal *characterize.Journal
@@ -75,12 +94,14 @@ func main() {
 			journal = j
 		}
 	}
+	// Instrumented runs route through the resilient path even fault-free —
+	// its output is byte-identical to the plain sweep.
 	sweepBoard := func(boardName string, benches []*workloads.Benchmark) ([]*characterize.BenchResult, error) {
-		if res == nil {
+		if res == nil && rec == nil {
 			return characterize.SweepBoardParallel(boardName, benches, *seed, *workers)
 		}
 		return characterize.SweepBoardR(boardName, benches,
-			characterize.SweepOptions{Seed: *seed, Workers: *workers, Res: res, Journal: journal})
+			characterize.SweepOptions{Seed: *seed, Workers: *workers, Res: res, Journal: journal, Obs: rec})
 	}
 
 	if *table == 0 && *fig == 0 && !*suite {
@@ -150,7 +171,7 @@ func main() {
 	if *all || *table == 4 || *fig == 4 {
 		var results map[string][]*characterize.BenchResult
 		var err error
-		if res == nil {
+		if res == nil && rec == nil {
 			results, err = characterize.Table4Workers(*seed, *workers)
 		} else {
 			names := make([]string, len(boards))
@@ -158,7 +179,7 @@ func main() {
 				names[i] = s.Name
 			}
 			results, err = characterize.SweepBoardsR(names, workloads.Table4(),
-				characterize.SweepOptions{Seed: *seed, Workers: *workers, Res: res, Journal: journal})
+				characterize.SweepOptions{Seed: *seed, Workers: *workers, Res: res, Journal: journal, Obs: rec})
 		}
 		if err != nil {
 			fatal(err)
@@ -172,6 +193,9 @@ func main() {
 		for _, d := range characterize.Degradations(results) {
 			fmt.Fprintln(os.Stderr, "degraded:", d.Line)
 		}
+	}
+	if err := trace.WriteArtifacts(rec, *traceOut, *metricsOut, ""); err != nil {
+		fatal(err)
 	}
 }
 

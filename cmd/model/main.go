@@ -17,11 +17,15 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/core"
 	"gpuperf/internal/fault"
+	"gpuperf/internal/obs"
+	"gpuperf/internal/regress"
 	"gpuperf/internal/report"
+	"gpuperf/internal/trace"
 	"gpuperf/internal/workloads"
 )
 
@@ -40,10 +44,27 @@ func main() {
 		"transient-fault retry budget per boot/clock-set/metered run")
 	launchTimeout := flag.Duration("launch-timeout", fault.DefaultLaunchTimeout,
 		"per-run watchdog deadline for hung launches")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome/Perfetto trace of the collection to this path")
+	metricsOut := flag.String("metrics-out", "",
+		"write Prometheus-style metrics exposition to this path")
+	progress := flag.Bool("progress", false,
+		"print a periodic one-line collection status to stderr (implies instrumentation)")
 	flag.Parse()
 
 	if err := fault.ValidateHarness(*workers, *maxRetries, *launchTimeout); err != nil {
 		usage(err)
+	}
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" || *progress {
+		rec = obs.New()
+		defer regress.Observe(rec.Metrics())()
+	}
+	if *progress {
+		stop := rec.StartProgress(os.Stderr, 2*time.Second,
+			"core_rows_total", "fault_retries_total", "core_benches_dropped_total",
+			"driver_launch_cache_hits_total")
+		defer stop()
 	}
 	var res *fault.Resilience
 	if *faults != "" {
@@ -56,6 +77,14 @@ func main() {
 			MaxRetries:    *maxRetries,
 			LaunchTimeout: *launchTimeout,
 		}
+	}
+	if rec != nil {
+		// Instrumented runs route through the resilient collector even
+		// fault-free — its dataset is byte-identical to CollectParallel.
+		if res == nil {
+			res = &fault.Resilience{MaxRetries: *maxRetries, LaunchTimeout: *launchTimeout}
+		}
+		res.Obs = rec
 	}
 
 	boards := arch.AllBoards()
@@ -181,6 +210,10 @@ func main() {
 
 	default:
 		fatal(fmt.Errorf("no Fig. %d in the paper's Section IV (want 5–11)", *fig))
+	}
+
+	if err := trace.WriteArtifacts(rec, *traceOut, *metricsOut, ""); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,84 @@
+// Command obsvalidate checks observability artifacts for well-formedness:
+// Prometheus-style metrics expositions and Chrome/Perfetto trace JSON. CI
+// runs it against the -metrics-out / -trace-out artifacts of a smoke
+// campaign; exits nonzero with a diagnostic on the first malformed file.
+//
+// Usage:
+//
+//	obsvalidate -metrics m.txt -trace t.json
+//	obsvalidate -metrics m.txt -require driver_launch_cache_hits_total,fault_retries_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpuperf/internal/obs"
+)
+
+func main() {
+	metrics := flag.String("metrics", "", "metrics exposition file to validate")
+	traceFile := flag.String("trace", "", "Chrome trace JSON file to validate")
+	require := flag.String("require", "",
+		"comma-separated metric families that must appear in -metrics")
+	flag.Parse()
+
+	if *metrics == "" && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "obsvalidate: nothing to do (need -metrics and/or -trace)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *metrics != "" {
+		data, err := os.ReadFile(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.ValidateExposition(strings.NewReader(string(data))); err != nil {
+			fatal(fmt.Errorf("%s: %w", *metrics, err))
+		}
+		for _, fam := range strings.Split(*require, ",") {
+			fam = strings.TrimSpace(fam)
+			if fam == "" {
+				continue
+			}
+			if !strings.Contains(string(data), "# TYPE "+fam+" ") {
+				fatal(fmt.Errorf("%s: required metric family %q not present", *metrics, fam))
+			}
+		}
+		fmt.Printf("ok: %s is a well-formed exposition\n", *metrics)
+	}
+
+	if *traceFile != "" {
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.ValidateTraceJSON(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", *traceFile, err))
+		}
+		phases, err := obs.TracePhases(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ok: %s is a well-formed trace (", *traceFile)
+		first := true
+		for _, ph := range []string{"M", "X", "i", "C"} {
+			if n := phases[ph]; n > 0 {
+				if !first {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%d %s", n, ph)
+				first = false
+			}
+		}
+		fmt.Println(" events)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsvalidate:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,8 @@
 //	paper -faults "launch.hang:0.02" -max-retries 5
 //	                           chaos campaign: inject faults, retry, quarantine
 //	paper -checkpoint j.jsonl  journal sweep cells; resume after a crash
+//	paper -trace-out t.json -metrics-out m.txt
+//	                           record the campaign: Perfetto trace + metrics
 package main
 
 import (
@@ -18,10 +20,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"gpuperf/internal/driver"
 	"gpuperf/internal/fault"
+	"gpuperf/internal/obs"
 	"gpuperf/internal/reproduce"
+	"gpuperf/internal/trace"
 )
 
 func main() {
@@ -42,6 +47,14 @@ func main() {
 		"per-run watchdog deadline for hung launches")
 	checkpoint := flag.String("checkpoint", "",
 		"journal completed sweep cells to this path and resume from it")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome/Perfetto trace of the campaign to this path")
+	metricsOut := flag.String("metrics-out", "",
+		"write Prometheus-style metrics exposition to this path")
+	eventsOut := flag.String("events-out", "",
+		"write the raw instrumentation events as JSONL to this path")
+	progress := flag.Bool("progress", false,
+		"print a periodic one-line campaign status to stderr (implies instrumentation)")
 	flag.Parse()
 
 	if err := fault.ValidateHarness(*workers, *maxRetries, *launchTimeout); err != nil {
@@ -73,6 +86,16 @@ func main() {
 	opts.MaxRetries = *maxRetries
 	opts.LaunchTimeout = *launchTimeout
 	opts.Checkpoint = *checkpoint
+	if *traceOut != "" || *metricsOut != "" || *eventsOut != "" || *progress {
+		opts.Obs = obs.New()
+	}
+	if *progress {
+		stop := opts.Obs.StartProgress(os.Stderr, 2*time.Second,
+			"characterize_cells_total", "core_rows_total", "fault_retries_total",
+			"characterize_cells_quarantined_total", "driver_launch_cache_hits_total",
+			"meter_windows_interpolated_total")
+		defer stop()
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -85,6 +108,9 @@ func main() {
 	}
 	res, err := reproduce.Run(opts, w)
 	if err != nil {
+		fatal(err)
+	}
+	if err := trace.WriteArtifacts(opts.Obs, *traceOut, *metricsOut, *eventsOut); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", res.Elapsed)

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/clock"
 	"gpuperf/internal/driver"
 	"gpuperf/internal/fault"
 	"gpuperf/internal/gpu"
+	"gpuperf/internal/obs"
 	"gpuperf/internal/workloads"
 )
 
@@ -37,6 +39,14 @@ type SweepOptions struct {
 	// Journal, when non-nil, checkpoints completed cells and replays them
 	// on resume.
 	Journal *Journal
+	// Obs, when non-nil, receives the campaign's instrumentation: one
+	// virtual-time track per (board, benchmark) job plus the sweep, fault,
+	// driver and meter counters. The recorded artifacts are a pure function
+	// of the seed — independent of Workers.
+	Obs *obs.Recorder
+	// TrackPrefix namespaces this phase's track names ("fig", "table4");
+	// empty means "sweep".
+	TrackPrefix string
 }
 
 func (o *SweepOptions) res() *fault.Resilience {
@@ -54,6 +64,26 @@ func SweepBoardsR(boardNames []string, benches []*workloads.Benchmark, opts Swee
 	jobs := len(boardNames) * nb
 	if jobs == 0 {
 		return map[string][]*BenchResult{}, nil
+	}
+	if opts.Obs != nil {
+		// Wire the recorder through the resilience policy before the pool
+		// starts (Observe must not race with workers). opts is a copy, so
+		// defaulting Res here never leaks to the caller.
+		if opts.Res == nil {
+			opts.Res = &fault.Resilience{}
+		}
+		if opts.Res.Obs == nil {
+			opts.Res.Obs = opts.Obs
+		}
+		opts.Res.Observe()
+		w := opts.Workers
+		if w < 1 {
+			w = 1
+		}
+		if w > jobs {
+			w = jobs
+		}
+		observePool(opts.Obs, w)
 	}
 	flat, err := sweepPool(func(idx int) (*BenchResult, error) {
 		return sweepBenchR(boardNames[idx/nb], benches[idx%nb], opts)
@@ -80,7 +110,7 @@ func SweepBoardR(boardName string, benches []*workloads.Benchmark, opts SweepOpt
 // bootR boots the board inside the retry loop. A boot that exhausts its
 // budget returns the fault that kept failing with a nil device — the
 // caller quarantines the benchmark's cells.
-func bootR(boardName, scope string, res *fault.Resilience) (*driver.Device, fault.Point, error) {
+func bootR(boardName, scope string, res *fault.Resilience, track *obs.Track) (*driver.Device, fault.Point, error) {
 	var lastPt fault.Point
 	for attempt := 0; attempt < res.Attempts(); attempt++ {
 		in := res.Injector("boot|"+scope, attempt)
@@ -93,6 +123,10 @@ func bootR(boardName, scope string, res *fault.Resilience) (*driver.Device, faul
 			return nil, "", err
 		}
 		lastPt = pt
+		res.RecordRetry(pt)
+		track.Instant("boot retry", obs.Arg{Key: "point", Value: string(pt)},
+			obs.Arg{Key: "attempt", Value: strconv.Itoa(attempt)})
+		track.Advance(res.Backoff("boot|"+scope, attempt).Seconds())
 		res.Pause("boot|"+scope, attempt)
 	}
 	return nil, lastPt, nil
@@ -116,12 +150,24 @@ func quarantineAll(boardName, bench string, pt fault.Point, retries int) *BenchR
 func sweepBenchR(boardName string, b *workloads.Benchmark, opts SweepOptions) (*BenchResult, error) {
 	res := opts.res()
 	scope := boardName + "|" + b.Name
-	dev, failPt, err := bootR(boardName, scope, res)
+	so := newSweepObs(opts.Obs, boardName)
+	track := opts.Obs.Track(opts.trackName(boardName, b.Name))
+	span := track.Begin("sweep "+b.Name, obs.Arg{Key: "board", Value: boardName})
+	defer span.End()
+	dev, failPt, err := bootR(boardName, scope, res, track)
 	if err != nil {
 		return nil, err
 	}
 	if dev == nil {
-		return quarantineAll(boardName, b.Name, failPt, res.Attempts()-1), nil
+		out := quarantineAll(boardName, b.Name, failPt, res.Attempts()-1)
+		if so != nil {
+			so.quarantined.With(string(failPt)).Add(int64(len(out.Pairs)))
+			track.Instant("quarantined (boot failed)", obs.Arg{Key: "point", Value: string(failPt)})
+		}
+		return out, nil
+	}
+	if opts.Obs != nil {
+		dev.Observe(opts.Obs, track.Name())
 	}
 	dev.Seed(sweepSeed(opts.Seed, b.Name))
 
@@ -132,14 +178,26 @@ func sweepBenchR(boardName string, b *workloads.Benchmark, opts SweepOptions) (*
 		if opts.Journal != nil {
 			if cell, ok := opts.Journal.Lookup(boardName, b.Name, p); ok {
 				out.Pairs = append(out.Pairs, cell)
+				if so != nil {
+					so.journalHits.Inc()
+					track.Instant("journal replay", obs.Arg{Key: "pair", Value: p.String()})
+				}
 				continue
 			}
 		}
-		cell, err := sweepCellR(dev, b.Name, kernels, hostGap, p, scope, res)
+		cell, err := sweepCellR(dev, b.Name, kernels, hostGap, p, scope, res, track)
 		if err != nil {
 			return nil, err
 		}
 		out.Pairs = append(out.Pairs, cell)
+		if so != nil {
+			so.cells.Inc()
+			if cell.Quarantined {
+				so.quarantined.With(string(cell.FailPoint)).Inc()
+				track.Instant("quarantined", obs.Arg{Key: "pair", Value: p.String()},
+					obs.Arg{Key: "point", Value: string(cell.FailPoint)})
+			}
+		}
 		if opts.Journal != nil {
 			if err := opts.Journal.Record(boardName, b.Name, cell); err != nil {
 				return nil, err
@@ -152,14 +210,25 @@ func sweepBenchR(boardName string, b *workloads.Benchmark, opts SweepOptions) (*
 	if err := dev.SetClocks(clock.DefaultPair()); err != nil {
 		return nil, err
 	}
+	if so != nil {
+		so.simUS.Add(track.Now())
+	}
 	return out, nil
 }
 
 // sweepCellR measures one (pair) cell inside the retry loop. Transient
 // faults retry with backoff; a hang additionally reboots the device from
 // its golden image; exhaustion quarantines the cell.
-func sweepCellR(dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hostGap float64, p clock.Pair, scope string, res *fault.Resilience) (PairResult, error) {
+func sweepCellR(dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hostGap float64, p clock.Pair, scope string, res *fault.Resilience, track *obs.Track) (PairResult, error) {
 	cellScope := scope + "|" + p.String()
+	retry := func(pt fault.Point, attempt int) {
+		res.RecordRetry(pt)
+		track.Instant("retry", obs.Arg{Key: "point", Value: string(pt)},
+			obs.Arg{Key: "pair", Value: p.String()},
+			obs.Arg{Key: "attempt", Value: strconv.Itoa(attempt)})
+		track.Advance(res.Backoff(cellScope, attempt).Seconds())
+		res.Pause(cellScope, attempt)
+	}
 	var lastPt fault.Point
 	for attempt := 0; attempt < res.Attempts(); attempt++ {
 		dev.AttachFaults(res.Injector(cellScope, attempt))
@@ -170,7 +239,7 @@ func sweepCellR(dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hos
 				return PairResult{}, fmt.Errorf("characterize: %s: %w", bench, err)
 			}
 			lastPt = pt
-			res.Pause(cellScope, attempt)
+			retry(pt, attempt)
 			continue
 		}
 		ctx, cancel := res.LaunchContext(context.Background())
@@ -189,7 +258,7 @@ func sweepCellR(dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hos
 					return PairResult{}, fmt.Errorf("characterize: %s at %s: %w", bench, p, rerr)
 				}
 			}
-			res.Pause(cellScope, attempt)
+			retry(pt, attempt)
 			continue
 		}
 		if rr.Measurement.Degraded() && attempt+1 < res.Attempts() {
@@ -197,7 +266,7 @@ func sweepCellR(dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hos
 			// retry for a clean one, accepting low confidence only when
 			// the budget runs out.
 			lastPt = fault.MeterDegraded
-			res.Pause(cellScope, attempt)
+			retry(fault.MeterDegraded, attempt)
 			continue
 		}
 		return pairResult(p, rr, attempt), nil

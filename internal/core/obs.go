@@ -1,0 +1,25 @@
+package core
+
+import (
+	"gpuperf/internal/obs"
+)
+
+// collectObs bundles one modeling collection's metric handles; nil (the
+// default) means the collection is unobserved.
+type collectObs struct {
+	rows    *obs.Counter
+	dropped *obs.Counter
+}
+
+// newCollectObs registers the per-board modeling-collection metrics.
+func newCollectObs(rec *obs.Recorder, board string) *collectObs {
+	if rec == nil {
+		return nil
+	}
+	reg := rec.Metrics()
+	bl := obs.L("board", board)
+	return &collectObs{
+		rows:    reg.Counter("core_rows_total", "modeling observations collected", bl),
+		dropped: reg.Counter("core_benches_dropped_total", "benchmarks dropped from the modeling set", bl),
+	}
+}

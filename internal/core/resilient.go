@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 
 	"gpuperf/internal/clock"
 	"gpuperf/internal/driver"
 	"gpuperf/internal/fault"
+	"gpuperf/internal/obs"
 	"gpuperf/internal/workloads"
 )
 
@@ -35,6 +37,8 @@ func CollectResilient(boardName string, benches []*workloads.Benchmark, seed int
 	if res == nil {
 		res = &fault.Resilience{}
 	}
+	res.Observe()
+	co := newCollectObs(res.Obs, boardName)
 	if workers < 1 {
 		workers = 1
 	}
@@ -70,7 +74,7 @@ func CollectResilient(boardName string, benches []*workloads.Benchmark, seed int
 	for w := 0; w < workers; w++ {
 		go func() {
 			for idx := range jobs {
-				rows, samples, retries, dropped, err := collectBenchR(boardName, benches[idx], seed, res)
+				rows, samples, retries, dropped, err := collectBenchR(boardName, benches[idx], seed, res, co)
 				results <- chunk{idx: idx, rows: rows, samples: samples, retries: retries, dropped: dropped, err: err}
 			}
 		}()
@@ -98,8 +102,11 @@ func CollectResilient(boardName string, benches []*workloads.Benchmark, seed int
 // collectBenchR gathers one benchmark's samples under the fault harness.
 // A nil *DroppedBench and nil error mean success; a non-nil *DroppedBench
 // means the benchmark was sacrificed to a fault that would not go away.
-func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fault.Resilience) ([]Observation, int, int, *DroppedBench, error) {
+func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fault.Resilience, co *collectObs) ([]Observation, int, int, *DroppedBench, error) {
 	scope := boardName + "|" + b.Name
+	track := res.Obs.Track("model/" + boardName + "/" + b.Name)
+	span := track.Begin("collect "+b.Name, obs.Arg{Key: "board", Value: boardName})
+	defer span.End()
 	retries := 0
 	var dev *driver.Device
 	var lastPt fault.Point
@@ -115,10 +122,21 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 			return nil, 0, 0, nil, err
 		}
 		lastPt = pt
+		res.RecordRetry(pt)
+		track.Instant("boot retry", obs.Arg{Key: "point", Value: string(pt)},
+			obs.Arg{Key: "attempt", Value: strconv.Itoa(attempt)})
+		track.Advance(res.Backoff("boot|"+scope, attempt).Seconds())
 		res.Pause("boot|"+scope, attempt)
 	}
 	if dev == nil {
+		if co != nil {
+			co.dropped.Inc()
+			track.Instant("dropped (boot failed)", obs.Arg{Key: "point", Value: string(lastPt)})
+		}
 		return nil, 0, res.Attempts() - 1, &DroppedBench{Benchmark: b.Name, Point: lastPt}, nil
+	}
+	if res.Obs != nil {
+		dev.Observe(res.Obs, track.Name())
 	}
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(b.Name)) // fnv: hash.Hash.Write never errors
@@ -141,6 +159,14 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 		// path's noise exactly; a nil result with a fault point means the
 		// budget ran out.
 		run := func(p clock.Pair, seedTag, passScope string, profiled bool) (*driver.RunResult, fault.Point, error) {
+			retry := func(pt fault.Point, attempt int) {
+				res.RecordRetry(pt)
+				track.Instant("retry", obs.Arg{Key: "point", Value: string(pt)},
+					obs.Arg{Key: "pair", Value: p.String()},
+					obs.Arg{Key: "attempt", Value: strconv.Itoa(attempt)})
+				track.Advance(res.Backoff(passScope, attempt).Seconds())
+				res.Pause(passScope, attempt)
+			}
 			var last fault.Point
 			for attempt := 0; attempt < res.Attempts(); attempt++ {
 				if attempt > 0 {
@@ -154,7 +180,7 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 						return nil, "", err
 					}
 					last = pt
-					res.Pause(passScope, attempt)
+					retry(pt, attempt)
 					continue
 				}
 				if profiled {
@@ -177,12 +203,12 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 							return nil, "", rerr
 						}
 					}
-					res.Pause(passScope, attempt)
+					retry(pt, attempt)
 					continue
 				}
 				if rr.Measurement.Degraded() && attempt+1 < res.Attempts() {
 					last = fault.MeterDegraded
-					res.Pause(passScope, attempt)
+					retry(fault.MeterDegraded, attempt)
 					continue
 				}
 				return rr, "", nil
@@ -196,6 +222,10 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 			return nil, 0, 0, nil, err
 		}
 		if prof == nil {
+			if co != nil {
+				co.dropped.Inc()
+				track.Instant("dropped", obs.Arg{Key: "point", Value: string(pt)})
+			}
 			return nil, 0, retries, &DroppedBench{Benchmark: b.Name, Point: pt}, nil
 		}
 		perIter := make([]float64, len(prof.Counters))
@@ -211,6 +241,10 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 				return nil, 0, 0, nil, err
 			}
 			if rr == nil {
+				if co != nil {
+					co.dropped.Inc()
+					track.Instant("dropped", obs.Arg{Key: "point", Value: string(pt)})
+				}
 				return nil, 0, retries, &DroppedBench{Benchmark: b.Name, Point: pt}, nil
 			}
 			rows = append(rows, Observation{
@@ -224,6 +258,9 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 				PowerW:    rr.Measurement.AvgWatts,
 			})
 		}
+	}
+	if co != nil {
+		co.rows.Add(int64(len(rows)))
 	}
 	return rows, samples, retries, nil, nil
 }

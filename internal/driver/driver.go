@@ -12,7 +12,9 @@ package driver
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
+	"strconv"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/bios"
@@ -21,6 +23,7 @@ import (
 	"gpuperf/internal/fault"
 	"gpuperf/internal/gpu"
 	"gpuperf/internal/meter"
+	"gpuperf/internal/obs"
 	"gpuperf/internal/power"
 )
 
@@ -50,6 +53,9 @@ type Device struct {
 	specFP    uint64
 	cache     map[launchKey]*cachedLaunch
 	useShared bool
+
+	// Instrumentation (see obs.go); nil unless Observe attached a recorder.
+	obs *driverObs
 }
 
 // initCaches attaches the launch caches according to the global switch.
@@ -206,7 +212,14 @@ func (d *Device) SetClocks(p clock.Pair) error {
 		}
 		return fmt.Errorf("driver: reboot failed: %w", err)
 	}
-	return d.clk.SetPair(decoded.Boot)
+	if err := d.clk.SetPair(decoded.Boot); err != nil {
+		return err
+	}
+	if o := d.obs; o != nil {
+		o.clockSets.Inc()
+		o.track.Instant("set clocks " + p.String())
+	}
+	return nil
 }
 
 // Seed reseeds the device's noise sources (profiler jitter, meter noise)
@@ -262,7 +275,16 @@ func (d *Device) MicroSim(k *gpu.KernelDesc) (*gpu.MicroResult, error) {
 // d.rng, so the device's noise stream is identical on hits and misses.
 func (d *Device) launch(k *gpu.KernelDesc) (*cachedLaunch, error) {
 	key := launchKey{spec: d.specFP, pair: d.clk.Pair(), kernel: k.Fingerprint(), profiling: d.profiling}
+	o := d.obs
+	if o != nil {
+		o.launches.Inc()
+	}
 	if cl, ok := d.cache[key]; ok {
+		if o != nil {
+			o.hitsDevice.Inc()
+			o.track.Instant("launch cache hit",
+				obs.Arg{Key: "kernel", Value: k.Name}, obs.Arg{Key: "cache", Value: "device"})
+		}
 		return cl, nil
 	}
 	var shared *LaunchCache
@@ -273,6 +295,11 @@ func (d *Device) launch(k *gpu.KernelDesc) (*cachedLaunch, error) {
 				if d.cache != nil {
 					d.cache[key] = cl
 				}
+				if o != nil {
+					o.hitsShared.Inc()
+					o.track.Instant("launch cache hit",
+						obs.Arg{Key: "kernel", Value: k.Name}, obs.Arg{Key: "cache", Value: "shared"})
+				}
 				return cl, nil
 			}
 		}
@@ -280,6 +307,9 @@ func (d *Device) launch(k *gpu.KernelDesc) (*cachedLaunch, error) {
 	res, err := d.sim.RunKernel(k)
 	if err != nil {
 		return nil, err
+	}
+	if o != nil && (d.cache != nil || d.useShared) {
+		o.misses.Inc()
 	}
 	cl := &cachedLaunch{time: res.Time, acts: res.Activities}
 	for _, ph := range res.Phases {
@@ -375,6 +405,12 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 	iterTime := hostGapSeconds
 	var period meter.Trace
 	var iterActs counters.Vector
+	o := d.obs
+	type kernelSlice struct {
+		name string
+		dur  float64
+	}
+	var kslices []kernelSlice
 	for _, k := range ks {
 		cl, err := d.launch(k)
 		if err != nil {
@@ -385,6 +421,9 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 			period = period.Append(seg.Duration, seg.Watts)
 		}
 		iterActs.Add(&cl.acts)
+		if o != nil {
+			kslices = append(kslices, kernelSlice{name: k.Name, dur: cl.time})
+		}
 	}
 	iters := 1
 	if iterTime < minDuration {
@@ -406,10 +445,44 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 	if d.profiling {
 		out.Counters = d.set.Collect(&out.Activities, d.rng)
 	}
+	// Lay the run out on the virtual timeline: the whole-run parent slice
+	// first (so trace viewers nest the children under it), then the first
+	// iteration's kernels, the host gap, and one slice standing in for the
+	// remaining tiled iterations. The cursor ends exactly out.Time later.
+	var runStart int64
+	if o != nil {
+		runStart = o.track.Now()
+		o.track.SliceAt(name, runStart, out.Time,
+			obs.Arg{Key: "pair", Value: d.clk.Pair().String()},
+			obs.Arg{Key: "iterations", Value: strconv.Itoa(iters)})
+		for _, ksl := range kslices {
+			o.track.Slice(ksl.name, ksl.dur)
+		}
+		if hostGapSeconds > 0 {
+			o.track.Slice("host gap", hostGapSeconds)
+		}
+		if iters > 1 {
+			o.track.Slice(name+" (remaining iterations)", iterTime*float64(iters-1))
+		}
+	}
 	m, err := d.inst.MeasurePeriodic(out.Trace, d.rng)
 	if err != nil {
 		return nil, fmt.Errorf("driver: workload %q: %w", name, err)
 	}
 	out.Measurement = m
+	if o != nil {
+		periodUS := int64(math.Round(d.inst.SamplePeriod * 1e6))
+		for i, w := range m.Samples {
+			if m.Valid != nil && !m.Valid[i] {
+				o.track.SampleAt("wall power (W)", runStart+int64(i)*periodUS, w,
+					obs.NumArg{Key: "interpolated", Value: 1})
+			} else {
+				o.track.SampleAt("wall power (W)", runStart+int64(i)*periodUS, w)
+			}
+		}
+		o.track.Instant("measured",
+			obs.Arg{Key: "avg_watts", Value: strconv.FormatFloat(m.AvgWatts, 'f', 2, 64)},
+			obs.Arg{Key: "confidence", Value: strconv.FormatFloat(m.Confidence(), 'f', 3, 64)})
+	}
 	return out, nil
 }

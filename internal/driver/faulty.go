@@ -8,6 +8,7 @@ import (
 	"gpuperf/internal/bios"
 	"gpuperf/internal/fault"
 	"gpuperf/internal/gpu"
+	"gpuperf/internal/obs"
 )
 
 // Fault-aware driver surface. A resilient harness attaches a per-attempt
@@ -67,7 +68,14 @@ func (d *Device) Reflash() error {
 	if err != nil {
 		return fmt.Errorf("driver: reflash: %w", err)
 	}
-	return d.clk.SetPair(decoded.Boot)
+	if err := d.clk.SetPair(decoded.Boot); err != nil {
+		return err
+	}
+	if o := d.obs; o != nil {
+		o.reboots.Inc()
+		o.track.Instant("reflash", obs.Arg{Key: "pair", Value: pair.String()})
+	}
+	return nil
 }
 
 // hangCheck consults the launch.hang fault point. On a hit the "launch"

@@ -41,6 +41,10 @@ type Injector struct {
 	base    uint64
 	attempt int
 	rngs    map[Point]*rand.Rand
+	// onFire, when set (by Resilience.Injector under an observed policy),
+	// is called for every fault decision that fires. It never affects the
+	// decision streams.
+	onFire func(Point)
 }
 
 // rng returns the point's lazily created stream.
@@ -78,10 +82,13 @@ func (in *Injector) Hit(pt Point) bool {
 	if !ok || r.Probability <= 0 {
 		return false
 	}
-	if r.Probability >= 1 {
+	if r.Probability >= 1 || in.rng(pt).Float64() < r.Probability {
+		if in.onFire != nil {
+			in.onFire(pt)
+		}
 		return true
 	}
-	return in.rng(pt).Float64() < r.Probability
+	return false
 }
 
 // Fail returns a classified *Error if the point fires, nil otherwise.

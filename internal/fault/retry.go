@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"gpuperf/internal/obs"
 )
 
 // Harness defaults. The backoff exists to model (and test) the real
@@ -33,6 +35,45 @@ type Resilience struct {
 	// Sleep is the pause implementation, injectable so tests run at full
 	// speed; nil means time.Sleep.
 	Sleep func(time.Duration)
+	// Obs, when non-nil, receives harness instrumentation: injected faults
+	// by point, retries by point, total backoff pause. Call Observe once
+	// after setting it (the harness setup paths do), before workers start.
+	Obs *obs.Recorder
+	ro  *resObs
+}
+
+// resObs holds the policy's registered metric handles.
+type resObs struct {
+	injections *obs.CounterVec
+	retries    *obs.CounterVec
+	backoffUS  *obs.Counter
+}
+
+// Observe registers the policy's metrics with Obs. Idempotent and
+// nil-safe; must run on the setup path (before the worker pool), never
+// from workers.
+func (r *Resilience) Observe() {
+	if r == nil || r.Obs == nil || r.ro != nil {
+		return
+	}
+	reg := r.Obs.Metrics()
+	r.ro = &resObs{
+		injections: reg.CounterVec("fault_injections_total", "faults injected, by point", "point"),
+		retries:    reg.CounterVec("fault_retries_total", "harness retries, by blamed fault point", "point"),
+		backoffUS:  reg.Counter("fault_backoff_microseconds_total", "total deterministic backoff pause"),
+	}
+	// Materialize a zero base series per vec so the families appear in the
+	// exposition even when the campaign never fires or retries.
+	reg.Counter("fault_injections_total", "faults injected, by point")
+	reg.Counter("fault_retries_total", "harness retries, by blamed fault point")
+}
+
+// RecordRetry counts one harness retry blamed on a fault point.
+func (r *Resilience) RecordRetry(pt Point) {
+	if r == nil || r.ro == nil {
+		return
+	}
+	r.ro.retries.With(string(pt)).Inc()
 }
 
 // Attempts returns how many times a unit of work may run.
@@ -43,12 +84,18 @@ func (r *Resilience) Attempts() int {
 	return r.MaxRetries + 1
 }
 
-// Injector derives the (scope, attempt) injector, nil-safe.
+// Injector derives the (scope, attempt) injector, nil-safe. When the
+// policy is observed, the injector reports each fired fault point.
 func (r *Resilience) Injector(scope string, attempt int) *Injector {
 	if r == nil {
 		return nil
 	}
-	return r.Campaign.Injector(scope, attempt)
+	in := r.Campaign.Injector(scope, attempt)
+	if in != nil && r.ro != nil {
+		ro := r.ro
+		in.onFire = func(pt Point) { ro.injections.With(string(pt)).Inc() }
+	}
+	return in
 }
 
 // Backoff returns the pause before retry #attempt (zero-based): a capped
@@ -84,7 +131,11 @@ func (r *Resilience) Pause(scope string, attempt int) {
 	if r != nil && r.Sleep != nil {
 		sleep = r.Sleep
 	}
-	sleep(r.Backoff(scope, attempt))
+	d := r.Backoff(scope, attempt)
+	if r != nil && r.ro != nil {
+		r.ro.backoffUS.Add(d.Microseconds())
+	}
+	sleep(d)
 }
 
 // LaunchContext arms the per-launch watchdog: a context that expires

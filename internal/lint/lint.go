@@ -20,6 +20,8 @@
 //   - faultsafety:  context cancel functions that are discarded rather
 //     than released, and fault-aware driver calls in files with no
 //     visible retry/classification machinery.
+//   - obscheck:     instrumentation spans that are never ended, and
+//     metric registration outside init functions and constructors.
 //
 // The framework is stdlib-only (go/ast, go/parser, go/types): the module
 // deliberately has an empty dependency set, so golang.org/x/tools is not
@@ -80,7 +82,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{UnitSafety, CounterClass, ErrCheck, Concurrency, FaultSafety}
+	return []*Analyzer{UnitSafety, CounterClass, ErrCheck, Concurrency, FaultSafety, ObsCheck}
 }
 
 // ByName returns the named analyzer, or nil.

@@ -1,0 +1,60 @@
+// Package obscheck_bad models the internal/obs API shapes and misuses
+// them: leaked spans and metric registration on a hot path.
+package obscheck_bad
+
+type Span struct{ open bool }
+
+func (s *Span) End() {
+	if s != nil {
+		s.open = false
+	}
+}
+
+type Track struct{}
+
+func (t *Track) Begin(name string) *Span { return &Span{open: true} }
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter   { return &Counter{} }
+func (r *Registry) Histogram(name string) *Counter { return &Counter{} }
+
+// leakBare discards the span as a bare statement: the interval never ends.
+func leakBare(t *Track) {
+	t.Begin("leaked") // want:obscheck "bare statement"
+}
+
+// leakBlank binds the span to the blank identifier.
+func leakBlank(t *Track) {
+	_ = t.Begin("blanked") // want:obscheck "discarded with _"
+}
+
+// leakBound binds the span but never ends, returns or passes it.
+func leakBound(t *Track) {
+	span := t.Begin("bound") // want:obscheck "never ended"
+	_ = span
+}
+
+// registerPerCell registers a metric on the hot path instead of caching
+// the handle in a constructor.
+func registerPerCell(r *Registry) {
+	r.Counter("bad_cells_total").Inc() // want:obscheck "register in init or a constructor"
+}
+
+// registerInLiteral does the same from a function literal, which inherits
+// its enclosing declaration's (non-constructor) name.
+func registerInLiteral(r *Registry) func() {
+	return func() {
+		r.Histogram("bad_rates").Inc() // want:obscheck "register in init or a constructor"
+	}
+}
+
+// endedSpan is the control: a correctly ended span alongside the leaks.
+func endedSpan(t *Track) {
+	span := t.Begin("fine")
+	span.End()
+}

@@ -1,0 +1,69 @@
+// Package obscheck_ok models the internal/obs API shapes (by type name,
+// as the analyzer matches) and uses them correctly: every span is ended,
+// every metric is registered from init or a constructor.
+package obscheck_ok
+
+// Span, Track and Registry mirror the obs types the analyzer keys on.
+type Span struct{ open bool }
+
+func (s *Span) End() {
+	if s != nil {
+		s.open = false
+	}
+}
+
+type Track struct{}
+
+func (t *Track) Begin(name string) *Span { return &Span{open: true} }
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter   { return &Counter{} }
+func (r *Registry) Gauge(name string) *Counter     { return &Counter{} }
+func (r *Registry) Histogram(name string) *Counter { return &Counter{} }
+
+var pkgLevel = (&Registry{}).Counter("ok_package_level_total")
+
+var initialized *Counter
+
+func init() {
+	initialized = (&Registry{}).Gauge("ok_init_gauge")
+}
+
+// worker caches its handles at construction time.
+type worker struct {
+	cells *Counter
+}
+
+// newWorker is a constructor: registration here is the sanctioned idiom.
+func newWorker(r *Registry) *worker {
+	return &worker{cells: r.Counter("ok_cells_total")}
+}
+
+// ObserveRates is Observe-prefixed, the other sanctioned registration site.
+func ObserveRates(r *Registry) *Counter {
+	return r.Histogram("ok_rates")
+}
+
+// sweep ends its span on every path.
+func sweep(t *Track, w *worker) {
+	span := t.Begin("sweep")
+	defer span.End()
+	w.cells.Inc()
+}
+
+// measure passes the span on; the callee owns ending it.
+func measure(t *Track) {
+	finish(t.Begin("measure"))
+}
+
+func finish(s *Span) { s.End() }
+
+// openSpan returns the span to its caller, which also counts as a use.
+func openSpan(t *Track) *Span {
+	return t.Begin("deferred to caller")
+}

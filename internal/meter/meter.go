@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"gpuperf/internal/fault"
+	"gpuperf/internal/obs"
 )
 
 // DefaultSamplePeriod is the WT1600's 50 ms update interval.
@@ -126,6 +127,22 @@ type Meter struct {
 	// faults.go. The injector's streams are independent of the sampling-
 	// noise rng, so attaching a zero-probability campaign changes nothing.
 	Faults *fault.Injector
+	// Obs, when non-nil, receives per-measurement counts (windows taken,
+	// dropped, spiked, stuck, interpolated). The handles are nil-safe, so
+	// a partially populated Obs is fine.
+	Obs *Obs
+}
+
+// Obs holds the metric handles a harness wires into the instrument (the
+// driver registers them per board — see driver.Device.Observe). A nil Obs
+// means the meter is unobserved and pays only a pointer check.
+type Obs struct {
+	Measurements *obs.Counter // measurements finalized
+	Samples      *obs.Counter // sampling windows taken
+	Dropped      *obs.Counter // windows lost to sample dropout
+	Spiked       *obs.Counter // windows hit by transient spikes
+	Stuck        *obs.Counter // windows flagged as stuck-ADC repeats
+	Interpolated *obs.Counter // windows reconstructed by interpolation
 }
 
 // New returns a WT1600-like meter on auto-range.
@@ -185,7 +202,16 @@ func (m *Meter) Measure(trace Trace, rng *rand.Rand) (*Measurement, error) {
 // injector) and derives the summary statistics from the surviving
 // samples. Shared by Measure and MeasurePeriodic.
 func (m *Meter) finalize(out *Measurement) (*Measurement, error) {
-	if err := m.injectFaults(out); err != nil {
+	err := m.injectFaults(out)
+	if o := m.Obs; o != nil {
+		o.Measurements.Inc()
+		o.Samples.Add(int64(len(out.Samples)))
+		o.Dropped.Add(int64(out.Dropped))
+		o.Spiked.Add(int64(out.Spiked))
+		o.Stuck.Add(int64(out.Stuck))
+		o.Interpolated.Add(int64(out.Interpolated))
+	}
+	if err != nil {
 		return nil, err
 	}
 	var sum float64

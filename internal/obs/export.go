@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMetrics writes the registry's Prometheus text exposition.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return r.reg.WriteText(w)
+}
+
+// WriteEvents writes every recorded event as one JSON object per line
+// (JSONL), tracks in layout order, events in record order, timestamps on
+// the single laid-out virtual timeline. The encoding is hand-rolled so
+// field order — and therefore the bytes — is fixed.
+func (r *Recorder) WriteEvents(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, tl := range r.Layout() {
+		for i := range tl.Events {
+			writeEventLine(&b, tl.Name, tl.OffsetUS, &tl.Events[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeEventLine renders one event as a JSONL line.
+func writeEventLine(b *strings.Builder, track string, offsetUS int64, e *Event) {
+	b.WriteString(`{"track":`)
+	b.WriteString(strconv.Quote(track))
+	b.WriteString(`,"kind":"`)
+	switch e.Kind {
+	case KindSlice:
+		b.WriteString("slice")
+	case KindInstant:
+		b.WriteString("instant")
+	case KindCounter:
+		b.WriteString("counter")
+	}
+	b.WriteString(`","name":`)
+	b.WriteString(strconv.Quote(e.Name))
+	fmt.Fprintf(b, `,"ts_us":%d`, offsetUS+e.Start)
+	if e.Kind == KindSlice {
+		fmt.Fprintf(b, `,"dur_us":%d`, e.Dur)
+	}
+	if e.Kind == KindCounter {
+		b.WriteString(`,"value":`)
+		b.WriteString(strconv.FormatFloat(e.Value, 'g', -1, 64))
+	}
+	for _, a := range e.Args {
+		b.WriteByte(',')
+		b.WriteString(strconv.Quote(a.Key))
+		b.WriteByte(':')
+		b.WriteString(strconv.Quote(a.Value))
+	}
+	for _, a := range e.Num {
+		b.WriteByte(',')
+		b.WriteString(strconv.Quote(a.Key))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(a.Value, 'g', -1, 64))
+	}
+	b.WriteString("}\n")
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+// expositionLine matches a Prometheus text-format sample line:
+// name{labels} value — labels optional, value a decimal number.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+// ValidateExposition checks that every line of a metrics exposition is a
+// # HELP line, a # TYPE line, or a well-formed sample line, and that each
+// sample's family was announced by a preceding # TYPE. Used by CI to gate
+// on artifact well-formedness.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	typed := map[string]bool{}
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed # TYPE: %q", n, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", n, fields[3])
+			}
+			typed[fields[2]] = true
+		case expositionLine.MatchString(line):
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if t := strings.TrimSuffix(name, suffix); t != name && typed[t] {
+					base = t
+					break
+				}
+			}
+			if !typed[base] {
+				return fmt.Errorf("line %d: sample %q has no preceding # TYPE", n, name)
+			}
+		default:
+			return fmt.Errorf("line %d: not a HELP/TYPE/sample line: %q", n, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading exposition: %w", err)
+	}
+	if n == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	return nil
+}
+
+// ValidateTraceJSON checks that a Chrome trace round-trips: it must parse
+// as a JSON array of event objects, each with a string "ph" phase and a
+// "ts" for non-metadata phases. Used by CI against -trace-out artifacts.
+func ValidateTraceJSON(data []byte) error {
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("trace does not parse as a JSON event array: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace has no events")
+	}
+	phases := map[string]int{}
+	for i, ev := range events {
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("event %d: missing ph", i)
+		}
+		phases[ph]++
+		if _, ok := ev["name"].(string); !ok {
+			return fmt.Errorf("event %d (ph=%s): missing name", i, ph)
+		}
+		if ph != "M" {
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("event %d (ph=%s): missing ts", i, ph)
+			}
+		}
+	}
+	// Round-trip: re-encode must succeed (guards against NaN/Inf values,
+	// which encoding/json rejects).
+	if _, err := json.Marshal(events); err != nil {
+		return fmt.Errorf("trace does not re-encode: %w", err)
+	}
+	return nil
+}
+
+// TracePhases returns the count of events per Chrome phase letter, for
+// tests asserting a trace contains slices/counters/instants/metadata.
+func TracePhases(data []byte) (map[string]int, error) {
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, err
+	}
+	phases := map[string]int{}
+	for _, ev := range events {
+		if ph, ok := ev["ph"].(string); ok {
+			phases[ph]++
+		}
+	}
+	return phases, nil
+}

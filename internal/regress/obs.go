@@ -1,0 +1,52 @@
+package regress
+
+import (
+	"sync/atomic"
+
+	"gpuperf/internal/obs"
+)
+
+// Forward-selection instrumentation. ForwardSelect is a package-level
+// function with no harness handle to hang a recorder on, so the observer
+// is process-wide: Observe installs it (push/restore idiom), and the
+// selection exit path reads it with one atomic load — unobserved runs pay
+// nothing else.
+type regObs struct {
+	selections *obs.Counter
+	steps      *obs.Counter
+	adjR2      *obs.Histogram
+}
+
+var regObsPtr atomic.Pointer[regObs]
+
+// Observe installs forward-selection instrumentation backed by reg and
+// returns a restore function (defer Observe(reg)()). Passing nil detaches.
+// Campaigns observing different registries must not run concurrently.
+func Observe(reg *obs.Registry) (restore func()) {
+	prev := regObsPtr.Load()
+	if reg == nil {
+		regObsPtr.Store(nil)
+	} else {
+		regObsPtr.Store(&regObs{
+			selections: reg.Counter("regress_forward_selections_total", "forward-selection runs completed"),
+			steps:      reg.Counter("regress_forward_steps_total", "variables accepted across all selections"),
+			adjR2: reg.Histogram("regress_adj_r2_step", "adjusted R-squared after each accepted variable",
+				[]float64{0, 0.5, 0.75, 0.9, 0.95, 0.99, 1}),
+		})
+	}
+	return func() { regObsPtr.Store(prev) }
+}
+
+// observeSelection records one completed forward selection: the run, its
+// accepted-variable count, and the adjusted-R² trajectory.
+func observeSelection(sel *Selection) {
+	o := regObsPtr.Load()
+	if o == nil {
+		return
+	}
+	o.selections.Inc()
+	o.steps.Add(int64(len(sel.Steps)))
+	for _, st := range sel.Steps {
+		o.adjR2.Observe(st.AdjR2)
+	}
+}

@@ -329,6 +329,7 @@ func ForwardSelect(x [][]float64, y []float64, maxVars int) (*Selection, error) 
 		fit, err := OLS(subset(x, sel.Indices), y)
 		if err == nil {
 			sel.Fit = fit
+			observeSelection(sel)
 			return sel, nil
 		}
 		sel.Indices = sel.Indices[:len(sel.Indices)-1]

@@ -21,6 +21,8 @@ import (
 	"gpuperf/internal/core"
 	"gpuperf/internal/driver"
 	"gpuperf/internal/fault"
+	"gpuperf/internal/obs"
+	"gpuperf/internal/regress"
 	"gpuperf/internal/report"
 	"gpuperf/internal/selfcheck"
 	"gpuperf/internal/workloads"
@@ -66,6 +68,14 @@ type Options struct {
 	// Checkpoint, when set, journals completed sweep cells to this path
 	// and resumes from it, so a killed run repays only unfinished cells.
 	Checkpoint string
+
+	// Obs, when non-nil, records the campaign: spans and events on the
+	// deterministic virtual clock plus the full metric set (driver, meter,
+	// fault, sweep, modeling, regression). Instrumented sections route
+	// through the resilient harness even fault-free — byte-identical output
+	// to the plain paths — and the recorded artifacts are a pure function
+	// of the seed, independent of Workers.
+	Obs *obs.Recorder
 }
 
 // workers resolves the configured pool width.
@@ -104,12 +114,13 @@ type harness struct {
 	retries  int
 }
 
-// newHarness resolves the fault/checkpoint options. The harness engages
-// when a fault profile or a checkpoint path is configured; a checkpoint
-// without faults journals a fault-free campaign.
+// newHarness resolves the fault/checkpoint/observability options. The
+// harness engages when a fault profile, a checkpoint path or a recorder is
+// configured; a checkpoint or recorder without faults runs a fault-free
+// campaign through the same code path.
 func newHarness(opts Options) (*harness, error) {
 	h := &harness{dropped: map[string][]core.DroppedBench{}}
-	h.use = opts.Faults != nil || opts.Checkpoint != ""
+	h.use = opts.Faults != nil || opts.Checkpoint != "" || opts.Obs != nil
 	if !h.use {
 		return h, nil
 	}
@@ -117,7 +128,9 @@ func newHarness(opts Options) (*harness, error) {
 		Campaign:      &fault.Campaign{Profile: opts.Faults, Seed: opts.Seed},
 		MaxRetries:    opts.MaxRetries,
 		LaunchTimeout: opts.LaunchTimeout,
+		Obs:           opts.Obs,
 	}
+	h.res.Observe()
 	if opts.Checkpoint != "" {
 		spec := ""
 		if opts.Faults != nil {
@@ -196,6 +209,9 @@ func Run(opts Options, w io.Writer) (*Result, error) {
 		return nil, err
 	}
 	defer h.close()
+	if opts.Obs != nil {
+		defer regress.Observe(opts.Obs.Metrics())()
+	}
 
 	fmt.Fprintf(w, "gpuperf — full reproduction (seed %d)\n", opts.Seed)
 	fmt.Fprintf(w, "Abe et al., \"Power and Performance Characterization and Modeling of GPU-Accelerated Systems\", 2014\n\n")
@@ -345,16 +361,20 @@ func runCharacterization(opts Options, boards []*arch.Spec, h *harness, res *Res
 	}
 
 	// sweep routes through the resilient harness when a campaign is
-	// configured; otherwise it is the plain sweep.
-	sweep := func(benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
+	// configured; otherwise it is the plain sweep. The track prefix keys
+	// the phase's virtual timelines ("1.fig", "2.table4" — the numbers
+	// make the sorted export layout follow campaign order).
+	sweep := func(prefix string, benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
 		if !h.use {
 			return characterize.SweepBoards(boardNames, benches, opts.Seed, opts.workers())
 		}
 		out, err := characterize.SweepBoardsR(boardNames, benches, characterize.SweepOptions{
-			Seed:    opts.Seed,
-			Workers: opts.workers(),
-			Res:     h.res,
-			Journal: h.journal,
+			Seed:        opts.Seed,
+			Workers:     opts.workers(),
+			Res:         h.res,
+			Journal:     h.journal,
+			Obs:         opts.Obs,
+			TrackPrefix: prefix,
 		})
 		if err == nil {
 			h.note(out)
@@ -373,7 +393,7 @@ func runCharacterization(opts Options, boards []*arch.Spec, h *harness, res *Res
 	for i, sc := range showcases {
 		showBenches[i] = workloads.ByName(sc.bench)
 	}
-	showSweeps, err := sweep(showBenches)
+	showSweeps, err := sweep("1.fig", showBenches)
 	if err != nil {
 		return err
 	}
@@ -399,7 +419,7 @@ func runCharacterization(opts Options, boards []*arch.Spec, h *harness, res *Res
 	}
 
 	// Table IV and Fig. 4 over the full Table IV benchmark set.
-	all, err := sweep(workloads.Table4())
+	all, err := sweep("2.table4", workloads.Table4())
 	if err != nil {
 		return err
 	}

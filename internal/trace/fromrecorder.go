@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"gpuperf/internal/obs"
+)
+
+// FromRecorder renders an obs.Recorder's deterministic layout as one
+// Chrome/Perfetto trace: each virtual-time track becomes a named thread,
+// slices and instants land on it, and counter samples (the meter's 50 ms
+// power windows, with their per-window interpolated flags) merge onto
+// process-wide counter tracks. The result is a pure function of the
+// recorded events — byte-identical across runs at the same seed.
+func FromRecorder(rec *obs.Recorder) *Builder {
+	b := NewBuilder()
+	for _, tl := range rec.Layout() {
+		for i := range tl.Events {
+			e := &tl.Events[i]
+			tsS := float64(tl.OffsetUS+e.Start) / 1e6
+			switch e.Kind {
+			case obs.KindSlice:
+				b.AddSlice(tl.Name, e.Name, tsS, float64(e.Dur)/1e6, argMap(e.Args))
+			case obs.KindInstant:
+				b.AddInstant(tl.Name, e.Name, tsS, argMap(e.Args))
+			case obs.KindCounter:
+				b.AddCounterArgs(e.Name, tsS, e.Value, numMap(e.Num))
+			}
+		}
+	}
+	return b
+}
+
+func argMap(args []obs.Arg) map[string]string {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func numMap(args []obs.NumArg) map[string]float64 {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// WriteArtifacts writes a recorder's export artifacts — Chrome trace
+// JSON, Prometheus metrics exposition, JSONL events — to the given paths;
+// empty paths are skipped. The shared exit path of every CLI surfacing
+// -trace-out / -metrics-out / -events-out.
+func WriteArtifacts(rec *obs.Recorder, traceOut, metricsOut, eventsOut string) error {
+	if rec == nil {
+		return nil
+	}
+	write := func(path, what string, emit func(w io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", what, err)
+		}
+		if err := emit(f); err != nil {
+			_ = f.Close() // the emit error is the one worth reporting
+			return fmt.Errorf("writing %s: %w", what, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", what, err)
+		}
+		return nil
+	}
+	if err := write(traceOut, "trace", func(w io.Writer) error {
+		return FromRecorder(rec).WriteJSON(w)
+	}); err != nil {
+		return err
+	}
+	if err := write(metricsOut, "metrics", rec.WriteMetrics); err != nil {
+		return err
+	}
+	return write(eventsOut, "events", rec.WriteEvents)
+}

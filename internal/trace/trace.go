@@ -22,6 +22,7 @@ type event struct {
 	Dur   float64           `json:"dur,omitempty"` // microseconds
 	PID   int               `json:"pid"`
 	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"` // instant-event scope
 	Args  map[string]string `json:"args,omitempty"`
 }
 
@@ -41,9 +42,15 @@ type Builder struct {
 	meta     []event
 }
 
-// NewBuilder returns an empty trace.
+// NewBuilder returns an empty trace. The single Chrome "process" is named
+// up front so Perfetto shows "gpuperf campaign" instead of a bare pid.
 func NewBuilder() *Builder {
-	return &Builder{tracks: map[string]int{}}
+	b := &Builder{tracks: map[string]int{}}
+	b.meta = append(b.meta, event{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]string{"name": "gpuperf campaign"},
+	})
+	return b
 }
 
 func (b *Builder) track(name string) int {
@@ -71,9 +78,30 @@ func (b *Builder) AddSlice(track, name string, startS, durS float64, args map[st
 
 // AddCounter records a counter sample; time in seconds.
 func (b *Builder) AddCounter(counter string, tsS, value float64) {
+	b.AddCounterArgs(counter, tsS, value, nil)
+}
+
+// AddCounterArgs records a counter sample carrying extra numeric args
+// alongside the value (e.g. per-window interpolated flags); time in
+// seconds. Extra keys must not collide with the counter name.
+func (b *Builder) AddCounterArgs(counter string, tsS, value float64, extra map[string]float64) {
+	args := map[string]float64{counter: value}
+	for k, v := range extra {
+		args[k] = v
+	}
 	b.counters = append(b.counters, counterEvent{
 		Name: counter, Phase: "C", TS: tsS * 1e6, PID: 1,
-		Args: map[string]float64{counter: value},
+		Args: args,
+	})
+}
+
+// AddInstant records a thread-scoped instant event on a track (a retry,
+// a fault injection, a cache hit); time in seconds.
+func (b *Builder) AddInstant(track, name string, tsS float64, args map[string]string) {
+	b.slices = append(b.slices, event{
+		Name: name, Phase: "i", Scope: "t",
+		TS: tsS * 1e6, PID: 1, TID: b.track(track),
+		Args: args,
 	})
 }
 

@@ -3,11 +3,14 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"gpuperf/internal/driver"
 	"gpuperf/internal/meter"
+	"gpuperf/internal/obs"
 	"gpuperf/internal/workloads"
 )
 
@@ -26,9 +29,9 @@ func TestWriteJSONIsValidAndSorted(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	// 1 thread-name metadata + 2 slices + 2 counters.
-	if len(events) != 5 {
-		t.Fatalf("%d events, want 5", len(events))
+	// 1 process-name + 1 thread-name metadata + 2 slices + 2 counters.
+	if len(events) != 6 {
+		t.Fatalf("%d events, want 6", len(events))
 	}
 	var lastTS float64 = -2
 	for _, e := range events {
@@ -83,11 +86,124 @@ func TestEmptyTrace(t *testing.T) {
 	if err := NewBuilder().WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var events []interface{}
+	var events []map[string]interface{}
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("empty trace invalid: %v", err)
 	}
-	if len(events) != 0 {
-		t.Errorf("empty builder produced %d events", len(events))
+	// Only the process-name metadata event.
+	if len(events) != 1 || events[0]["ph"] != "M" || events[0]["name"] != "process_name" {
+		t.Errorf("empty builder produced %v, want one process_name metadata event", events)
+	}
+}
+
+func TestMetadataInstantsAndCounterArgs(t *testing.T) {
+	b := NewBuilder()
+	b.AddSlice("sweep/GTX 480/backprop", "run", 0, 0.010, nil)
+	b.AddInstant("sweep/GTX 480/backprop", "retry", 0.005, map[string]string{"point": "launch.hang"})
+	b.AddCounterArgs("wall power (W)", 0.002, 130, map[string]float64{"interpolated": 1})
+
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := obs.TracePhases(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// process_name + thread_name, one slice, one instant, one counter.
+	if phases["M"] != 2 || phases["X"] != 1 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Errorf("phases = %v", phases)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		`"name":"gpuperf campaign"`, `"name":"sweep/GTX 480/backprop"`,
+		`"s":"t"`, `"interpolated":1`, `"point":"launch.hang"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}
+
+func TestFromRecorder(t *testing.T) {
+	build := func() *obs.Recorder {
+		rec := obs.New()
+		tr := rec.Track("sweep/demo")
+		tr.Slice("kernel", 0.003, obs.Arg{Key: "pair", Value: "(H-H)"})
+		tr.Instant("cache hit", obs.Arg{Key: "cache", Value: "device"})
+		tr.Sample("wall power (W)", 140, obs.NumArg{Key: "interpolated", Value: 1})
+		rec.Track("model/demo").Slice("collect", 0.001)
+		return rec
+	}
+	var buf bytes.Buffer
+	if err := FromRecorder(build()).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := obs.TracePhases(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// process_name + 2 thread_names; the counter track has no thread.
+	if phases["M"] != 3 || phases["X"] != 2 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Errorf("phases = %v", phases)
+	}
+
+	// The bridge must be deterministic: same events, same bytes.
+	var again bytes.Buffer
+	if err := FromRecorder(build()).WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("FromRecorder output differs across identical recorders")
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	rec := obs.New()
+	rec.Track("t").Slice("run", 0.001)
+	rec.Metrics().Counter("demo_total", "demo").Inc()
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	metricsPath := filepath.Join(dir, "m.txt")
+	eventsPath := filepath.Join(dir, "e.jsonl")
+	if err := WriteArtifacts(rec, tracePath, metricsPath, eventsPath); err != nil {
+		t.Fatal(err)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(traceData); err != nil {
+		t.Error(err)
+	}
+	metricsData, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(metricsData)); err != nil {
+		t.Error(err)
+	}
+	eventsData, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(eventsData), `"kind":"slice"`) {
+		t.Errorf("events JSONL missing slice: %q", eventsData)
+	}
+
+	// A nil recorder writes nothing at all.
+	nilPath := filepath.Join(dir, "absent.json")
+	if err := WriteArtifacts(nil, nilPath, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(nilPath); !os.IsNotExist(err) {
+		t.Errorf("nil recorder created %s", nilPath)
 	}
 }

@@ -7,22 +7,23 @@
 //	characterize -fig 1|2|3|4        print one figure
 //	characterize -all                print everything (default)
 //	characterize -csv                emit CSV instead of aligned text
+//	characterize -board "GTX 680"    restrict to one board
+//
+// An interrupt (Ctrl-C) cancels the sweeps at the next cell boundary;
+// with -checkpoint the journal stays resumable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"time"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/characterize"
+	"gpuperf/internal/cliflags"
 	"gpuperf/internal/driver"
-	"gpuperf/internal/fault"
-	"gpuperf/internal/obs"
 	"gpuperf/internal/report"
-	"gpuperf/internal/trace"
+	"gpuperf/internal/session"
 	"gpuperf/internal/workloads"
 )
 
@@ -33,81 +34,34 @@ func main() {
 	all := flag.Bool("all", false, "print every Section III artifact")
 	csv := flag.Bool("csv", false, "emit CSV where available")
 	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
-	seed := flag.Int64("seed", 42, "measurement-noise seed")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
-		"sweep pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
-	faults := flag.String("faults", "",
-		`fault-injection profile, e.g. "launch.hang:0.02,meter.drop:0.001" (empty: fault-free)`)
-	maxRetries := flag.Int("max-retries", fault.DefaultMaxRetries,
-		"transient-fault retry budget per boot/clock-set/metered run")
-	launchTimeout := flag.Duration("launch-timeout", fault.DefaultLaunchTimeout,
-		"per-run watchdog deadline for hung launches")
-	checkpoint := flag.String("checkpoint", "",
-		"journal completed sweep cells to this path and resume from it")
-	traceOut := flag.String("trace-out", "",
-		"write a Chrome/Perfetto trace of the sweeps to this path")
-	metricsOut := flag.String("metrics-out", "",
-		"write Prometheus-style metrics exposition to this path")
-	progress := flag.Bool("progress", false,
-		"print a periodic one-line sweep status to stderr (implies instrumentation)")
+	board := flag.String("board", "", "restrict to one board")
+	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := fault.ValidateHarness(*workers, *maxRetries, *launchTimeout); err != nil {
-		usage(err)
+	var restrict []string
+	if *board != "" {
+		restrict = []string{*board}
 	}
-	var rec *obs.Recorder
-	if *traceOut != "" || *metricsOut != "" || *progress {
-		rec = obs.New()
+	cfg, err := camp.Config(restrict...)
+	if err != nil {
+		cliflags.Usage("characterize", err)
 	}
-	if *progress {
-		stop := rec.StartProgress(os.Stderr, 2*time.Second,
-			"characterize_cells_total", "fault_retries_total",
-			"characterize_cells_quarantined_total", "driver_launch_cache_hits_total")
-		defer stop()
+	s, err := session.Open(cfg)
+	if err != nil {
+		cliflags.Fatal("characterize", err)
 	}
-	var res *fault.Resilience
-	var journal *characterize.Journal
-	if *faults != "" || *checkpoint != "" {
-		var profile *fault.Profile
-		if *faults != "" {
-			p, err := fault.ParseProfile(*faults)
-			if err != nil {
-				usage(err)
-			}
-			profile = p
-		}
-		res = &fault.Resilience{
-			Campaign:      &fault.Campaign{Profile: profile, Seed: *seed},
-			MaxRetries:    *maxRetries,
-			LaunchTimeout: *launchTimeout,
-		}
-		if *checkpoint != "" {
-			spec := ""
-			if profile != nil {
-				spec = profile.String()
-			}
-			j, err := characterize.OpenJournal(*checkpoint, *seed, spec)
-			if err != nil {
-				fatal(err)
-			}
-			defer j.Close()
-			journal = j
-		}
-	}
-	// Instrumented runs route through the resilient path even fault-free —
-	// its output is byte-identical to the plain sweep.
-	sweepBoard := func(boardName string, benches []*workloads.Benchmark) ([]*characterize.BenchResult, error) {
-		if res == nil && rec == nil {
-			return characterize.SweepBoardParallel(boardName, benches, *seed, *workers)
-		}
-		return characterize.SweepBoardR(boardName, benches,
-			characterize.SweepOptions{Seed: *seed, Workers: *workers, Res: res, Journal: journal, Obs: rec})
-	}
+	defer s.Close()
+	defer camp.StartProgress(cfg.Obs, os.Stderr,
+		"characterize_cells_total", "fault_retries_total",
+		"characterize_cells_quarantined_total", "driver_launch_cache_hits_total")()
+
+	ctx, stop := cliflags.SignalContext()
+	defer stop()
 
 	if *table == 0 && *fig == 0 && !*suite {
 		*all = true
 	}
-	boards := arch.AllBoards()
+	boards := s.Boards()
 	emit := func(t *report.Table) {
 		switch {
 		case *csv:
@@ -136,9 +90,9 @@ func main() {
 		}
 		name := figBench[n]
 		for _, spec := range boards {
-			results, err := sweepBoard(spec.Name, []*workloads.Benchmark{workloads.ByName(name)})
+			results, err := s.SweepBoard(ctx, spec.Name, []*workloads.Benchmark{workloads.ByName(name)})
 			if err != nil {
-				fatal(err)
+				cliflags.Fatal("characterize", err)
 			}
 			curves := characterize.Curves(results[0], spec)
 			title := fmt.Sprintf("Fig. %d — Performance and power efficiency of %s on %s", n, name, spec.Name)
@@ -156,10 +110,10 @@ func main() {
 					}
 					label := "Mem-" + c.MemLevel.String()
 					if err := perf.AddSeries(label, xs, perfY); err != nil {
-						fatal(err)
+						cliflags.Fatal("characterize", err)
 					}
 					if err := eff.AddSeries(label, xs, effY); err != nil {
-						fatal(err)
+						cliflags.Fatal("characterize", err)
 					}
 				}
 				fmt.Println(perf.String())
@@ -169,20 +123,9 @@ func main() {
 	}
 
 	if *all || *table == 4 || *fig == 4 {
-		var results map[string][]*characterize.BenchResult
-		var err error
-		if res == nil && rec == nil {
-			results, err = characterize.Table4Workers(*seed, *workers)
-		} else {
-			names := make([]string, len(boards))
-			for i, s := range boards {
-				names[i] = s.Name
-			}
-			results, err = characterize.SweepBoardsR(names, workloads.Table4(),
-				characterize.SweepOptions{Seed: *seed, Workers: *workers, Res: res, Journal: journal, Obs: rec})
-		}
+		results, err := s.Sweep(ctx, workloads.Table4())
 		if err != nil {
-			fatal(err)
+			cliflags.Fatal("characterize", err)
 		}
 		if *all || *table == 4 {
 			emit(report.Table4(boards, results))
@@ -194,22 +137,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "degraded:", d.Line)
 		}
 	}
-	if err := trace.WriteArtifacts(rec, *traceOut, *metricsOut, ""); err != nil {
-		fatal(err)
+	if err := camp.WriteArtifacts(cfg.Obs); err != nil {
+		cliflags.Fatal("characterize", err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "characterize:", err)
-	os.Exit(1)
-}
-
-// usage reports a flag-validation error and exits 2, like flag's own
-// parse failures.
-func usage(err error) {
-	fmt.Fprintln(os.Stderr, "characterize:", err)
-	flag.Usage()
-	os.Exit(2)
 }
 
 // suiteSummary characterizes every Table II benchmark on the GTX 480 at
@@ -221,7 +151,7 @@ func suiteSummary() *report.Table {
 	spec := arch.GTX480()
 	dev, err := driver.OpenSpec(spec)
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal("characterize", err)
 	}
 	for _, b := range workloads.All() {
 		var gpuTime float64
@@ -230,7 +160,7 @@ func suiteSummary() *report.Table {
 		for _, k := range b.Kernels(1) {
 			an, err := dev.Analyze(k)
 			if err != nil {
-				fatal(err)
+				cliflags.Fatal("characterize", err)
 			}
 			gpuTime += an.Time
 			for _, p := range an.Phases {

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	gpusim -board "GTX 680" -bench backprop -pair H-L [-scale 2] [-profile]
+//
+// The device comes from the shared campaign session, so the campaign flag
+// block (-seed, -faults, -max-retries, …) behaves exactly as in the sweep
+// commands; an interrupt (Ctrl-C) aborts the metered run.
 package main
 
 import (
@@ -16,8 +20,10 @@ import (
 
 	"gpuperf"
 	"gpuperf/internal/characterize"
+	"gpuperf/internal/cliflags"
 	"gpuperf/internal/gpu"
 	"gpuperf/internal/kernelspec"
+	"gpuperf/internal/session"
 	"gpuperf/internal/trace"
 	"gpuperf/internal/workloads"
 )
@@ -34,7 +40,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace JSON of the run to this path")
 	list := flag.Bool("list", false, "list boards and benchmarks, then exit")
 	jsonOut := flag.Bool("json", false, "emit the run summary as JSON instead of text")
-	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -49,17 +55,28 @@ func main() {
 		return
 	}
 
-	dev, err := gpuperf.OpenDevice(*board)
+	cfg, err := camp.Config(*board)
 	if err != nil {
-		fatal(err)
+		cliflags.Usage("gpusim", err)
 	}
-	dev.Seed(*seed)
+	s, err := session.Open(cfg)
+	if err != nil {
+		cliflags.Fatal("gpusim", err)
+	}
+	defer s.Close()
+	ctx, stop := cliflags.SignalContext()
+	defer stop()
+
+	dev, err := s.Device(*board)
+	if err != nil {
+		cliflags.Fatal("gpusim", err)
+	}
 	pair, err := gpuperf.ParsePair(*pairArg)
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal("gpusim", err)
 	}
 	if err := dev.SetClocks(pair); err != nil {
-		fatal(err)
+		cliflags.Fatal("gpusim", err)
 	}
 
 	var kernels []*gpu.KernelDesc
@@ -68,20 +85,20 @@ func main() {
 	if *kernelsPath != "" {
 		f, err := os.Open(*kernelsPath)
 		if err != nil {
-			fatal(err)
+			cliflags.Fatal("gpusim", err)
 		}
 		kernels, err = kernelspec.Parse(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fatal(err)
+			cliflags.Fatal("gpusim", err)
 		}
 		name = *kernelsPath
 	} else {
 		b := workloads.ByName(*bench)
 		if b == nil {
-			fatal(fmt.Errorf("unknown benchmark %q (use -list)", *bench))
+			cliflags.Fatal("gpusim", fmt.Errorf("unknown benchmark %q (use -list)", *bench))
 		}
 		kernels = b.Kernels(*scale)
 		hostGap = b.HostGap(*scale)
@@ -89,9 +106,9 @@ func main() {
 	if *profile {
 		dev.EnableProfiler()
 	}
-	rr, err := dev.RunMetered(name, kernels, hostGap, characterize.MinRunSeconds)
+	rr, err := dev.RunMeteredCtx(ctx, name, kernels, hostGap, characterize.MinRunSeconds) //gpulint:ignore faultsafety -- one-shot interactive run; an injected fault should surface to the user, not retry
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal("gpusim", err)
 	}
 
 	spec := dev.Spec()
@@ -113,7 +130,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fatal(err)
+			cliflags.Fatal("gpusim", err)
 		}
 		return
 	}
@@ -132,7 +149,7 @@ func main() {
 		for _, k := range kernels {
 			an, err := dev.Analyze(k)
 			if err != nil {
-				fatal(err)
+				cliflags.Fatal("gpusim", err)
 			}
 			fmt.Print(an.String())
 		}
@@ -141,14 +158,14 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			cliflags.Fatal("gpusim", err)
 		}
 		if err := trace.FromRun(name, rr.Trace.Flatten()).WriteJSON(f); err != nil {
 			_ = f.Close() // already failing; surface the write error
-			fatal(err)
+			cliflags.Fatal("gpusim", err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			cliflags.Fatal("gpusim", err)
 		}
 		fmt.Printf("trace        wrote %s (open in ui.perfetto.dev)\n", *traceOut)
 	}
@@ -158,7 +175,7 @@ func main() {
 		for _, k := range kernels {
 			lr, err := dev.Launch(k)
 			if err != nil {
-				fatal(err)
+				cliflags.Fatal("gpusim", err)
 			}
 			mr, err := dev.MicroSim(k)
 			if err != nil {
@@ -185,9 +202,7 @@ func main() {
 			fmt.Printf("  %-44s %.4g\n", r.name, r.v)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gpusim:", err)
-	os.Exit(1)
+	if err := camp.WriteArtifacts(cfg.Obs); err != nil {
+		cliflags.Fatal("gpusim", err)
+	}
 }

@@ -7,25 +7,25 @@
 //	model -fig 5|6|7|8|9|10|11 print one figure
 //	model -board "GTX 680"     restrict figures to one board
 //	model -vars 15             override the 10-variable cap
+//
+// An interrupt (Ctrl-C) cancels the collection at the next measurement
+// boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
-	"time"
 
-	"gpuperf/internal/arch"
+	"gpuperf/internal/cliflags"
 	"gpuperf/internal/core"
-	"gpuperf/internal/fault"
-	"gpuperf/internal/obs"
 	"gpuperf/internal/regress"
 	"gpuperf/internal/report"
-	"gpuperf/internal/trace"
+	"gpuperf/internal/session"
 	"gpuperf/internal/workloads"
 )
 
@@ -33,88 +33,56 @@ func main() {
 	fig := flag.Int("fig", 0, "print Fig. 5–11 instead of the tables")
 	board := flag.String("board", "", "restrict figures to one board (default: all)")
 	vars := flag.Int("vars", core.MaxVariables, "explanatory-variable cap")
-	seed := flag.Int64("seed", 42, "measurement-noise seed")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
-		"collect pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
 	saveDir := flag.String("save", "", "directory to write trained models and datasets as JSON")
 	diagnose := flag.Bool("diagnose", false, "print per-variable VIF and standardized coefficients")
-	faults := flag.String("faults", "",
-		`fault-injection profile, e.g. "launch.hang:0.02,meter.drop:0.001" (empty: fault-free)`)
-	maxRetries := flag.Int("max-retries", fault.DefaultMaxRetries,
-		"transient-fault retry budget per boot/clock-set/metered run")
-	launchTimeout := flag.Duration("launch-timeout", fault.DefaultLaunchTimeout,
-		"per-run watchdog deadline for hung launches")
-	traceOut := flag.String("trace-out", "",
-		"write a Chrome/Perfetto trace of the collection to this path")
-	metricsOut := flag.String("metrics-out", "",
-		"write Prometheus-style metrics exposition to this path")
-	progress := flag.Bool("progress", false,
-		"print a periodic one-line collection status to stderr (implies instrumentation)")
+	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := fault.ValidateHarness(*workers, *maxRetries, *launchTimeout); err != nil {
-		usage(err)
-	}
-	var rec *obs.Recorder
-	if *traceOut != "" || *metricsOut != "" || *progress {
-		rec = obs.New()
-		defer regress.Observe(rec.Metrics())()
-	}
-	if *progress {
-		stop := rec.StartProgress(os.Stderr, 2*time.Second,
-			"core_rows_total", "fault_retries_total", "core_benches_dropped_total",
-			"driver_launch_cache_hits_total")
-		defer stop()
-	}
-	var res *fault.Resilience
-	if *faults != "" {
-		p, err := fault.ParseProfile(*faults)
-		if err != nil {
-			usage(err)
-		}
-		res = &fault.Resilience{
-			Campaign:      &fault.Campaign{Profile: p, Seed: *seed},
-			MaxRetries:    *maxRetries,
-			LaunchTimeout: *launchTimeout,
-		}
-	}
-	if rec != nil {
-		// Instrumented runs route through the resilient collector even
-		// fault-free — its dataset is byte-identical to CollectParallel.
-		if res == nil {
-			res = &fault.Resilience{MaxRetries: *maxRetries, LaunchTimeout: *launchTimeout}
-		}
-		res.Obs = rec
-	}
-
-	boards := arch.AllBoards()
+	var restrict []string
 	if *board != "" {
-		spec := arch.BoardByName(*board)
-		if spec == nil {
-			fatal(fmt.Errorf("unknown board %q", *board))
-		}
-		boards = []*arch.Spec{spec}
+		restrict = []string{*board}
 	}
+	cfg, err := camp.Config(restrict...)
+	if err != nil {
+		cliflags.Usage("model", err)
+	}
+	cfg.MaxVars = *vars
+	s, err := session.Open(cfg)
+	if err != nil {
+		cliflags.Fatal("model", err)
+	}
+	defer s.Close()
+	if cfg.Obs != nil {
+		defer regress.Observe(cfg.Obs.Metrics())()
+	}
+	defer camp.StartProgress(cfg.Obs, os.Stderr,
+		"core_rows_total", "fault_retries_total", "core_benches_dropped_total",
+		"driver_launch_cache_hits_total")()
 
+	ctx, stop := cliflags.SignalContext()
+	defer stop()
+
+	boards := s.Boards()
 	datasets := map[string]*core.Dataset{}
 	for _, spec := range boards {
-		var ds *core.Dataset
-		var err error
-		if res != nil {
-			ds, err = core.CollectResilient(spec.Name, workloads.ModelingSet(), *seed, *workers, res)
-		} else {
-			ds, err = core.CollectParallel(spec.Name, workloads.ModelingSet(), *seed, *workers)
-		}
+		ds, err := s.Collect(ctx, spec.Name, workloads.ModelingSet())
 		if err != nil {
-			fatal(err)
+			cliflags.Fatal("model", err)
 		}
 		for _, d := range ds.Dropped {
 			fmt.Fprintf(os.Stderr, "dropped: %s / %s (%s)\n", spec.Name, d.Benchmark, d.Point)
 		}
 		if len(ds.Rows) == 0 {
-			fatal(fmt.Errorf("%s: no modeling data survived the fault campaign", spec.Name))
+			cliflags.Fatal("model", fmt.Errorf("%s: no modeling data survived the fault campaign", spec.Name))
 		}
 		datasets[spec.Name] = ds
+	}
+	train := func(ds *core.Dataset, kind core.Kind) *core.Model {
+		m, err := s.Model(ctx, ds, kind)
+		if err != nil {
+			cliflags.Fatal("model", err)
+		}
+		return m
 	}
 
 	switch *fig {
@@ -123,8 +91,8 @@ func main() {
 		evals := map[string][2]*core.Eval{}
 		for _, spec := range boards {
 			ds := datasets[spec.Name]
-			pm := train(ds, core.Power, *vars)
-			tm := train(ds, core.Time, *vars)
+			pm := train(ds, core.Power)
+			tm := train(ds, core.Time)
 			pe, te := pm.Evaluate(ds.Rows), tm.Evaluate(ds.Rows)
 			r2[spec.Name] = [2]float64{pe.AdjR2, te.AdjR2}
 			evals[spec.Name] = [2]*core.Eval{pe, te}
@@ -138,14 +106,14 @@ func main() {
 			for _, spec := range boards {
 				ds := datasets[spec.Name]
 				for _, kind := range []core.Kind{core.Power, core.Time} {
-					m := train(ds, kind, *vars)
+					m := train(ds, kind)
 					diags, err := m.Diagnose(ds.Rows)
 					if err != nil {
-						fatal(err)
+						cliflags.Fatal("model", err)
 					}
 					cond, err := m.SelectionConditionNumber(ds.Rows)
 					if err != nil {
-						fatal(err)
+						cliflags.Fatal("model", err)
 					}
 					t := report.NewTable(
 						fmt.Sprintf("Diagnostics — %s model (%s), condition number %.1f", kind, spec.Name, cond),
@@ -165,7 +133,7 @@ func main() {
 		}
 		for _, spec := range boards {
 			ds := datasets[spec.Name]
-			m := train(ds, kind, *vars)
+			m := train(ds, kind)
 			title := fmt.Sprintf("Fig. %d — %s-model error distribution on %s", *fig, kind, spec.Name)
 			fmt.Println(report.Fig56(title, m.PerBenchmarkErrors(ds.Rows)).String())
 		}
@@ -176,9 +144,9 @@ func main() {
 			kind = core.Time
 		}
 		for _, spec := range boards {
-			points, err := core.VariableSweep(datasets[spec.Name], kind, 5, 20)
+			points, err := variableSweep(ctx, datasets[spec.Name], kind)
 			if err != nil {
-				fatal(err)
+				cliflags.Fatal("model", err)
 			}
 			title := fmt.Sprintf("Fig. %d — impact of explanatory variables on the %s model (%s)", *fig, kind, spec.Name)
 			fmt.Println(report.Fig78(title, points).String())
@@ -192,7 +160,7 @@ func main() {
 		for _, spec := range boards {
 			cols, err := core.PerPairComparison(datasets[spec.Name], kind, *vars)
 			if err != nil {
-				fatal(err)
+				cliflags.Fatal("model", err)
 			}
 			title := fmt.Sprintf("Fig. %d — per-pair vs unified %s models (%s)", *fig, kind, spec.Name)
 			fmt.Println(report.Fig910(title, cols))
@@ -202,62 +170,50 @@ func main() {
 		for _, spec := range boards {
 			ds := datasets[spec.Name]
 			for _, kind := range []core.Kind{core.Power, core.Time} {
-				m := train(ds, kind, *vars)
+				m := train(ds, kind)
 				title := fmt.Sprintf("Fig. 11 — selected variables and influence, %s model (%s)", kind, spec.Name)
 				fmt.Println(report.Fig11(title, m.Influences(ds.Rows)).String())
 			}
 		}
 
 	default:
-		fatal(fmt.Errorf("no Fig. %d in the paper's Section IV (want 5–11)", *fig))
+		cliflags.Fatal("model", fmt.Errorf("no Fig. %d in the paper's Section IV (want 5–11)", *fig))
 	}
 
-	if err := trace.WriteArtifacts(rec, *traceOut, *metricsOut, ""); err != nil {
-		fatal(err)
+	if err := camp.WriteArtifacts(cfg.Obs); err != nil {
+		cliflags.Fatal("model", err)
 	}
 }
 
-func train(ds *core.Dataset, kind core.Kind, vars int) *core.Model {
-	m, err := core.Train(ds, kind, vars)
-	if err != nil {
-		fatal(err)
+// variableSweep is core.VariableSweep with a cancellation check between
+// cap sizes.
+func variableSweep(ctx context.Context, ds *core.Dataset, kind core.Kind) ([]core.SweepPoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("model: variable sweep cancelled: %w", context.Cause(ctx))
 	}
-	return m
+	return core.VariableSweep(ds, kind, 5, 20)
 }
 
 // persist writes the dataset and both trained models under dir, named by
 // board (e.g. "gtx-680.power.json").
 func persist(dir, board string, ds *core.Dataset, pm, tm *core.Model) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatal(err)
+		cliflags.Fatal("model", err)
 	}
 	slug := strings.ToLower(strings.ReplaceAll(board, " ", "-"))
 	write := func(name string, save func(io.Writer) error) {
 		path := filepath.Join(dir, slug+"."+name+".json")
 		f, err := os.Create(path)
 		if err != nil {
-			fatal(err)
+			cliflags.Fatal("model", err)
 		}
 		defer f.Close()
 		if err := save(f); err != nil {
-			fatal(err)
+			cliflags.Fatal("model", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 	write("dataset", ds.Save)
 	write("power", pm.Save)
 	write("time", tm.Save)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "model:", err)
-	os.Exit(1)
-}
-
-// usage reports a flag-validation error and exits 2, like flag's own
-// parse failures.
-func usage(err error) {
-	fmt.Fprintln(os.Stderr, "model:", err)
-	flag.Usage()
-	os.Exit(2)
 }

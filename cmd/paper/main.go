@@ -13,20 +13,19 @@
 //	paper -checkpoint j.jsonl  journal sweep cells; resume after a crash
 //	paper -trace-out t.json -metrics-out m.txt
 //	                           record the campaign: Perfetto trace + metrics
+//
+// An interrupt (Ctrl-C) cancels the campaign at the next cell boundary;
+// with -checkpoint the journal stays resumable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"time"
 
-	"gpuperf/internal/driver"
-	"gpuperf/internal/fault"
-	"gpuperf/internal/obs"
+	"gpuperf/internal/cliflags"
 	"gpuperf/internal/reproduce"
-	"gpuperf/internal/trace"
+	"gpuperf/internal/session"
 )
 
 func main() {
@@ -34,97 +33,50 @@ func main() {
 	quick := flag.Bool("quick", false, "characterization only (skip modeling, ablations, future work)")
 	board := flag.String("board", "", "restrict to one board")
 	artifacts := flag.String("artifacts", "", "also write per-table/figure CSVs into this directory")
-	seed := flag.Int64("seed", 42, "measurement-noise seed")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
-		"sweep/collect pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
-	nocache := flag.Bool("nocache", false,
-		"disable launch memoization (uncached reference mode; output is identical either way)")
-	faults := flag.String("faults", "",
-		`fault-injection profile, e.g. "launch.hang:0.02,meter.drop:0.001" (empty: fault-free)`)
-	maxRetries := flag.Int("max-retries", fault.DefaultMaxRetries,
-		"transient-fault retry budget per boot/clock-set/metered run")
-	launchTimeout := flag.Duration("launch-timeout", fault.DefaultLaunchTimeout,
-		"per-run watchdog deadline for hung launches")
-	checkpoint := flag.String("checkpoint", "",
-		"journal completed sweep cells to this path and resume from it")
-	traceOut := flag.String("trace-out", "",
-		"write a Chrome/Perfetto trace of the campaign to this path")
-	metricsOut := flag.String("metrics-out", "",
-		"write Prometheus-style metrics exposition to this path")
-	eventsOut := flag.String("events-out", "",
-		"write the raw instrumentation events as JSONL to this path")
-	progress := flag.Bool("progress", false,
-		"print a periodic one-line campaign status to stderr (implies instrumentation)")
+	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := fault.ValidateHarness(*workers, *maxRetries, *launchTimeout); err != nil {
-		usage(err)
-	}
-	if *nocache {
-		driver.SetLaunchCachingEnabled(false)
-	}
-	opts := reproduce.DefaultOptions()
-	opts.Seed = *seed
-	opts.Workers = *workers
-	if *quick {
-		opts.Modeling = false
-		opts.Ablations = false
-		opts.FutureWork = false
-		opts.SelfCheck = false
-	}
+	var boards []string
 	if *board != "" {
-		opts.Boards = []string{*board}
+		boards = []string{*board}
 	}
-	opts.ArtifactsDir = *artifacts
-	if *faults != "" {
-		p, err := fault.ParseProfile(*faults)
-		if err != nil {
-			usage(err)
-		}
-		opts.Faults = p
+	cfg, err := camp.Config(boards...)
+	if err != nil {
+		cliflags.Usage("paper", err)
 	}
-	opts.MaxRetries = *maxRetries
-	opts.LaunchTimeout = *launchTimeout
-	opts.Checkpoint = *checkpoint
-	if *traceOut != "" || *metricsOut != "" || *eventsOut != "" || *progress {
-		opts.Obs = obs.New()
+	cfg.ArtifactsDir = *artifacts
+	s, err := session.Open(cfg)
+	if err != nil {
+		cliflags.Fatal("paper", err)
 	}
-	if *progress {
-		stop := opts.Obs.StartProgress(os.Stderr, 2*time.Second,
-			"characterize_cells_total", "core_rows_total", "fault_retries_total",
-			"characterize_cells_quarantined_total", "driver_launch_cache_hits_total",
-			"meter_windows_interpolated_total")
-		defer stop()
-	}
+	defer s.Close()
+	defer camp.StartProgress(cfg.Obs, os.Stderr,
+		"characterize_cells_total", "core_rows_total", "fault_retries_total",
+		"characterize_cells_quarantined_total", "driver_launch_cache_hits_total",
+		"meter_windows_interpolated_total")()
+
+	ctx, stop := cliflags.SignalContext()
+	defer stop()
 
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			cliflags.Fatal("paper", err)
 		}
 		defer f.Close()
 		w = f
 	}
-	res, err := reproduce.Run(opts, w)
-	if err != nil {
-		fatal(err)
+	var tweaks []func(*reproduce.Options)
+	if *quick {
+		tweaks = append(tweaks, reproduce.Quick)
 	}
-	if err := trace.WriteArtifacts(opts.Obs, *traceOut, *metricsOut, *eventsOut); err != nil {
-		fatal(err)
+	res, err := s.Reproduce(ctx, w, tweaks...)
+	if err != nil {
+		cliflags.Fatal("paper", err)
+	}
+	if err := camp.WriteArtifacts(cfg.Obs); err != nil {
+		cliflags.Fatal("paper", err)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", res.Elapsed)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "paper:", err)
-	os.Exit(1)
-}
-
-// usage reports a flag-validation error and exits 2, like flag's own
-// parse failures.
-func usage(err error) {
-	fmt.Fprintln(os.Stderr, "paper:", err)
-	flag.Usage()
-	os.Exit(2)
 }

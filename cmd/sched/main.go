@@ -6,6 +6,10 @@
 //
 //	sched -board "GTX 680" -jobs backprop,sgemm,lbm -budget 80
 //	sched -jobs backprop,sgemm -deadline 0.5
+//
+// The device comes from the shared campaign session, so the campaign flag
+// block (-seed, -faults, -max-retries, …) behaves exactly as in the sweep
+// commands.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"strings"
 
 	"gpuperf"
+	"gpuperf/internal/cliflags"
+	"gpuperf/internal/session"
 )
 
 func main() {
@@ -22,6 +28,7 @@ func main() {
 	jobsArg := flag.String("jobs", "backprop,streamcluster,sgemm", "comma-separated benchmark names")
 	budget := flag.Float64("budget", 0, "total energy budget in joules (0 = unlimited)")
 	deadline := flag.Float64("deadline", 0, "total time deadline in seconds (alternative to -budget)")
+	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	jobs := strings.Split(*jobsArg, ",")
@@ -29,9 +36,19 @@ func main() {
 		jobs[i] = strings.TrimSpace(jobs[i])
 	}
 
-	dev, err := gpuperf.OpenDevice(*board)
+	cfg, err := camp.Config(*board)
 	if err != nil {
-		fatal(err)
+		cliflags.Usage("sched", err)
+	}
+	s, err := session.Open(cfg)
+	if err != nil {
+		cliflags.Fatal("sched", err)
+	}
+	defer s.Close()
+
+	dev, err := s.Device(*board)
+	if err != nil {
+		cliflags.Fatal("sched", err)
 	}
 
 	var plan *gpuperf.BatchPlan
@@ -42,7 +59,7 @@ func main() {
 		plan, err = gpuperf.PlanBatchUnderEnergy(dev, jobs, *budget)
 	}
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal("sched", err)
 	}
 
 	if !plan.Feasible {
@@ -54,12 +71,10 @@ func main() {
 			a.Job, a.Option.Pair, a.Option.TimeS*1e3, a.Option.EnergyJ)
 	}
 	fmt.Printf("%-16s %-7s %9.1f ms %9.2f J\n", "TOTAL", "", plan.TotalTimeS*1e3, plan.TotalEnergyJ)
+	if err := camp.WriteArtifacts(cfg.Obs); err != nil {
+		cliflags.Fatal("sched", err)
+	}
 	if !plan.Feasible {
 		os.Exit(1)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sched:", err)
-	os.Exit(1)
 }

@@ -1,16 +1,24 @@
 package gpuperf_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"gpuperf"
 )
 
-// Open a board, run a benchmark, reprogram the clocks the way the paper
-// does (VBIOS patch + reboot), and compare energies.
+// The session quick start: one Session owns the campaign configuration
+// (seed, workers, boards, fault policy, checkpointing) and its Device
+// factory hands out boards wired to it. Reprogram the clocks the way the
+// paper does (VBIOS patch + reboot) and compare energies.
 func Example() {
-	dev, err := gpuperf.OpenDevice("GTX 680")
+	s, err := gpuperf.OpenSession(gpuperf.WithBoards("GTX 680"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	dev, err := s.Device("GTX 680")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,6 +36,26 @@ func Example() {
 	fmt.Printf("energy drops at (M-L): %v\n", low.EnergyPerIterJ < def.EnergyPerIterJ)
 	// Output:
 	// energy drops at (M-L): true
+}
+
+// A full context-aware sweep campaign through the Session engine — the
+// paper's Table IV cells for one board, cancellable via the context and
+// bit-identical at any worker count.
+func ExampleOpenSession() {
+	s, err := gpuperf.OpenSession(gpuperf.WithBoards("GTX 680"), gpuperf.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	results, err := s.Sweep(context.Background(), gpuperf.Table4Benchmarks())
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := results["GTX 680"][0].Best()
+	fmt.Printf("%d Table IV rows; backprop's best pair beats (H-H): %v\n",
+		len(results["GTX 680"]), best.Pair != gpuperf.MustPair("H-H"))
+	// Output:
+	// 33 Table IV rows; backprop's best pair beats (H-H): true
 }
 
 // Enumerate the frequency pairs a board's BIOS exposes (Table III).

@@ -24,6 +24,17 @@
 //
 // # Quick start
 //
+// A Session owns the campaign stack — seed, worker pool, fault policy,
+// checkpoint journal, observability — and exposes the context-aware
+// campaign methods:
+//
+//	s, err := gpuperf.OpenSession(gpuperf.WithBoards("GTX 680"))
+//	if err != nil { ... }
+//	defer s.Close()
+//	results, err := s.Sweep(context.Background(), gpuperf.Table4Benchmarks())
+//
+// For single-device experiments the device API remains:
+//
 //	dev, err := gpuperf.OpenDevice("GTX 680")
 //	if err != nil { ... }
 //	run, err := gpuperf.RunBenchmark(dev, "backprop", 1.0)
@@ -35,6 +46,7 @@
 package gpuperf
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -212,7 +224,8 @@ func CollectDataset(board string, seed int64) (*Dataset, error) {
 // worker pool (one simulated device per worker). It produces an identical
 // dataset to CollectDataset; only wall-clock changes.
 func CollectDatasetParallel(board string, seed int64, workers int) (*Dataset, error) {
-	return core.CollectParallel(board, workloads.ModelingSet(), seed, workers)
+	return core.CollectCtx(context.Background(), board, workloads.ModelingSet(),
+		core.CollectOptions{Seed: seed, Workers: workers})
 }
 
 // CollectBenchmarks gathers a modeling corpus restricted to the named
@@ -226,7 +239,8 @@ func CollectBenchmarks(board string, names []string, seed int64) (*Dataset, erro
 		}
 		benches = append(benches, b)
 	}
-	return core.Collect(board, benches, seed)
+	return core.CollectCtx(context.Background(), board, benches,
+		core.CollectOptions{Seed: seed, Workers: 1})
 }
 
 // TrainModel fits the unified power (Eq. 1) or performance (Eq. 2) model

@@ -7,6 +7,7 @@
 package characterize
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -137,10 +138,20 @@ func (r *BenchResult) PerfLossPct() float64 {
 // sweep relies on exactly this to make retried and checkpoint-resumed
 // runs byte-identical to clean ones.
 func SweepBenchmark(dev *driver.Device, b *workloads.Benchmark) (*BenchResult, error) {
+	return SweepBenchmarkCtx(context.Background(), dev, b)
+}
+
+// SweepBenchmarkCtx is SweepBenchmark with cooperative cancellation: the
+// context is checked before each frequency-pair cell, so a cancelled sweep
+// stops at a cell boundary and returns the cause wrapped in the error.
+func SweepBenchmarkCtx(ctx context.Context, dev *driver.Device, b *workloads.Benchmark) (*BenchResult, error) {
 	out := &BenchResult{Benchmark: b.Name, Board: dev.Spec().Name}
 	kernels := b.Kernels(1)
 	hostGap := b.HostGap(1)
 	for _, p := range clock.ValidPairs(dev.Spec()) {
+		if ctx.Err() != nil {
+			return nil, cancelled(ctx)
+		}
 		if err := dev.SetClocks(p); err != nil {
 			return nil, fmt.Errorf("characterize: %s: %w", b.Name, err)
 		}
@@ -182,40 +193,40 @@ func sweepSeed(seed int64, benchName string) int64 {
 	return seed ^ int64(h.Sum64())
 }
 
-// sweepBench measures one benchmark on a freshly booted board with its
-// own independently seeded noise stream.
-func sweepBench(boardName string, b *workloads.Benchmark, seed int64) (*BenchResult, error) {
-	dev, err := driver.OpenBoard(boardName)
-	if err != nil {
-		return nil, err
-	}
-	dev.Seed(sweepSeed(seed, b.Name))
-	return SweepBenchmark(dev, b)
+// cancelled wraps a context's cancellation cause in the package's error
+// shape; errors.Is(err, context.Canceled) (or the deadline sentinel, or a
+// custom cause) keeps working through the wrap.
+func cancelled(ctx context.Context) error {
+	return fmt.Errorf("characterize: sweep cancelled: %w", context.Cause(ctx))
 }
 
-// SweepBoard sweeps a set of benchmarks on one board, sequentially. Each
-// benchmark runs on its own device with an independent noise seed, so the
-// output is byte-identical to SweepBoardParallel at any worker count.
+// SweepBoard sweeps a set of benchmarks on one board, sequentially.
+//
+// Deprecated: use Sweep (or session.Session.Sweep) — SweepBoard is the
+// workers=1 configuration of the unified engine and delegates to it.
 func SweepBoard(boardName string, benches []*workloads.Benchmark, seed int64) ([]*BenchResult, error) {
-	out := make([]*BenchResult, len(benches))
-	for i, b := range benches {
-		r, err := sweepBench(boardName, b, seed)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = r
-	}
-	return out, nil
+	return sweepOneBoard(boardName, benches, SweepOptions{Seed: seed, Workers: 1})
 }
 
 // SweepBoardParallel is SweepBoard with the benchmarks measured by a
-// worker pool, mirroring core.CollectParallel. Each worker boots its own
-// device per benchmark, so there is no shared mutable state, and the
-// per-benchmark seeding makes the result byte-identical to SweepBoard.
+// worker pool; the per-benchmark seeding makes the result byte-identical
+// to SweepBoard.
+//
+// Deprecated: use Sweep (or session.Session.Sweep) with
+// SweepOptions.Workers — SweepBoardParallel delegates to the unified
+// engine.
 func SweepBoardParallel(boardName string, benches []*workloads.Benchmark, seed int64, workers int) ([]*BenchResult, error) {
-	return sweepPool(func(job int) (*BenchResult, error) {
-		return sweepBench(boardName, benches[job], seed)
-	}, workers, len(benches))
+	return sweepOneBoard(boardName, benches, SweepOptions{Seed: seed, Workers: workers})
+}
+
+// sweepOneBoard runs the unified engine over a single board and unwraps
+// the map — shared by the deprecated per-board wrappers.
+func sweepOneBoard(boardName string, benches []*workloads.Benchmark, opts SweepOptions) ([]*BenchResult, error) {
+	m, err := Sweep(context.Background(), []string{boardName}, benches, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m[boardName], nil
 }
 
 // sweepPool runs `jobs` measurements through a bounded worker pool and
@@ -224,7 +235,11 @@ func SweepBoardParallel(boardName string, benches []*workloads.Benchmark, seed i
 // always complete: the workers drain a pre-filled job queue and deliver
 // into spare capacity even if a consumer were to stop reading early (the
 // leak-proofing audit of core.collect, applied from the start).
-func sweepPool(run func(int) (*BenchResult, error), workers, jobs int) ([]*BenchResult, error) {
+//
+// Cancellation is checked before each job: remaining jobs fail with the
+// wrapped cause while in-flight ones run to completion, so the pool stops
+// within one job of the cancel and still reports the lowest-index error.
+func sweepPool(ctx context.Context, run func(int) (*BenchResult, error), workers, jobs int) ([]*BenchResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -245,6 +260,10 @@ func sweepPool(run func(int) (*BenchResult, error), workers, jobs int) ([]*Bench
 	for w := 0; w < workers; w++ {
 		go func() {
 			for idx := range queue {
+				if ctx.Err() != nil {
+					results <- done{idx: idx, err: cancelled(ctx)}
+					continue
+				}
 				r, err := run(idx)
 				results <- done{idx: idx, res: r, err: err}
 			}
@@ -267,45 +286,40 @@ func sweepPool(run func(int) (*BenchResult, error), workers, jobs int) ([]*Bench
 }
 
 // SweepBoards sweeps the benches on every named board through one shared
-// worker pool over (board, benchmark) jobs — the full-width fan-out the
-// larger DVFS grids need. Results are indexed [board][benchmark] and
-// byte-identical to per-board SweepBoard calls.
+// worker pool over (board, benchmark) jobs.
+//
+// Deprecated: use Sweep (or session.Session.Sweep) — SweepBoards is the
+// fault-free configuration of the unified engine and delegates to it.
 func SweepBoards(boardNames []string, benches []*workloads.Benchmark, seed int64, workers int) (map[string][]*BenchResult, error) {
-	nb := len(benches)
-	jobs := len(boardNames) * nb
-	if jobs == 0 {
-		return map[string][]*BenchResult{}, nil
-	}
-	flat, err := sweepPool(func(idx int) (*BenchResult, error) {
-		return sweepBench(boardNames[idx/nb], benches[idx%nb], seed)
-	}, workers, jobs)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string][]*BenchResult, len(boardNames))
-	for bi, name := range boardNames {
-		out[name] = flat[bi*nb : (bi+1)*nb]
-	}
-	return out, nil
+	return Sweep(context.Background(), boardNames, benches, SweepOptions{Seed: seed, Workers: workers})
 }
 
 // Table4 runs the full Table IV experiment: every Table IV benchmark on
 // every board, returning results indexed [board][benchmark], with the
 // (board, benchmark) grid swept by one GOMAXPROCS-wide worker pool.
 func Table4(seed int64) (map[string][]*BenchResult, error) {
-	return Table4Workers(seed, runtime.GOMAXPROCS(0))
+	boards := arch.AllBoards()
+	names := make([]string, len(boards))
+	for i, s := range boards {
+		names[i] = s.Name
+	}
+	return Sweep(context.Background(), names, workloads.Table4(),
+		SweepOptions{Seed: seed, Workers: runtime.GOMAXPROCS(0)})
 }
 
-// Table4Workers is Table4 with an explicit worker count; 1 is the
-// bit-exact sequential reference (the output is identical either way —
-// every (board, benchmark) cell owns its device and noise stream).
+// Table4Workers is Table4 with an explicit worker count.
+//
+// Deprecated: use Sweep (or session.Session.Sweep) with
+// SweepOptions.Workers — the output is identical at any width; 1 is the
+// bit-exact sequential reference.
 func Table4Workers(seed int64, workers int) (map[string][]*BenchResult, error) {
 	boards := arch.AllBoards()
 	names := make([]string, len(boards))
 	for i, s := range boards {
 		names[i] = s.Name
 	}
-	return SweepBoards(names, workloads.Table4(), seed, workers)
+	return Sweep(context.Background(), names, workloads.Table4(),
+		SweepOptions{Seed: seed, Workers: workers})
 }
 
 // MeanImprovementPct averages the Fig. 4 metric over a board's results.

@@ -56,10 +56,21 @@ func (o *SweepOptions) res() *fault.Resilience {
 	return &fault.Resilience{}
 }
 
-// SweepBoardsR is SweepBoards under the fault harness. The result map has
-// the same shape; quarantined cells are marked rather than omitted, and a
-// benchmark whose device never boots has every cell quarantined.
-func SweepBoardsR(boardNames []string, benches []*workloads.Benchmark, opts SweepOptions) (map[string][]*BenchResult, error) {
+// Sweep is the unified sweep engine: every sequential, parallel and
+// resilient sweep variant is a configuration of this one implementation.
+// It sweeps the benches on every named board through one shared worker
+// pool over (board, benchmark) jobs; results are indexed
+// [board][benchmark] and are a pure function of the seed — identical at
+// any worker count (1 is the bit-exact sequential reference), with or
+// without a fault campaign, journal or recorder attached.
+//
+// The context is checked at every cell boundary (each (board, benchmark,
+// pair) measurement) and before every retry attempt: a cancel aborts the
+// campaign within one in-flight cell per worker, returns the cause
+// wrapped in the error, and leaves the checkpoint journal resumable — a
+// rerun with the same journal replays the completed cells and measures
+// only the rest, byte-identical to an uninterrupted run.
+func Sweep(ctx context.Context, boardNames []string, benches []*workloads.Benchmark, opts SweepOptions) (map[string][]*BenchResult, error) {
 	nb := len(benches)
 	jobs := len(boardNames) * nb
 	if jobs == 0 {
@@ -85,8 +96,8 @@ func SweepBoardsR(boardNames []string, benches []*workloads.Benchmark, opts Swee
 		}
 		observePool(opts.Obs, w)
 	}
-	flat, err := sweepPool(func(idx int) (*BenchResult, error) {
-		return sweepBenchR(boardNames[idx/nb], benches[idx%nb], opts)
+	flat, err := sweepPool(ctx, func(idx int) (*BenchResult, error) {
+		return sweepBenchR(ctx, boardNames[idx/nb], benches[idx%nb], opts)
 	}, opts.Workers, jobs)
 	if err != nil {
 		return nil, err
@@ -98,21 +109,32 @@ func SweepBoardsR(boardNames []string, benches []*workloads.Benchmark, opts Swee
 	return out, nil
 }
 
+// SweepBoardsR is SweepBoards under the fault harness.
+//
+// Deprecated: use Sweep (or session.Session.Sweep) — SweepBoardsR is the
+// unified engine without a context and delegates to it.
+func SweepBoardsR(boardNames []string, benches []*workloads.Benchmark, opts SweepOptions) (map[string][]*BenchResult, error) {
+	return Sweep(context.Background(), boardNames, benches, opts)
+}
+
 // SweepBoardR sweeps one board's benchmarks under the fault harness.
+//
+// Deprecated: use Sweep (or session.Session.SweepBoard) — SweepBoardR is
+// the single-board configuration of the unified engine and delegates to
+// it.
 func SweepBoardR(boardName string, benches []*workloads.Benchmark, opts SweepOptions) ([]*BenchResult, error) {
-	m, err := SweepBoardsR([]string{boardName}, benches, opts)
-	if err != nil {
-		return nil, err
-	}
-	return m[boardName], nil
+	return sweepOneBoard(boardName, benches, opts)
 }
 
 // bootR boots the board inside the retry loop. A boot that exhausts its
 // budget returns the fault that kept failing with a nil device — the
 // caller quarantines the benchmark's cells.
-func bootR(boardName, scope string, res *fault.Resilience, track *obs.Track) (*driver.Device, fault.Point, error) {
+func bootR(ctx context.Context, boardName, scope string, res *fault.Resilience, track *obs.Track) (*driver.Device, fault.Point, error) {
 	var lastPt fault.Point
 	for attempt := 0; attempt < res.Attempts(); attempt++ {
+		if ctx.Err() != nil {
+			return nil, "", cancelled(ctx)
+		}
 		in := res.Injector("boot|"+scope, attempt)
 		dev, err := driver.OpenBoardWithFaults(boardName, in)
 		if err == nil {
@@ -146,15 +168,17 @@ func quarantineAll(boardName, bench string, pt fault.Point, retries int) *BenchR
 	return out
 }
 
-// sweepBenchR measures one benchmark on one board under the fault harness.
-func sweepBenchR(boardName string, b *workloads.Benchmark, opts SweepOptions) (*BenchResult, error) {
+// sweepBenchR measures one benchmark on one board under the fault
+// harness, checking the context before every cell so a cancel stops the
+// job at a cell boundary with every completed cell already journaled.
+func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, opts SweepOptions) (*BenchResult, error) {
 	res := opts.res()
 	scope := boardName + "|" + b.Name
 	so := newSweepObs(opts.Obs, boardName)
 	track := opts.Obs.Track(opts.trackName(boardName, b.Name))
 	span := track.Begin("sweep "+b.Name, obs.Arg{Key: "board", Value: boardName})
 	defer span.End()
-	dev, failPt, err := bootR(boardName, scope, res, track)
+	dev, failPt, err := bootR(ctx, boardName, scope, res, track)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +209,10 @@ func sweepBenchR(boardName string, b *workloads.Benchmark, opts SweepOptions) (*
 				continue
 			}
 		}
-		cell, err := sweepCellR(dev, b.Name, kernels, hostGap, p, scope, res, track)
+		if ctx.Err() != nil {
+			return nil, cancelled(ctx)
+		}
+		cell, err := sweepCellR(ctx, dev, b.Name, kernels, hostGap, p, scope, res, track)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +246,7 @@ func sweepBenchR(boardName string, b *workloads.Benchmark, opts SweepOptions) (*
 // sweepCellR measures one (pair) cell inside the retry loop. Transient
 // faults retry with backoff; a hang additionally reboots the device from
 // its golden image; exhaustion quarantines the cell.
-func sweepCellR(dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hostGap float64, p clock.Pair, scope string, res *fault.Resilience, track *obs.Track) (PairResult, error) {
+func sweepCellR(ctx context.Context, dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hostGap float64, p clock.Pair, scope string, res *fault.Resilience, track *obs.Track) (PairResult, error) {
 	cellScope := scope + "|" + p.String()
 	retry := func(pt fault.Point, attempt int) {
 		res.RecordRetry(pt)
@@ -231,6 +258,11 @@ func sweepCellR(dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hos
 	}
 	var lastPt fault.Point
 	for attempt := 0; attempt < res.Attempts(); attempt++ {
+		if ctx.Err() != nil {
+			// A cancelled parent must not spin the retry budget (an injected
+			// hang's watchdog fires on the same cancel) — abort the cell.
+			return PairResult{}, cancelled(ctx)
+		}
 		dev.AttachFaults(res.Injector(cellScope, attempt))
 		dev.SeedScoped("pair|" + p.String())
 		if err := dev.SetClocks(p); err != nil {
@@ -242,8 +274,8 @@ func sweepCellR(dev *driver.Device, bench string, kernels []*gpu.KernelDesc, hos
 			retry(pt, attempt)
 			continue
 		}
-		ctx, cancel := res.LaunchContext(context.Background())
-		rr, err := dev.RunMeteredCtx(ctx, bench, kernels, hostGap, MinRunSeconds)
+		runCtx, cancel := res.LaunchContext(ctx)
+		rr, err := dev.RunMeteredCtx(runCtx, bench, kernels, hostGap, MinRunSeconds)
 		cancel()
 		if err != nil {
 			pt, transient := fault.PointOf(err)

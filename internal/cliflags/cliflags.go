@@ -1,0 +1,144 @@
+// Package cliflags is the one definition of the campaign flag block the
+// command front ends share. Every campaign command (paper, characterize,
+// model, gpusim, sched) registers the identical, identically-documented
+// set — seed, workers, cache mode, fault profile, retry policy,
+// checkpoint, and the observability outputs — and translates it to a
+// session.Config with Campaign.Config. Command-specific flags (-quick,
+// -table, -fig, …) stay in the commands; the campaign vocabulary lives
+// here so it cannot drift between them again.
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"gpuperf/internal/fault"
+	"gpuperf/internal/obs"
+	"gpuperf/internal/session"
+	"gpuperf/internal/trace"
+)
+
+// Campaign holds the parsed shared flag block. Zero value is not ready;
+// build one with Register.
+type Campaign struct {
+	Seed          int64
+	Workers       int
+	NoCache       bool
+	Faults        string
+	MaxRetries    int
+	LaunchTimeout time.Duration
+	Checkpoint    string
+	TraceOut      string
+	MetricsOut    string
+	EventsOut     string
+	Progress      bool
+}
+
+// Register installs the shared campaign flag block on fs (flag.CommandLine
+// in the commands) and returns the destination struct. Call before
+// fs.Parse.
+func Register(fs *flag.FlagSet) *Campaign {
+	c := &Campaign{}
+	fs.Int64Var(&c.Seed, "seed", 42, "measurement-noise seed")
+	fs.IntVar(&c.Workers, "workers", runtime.GOMAXPROCS(0),
+		"sweep/collect pool width; 1 is the bit-exact sequential reference (output is identical at any width)")
+	fs.BoolVar(&c.NoCache, "nocache", false,
+		"disable launch memoization (uncached reference mode; output is identical either way)")
+	fs.StringVar(&c.Faults, "faults", "",
+		`fault-injection profile, e.g. "launch.hang:0.02,meter.drop:0.001" (empty: fault-free)`)
+	fs.IntVar(&c.MaxRetries, "max-retries", fault.DefaultMaxRetries,
+		"transient-fault retry budget per boot/clock-set/metered run")
+	fs.DurationVar(&c.LaunchTimeout, "launch-timeout", fault.DefaultLaunchTimeout,
+		"per-run watchdog deadline for hung launches")
+	fs.StringVar(&c.Checkpoint, "checkpoint", "",
+		"journal completed characterization sweep cells to this path and resume from it (modeling collections are not journaled)")
+	fs.StringVar(&c.TraceOut, "trace-out", "",
+		"write a Chrome/Perfetto trace of the campaign to this path")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "",
+		"write Prometheus-style metrics exposition to this path")
+	fs.StringVar(&c.EventsOut, "events-out", "",
+		"write the raw instrumentation events as JSONL to this path")
+	fs.BoolVar(&c.Progress, "progress", false,
+		"print a periodic one-line campaign status to stderr (implies instrumentation)")
+	return c
+}
+
+// Config validates the block and translates it to a session.Config:
+// parsed fault profile, an observability recorder when any output flag
+// asked for one, cache mode, and the checkpoint path, with boards
+// restricting the campaign when non-empty.
+func (c *Campaign) Config(boards ...string) (session.Config, error) {
+	cfg := session.DefaultConfig()
+	if err := fault.ValidateHarness(c.Workers, c.MaxRetries, c.LaunchTimeout); err != nil {
+		return cfg, err
+	}
+	cfg.Seed = c.Seed
+	cfg.Workers = c.Workers
+	cfg.Cache = !c.NoCache
+	cfg.Boards = boards
+	cfg.MaxRetries = c.MaxRetries
+	cfg.LaunchTimeout = c.LaunchTimeout
+	cfg.Checkpoint = c.Checkpoint
+	if c.Faults != "" {
+		p, err := fault.ParseProfile(c.Faults)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Faults = p
+	}
+	if c.Instrumented() {
+		cfg.Obs = obs.New()
+	}
+	return cfg, nil
+}
+
+// Instrumented reports whether any flag asked for an observability
+// recorder.
+func (c *Campaign) Instrumented() bool {
+	return c.TraceOut != "" || c.MetricsOut != "" || c.EventsOut != "" || c.Progress
+}
+
+// StartProgress starts the periodic status line when -progress is set,
+// reporting the named counters; the returned stop is safe to defer
+// either way.
+func (c *Campaign) StartProgress(rec *obs.Recorder, w io.Writer, counters ...string) func() {
+	if !c.Progress || rec == nil {
+		return func() {}
+	}
+	return rec.StartProgress(w, 2*time.Second, counters...)
+}
+
+// WriteArtifacts flushes the recorder to the -trace-out, -metrics-out
+// and -events-out paths (no-ops when unset).
+func (c *Campaign) WriteArtifacts(rec *obs.Recorder) error {
+	return trace.WriteArtifacts(rec, c.TraceOut, c.MetricsOut, c.EventsOut)
+}
+
+// SignalContext is the root context every campaign command runs under:
+// the first interrupt cancels it — aborting sweeps and collections within
+// one cell per worker, with a configured checkpoint journal left
+// resumable — and restores default signal handling so a second interrupt
+// kills the process.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+// Fatal prints a command-prefixed error and exits 1.
+func Fatal(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	os.Exit(1)
+}
+
+// Usage prints a command-prefixed flag-validation error and exits 2,
+// like flag's own parse failures.
+func Usage(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	flag.Usage()
+	os.Exit(2)
+}

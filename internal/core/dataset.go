@@ -15,13 +15,11 @@
 package core
 
 import (
-	"fmt"
-	"hash/fnv"
+	"context"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/clock"
 	"gpuperf/internal/counters"
-	"gpuperf/internal/driver"
 	"gpuperf/internal/workloads"
 )
 
@@ -83,150 +81,27 @@ func (d *Dataset) RowsAtPair(p clock.Pair) []Observation {
 //
 // Each benchmark's noise stream is seeded independently (seed ⊕ name), so
 // the dataset is identical whether benchmarks are collected sequentially
-// or concurrently (see CollectParallel).
+// or concurrently.
+//
+// Deprecated: use CollectCtx (or session.Session.Collect) — Collect is
+// the workers=1 configuration of the unified engine and delegates to it.
 func Collect(boardName string, benches []*workloads.Benchmark, seed int64) (*Dataset, error) {
-	return collect(boardName, benches, seed, 1)
+	return CollectCtx(context.Background(), boardName, benches, CollectOptions{Seed: seed, Workers: 1})
 }
 
 // CollectParallel is Collect with benchmarks gathered by a worker pool;
 // each worker boots its own device, so there is no shared mutable state.
 // It produces byte-identical datasets to Collect.
+//
+// Deprecated: use CollectCtx (or session.Session.Collect) with
+// CollectOptions.Workers — CollectParallel delegates to the unified
+// engine.
 func CollectParallel(boardName string, benches []*workloads.Benchmark, seed int64, workers int) (*Dataset, error) {
-	if workers < 1 {
-		workers = 1
-	}
-	return collect(boardName, benches, seed, workers)
-}
-
-func collect(boardName string, benches []*workloads.Benchmark, seed int64, workers int) (*Dataset, error) {
-	probe, err := driver.OpenBoard(boardName)
-	if err != nil {
-		return nil, err
-	}
-	ds := &Dataset{
-		Board: boardName,
-		Spec:  probe.Spec(),
-		Set:   probe.CounterSet(),
-	}
-
-	type chunk struct {
-		idx     int
-		rows    []Observation
-		samples int
-		err     error
-	}
-	// Both channels are buffered to the benchmark count so every worker
-	// can always deliver its chunk and exit. The previous unbuffered
-	// version leaked on error: the collector returned at the first failed
-	// chunk while the remaining workers blocked forever sending results
-	// (and the feeder goroutine blocked sending jobs).
-	if workers > len(benches) {
-		workers = len(benches)
-	}
-	jobs := make(chan int, len(benches))
-	for i := range benches {
-		jobs <- i
-	}
-	close(jobs)
-	results := make(chan chunk, len(benches))
-	for w := 0; w < workers; w++ {
-		go func() {
-			for idx := range jobs {
-				rows, samples, err := collectBench(boardName, benches[idx], seed)
-				results <- chunk{idx: idx, rows: rows, samples: samples, err: err}
-			}
-		}()
-	}
-
-	// Collect every chunk, then fail on the lowest-index error so the
-	// reported error does not depend on goroutine scheduling.
-	ordered := make([]chunk, len(benches))
-	for range benches {
-		c := <-results
-		ordered[c.idx] = c
-	}
-	for _, c := range ordered {
-		if c.err != nil {
-			return nil, c.err
-		}
-		ds.Rows = append(ds.Rows, c.rows...)
-		ds.Samples += c.samples
-	}
-	return ds, nil
-}
-
-// collectBench is the per-benchmark collector the pool workers call; a
-// variable so tests can inject failures into the error path.
-var collectBench = collectBenchmark
-
-// collectBenchmark gathers one benchmark's samples on its own device.
-func collectBenchmark(boardName string, b *workloads.Benchmark, seed int64) ([]Observation, int, error) {
-	dev, err := driver.OpenBoard(boardName)
-	if err != nil {
-		return nil, 0, err
-	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(b.Name)) // fnv: hash.Hash.Write never errors
-	dev.Seed(seed ^ int64(h.Sum64()))
-
-	pairs := clock.ValidPairs(dev.Spec())
-	var rows []Observation
-	samples := 0
-	sizes := b.Sizes
-	if len(sizes) == 0 {
-		sizes = []float64{1}
-	}
-	for _, scale := range sizes {
-		kernels := b.Kernels(scale)
-		hostGap := b.HostGap(scale)
-
-		// Profile once at the default pair, like the paper's single
-		// CUDA-profiler pass per sample. Each profiling pass and each
-		// observation draws from a stream scoped to its (scale, pair), so
-		// a fault-harness retry of any one measurement replays exactly the
-		// noise the plain path would have drawn (see CollectResilient).
-		if err := dev.SetClocks(clock.DefaultPair()); err != nil {
-			return nil, 0, err
-		}
-		dev.SeedScoped(fmt.Sprintf("profile|%g", scale))
-		dev.EnableProfiler()
-		prof, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
-		dev.DisableProfiler()
-		if err != nil {
-			return nil, 0, fmt.Errorf("core: profiling %s: %w", b.Name, err)
-		}
-		perIter := make([]float64, len(prof.Counters))
-		for i, c := range prof.Counters {
-			perIter[i] = c / float64(prof.Iterations)
-		}
-
-		samples++
-		for _, p := range pairs {
-			if err := dev.SetClocks(p); err != nil {
-				return nil, 0, err
-			}
-			dev.SeedScoped(fmt.Sprintf("obs|%g|%s", scale, p))
-			rr, err := dev.RunMetered(b.Name, kernels, hostGap, MinRunSeconds)
-			if err != nil {
-				return nil, 0, fmt.Errorf("core: measuring %s at %s: %w", b.Name, p, err)
-			}
-			rows = append(rows, Observation{
-				Benchmark: b.Name,
-				Scale:     scale,
-				Pair:      p,
-				CoreGHz:   dev.Spec().CoreFreqGHz(p.Core),
-				MemGHz:    dev.Spec().MemFreqGHz(p.Mem),
-				Counters:  perIter,
-				TimeS:     rr.TimePerIteration(),
-				PowerW:    rr.Measurement.AvgWatts,
-			})
-		}
-	}
-	return rows, samples, nil
+	return CollectCtx(context.Background(), boardName, benches, CollectOptions{Seed: seed, Workers: workers})
 }
 
 // CollectAll builds the modeling dataset for the paper's full corpus (the
 // 33-benchmark, 114-sample modeling set) on one board.
 func CollectAll(boardName string, seed int64) (*Dataset, error) {
-	return Collect(boardName, workloads.ModelingSet(), seed)
+	return CollectCtx(context.Background(), boardName, workloads.ModelingSet(), CollectOptions{Seed: seed, Workers: 1})
 }

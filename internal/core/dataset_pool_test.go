@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -8,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"gpuperf/internal/fault"
 	"gpuperf/internal/workloads"
 )
 
@@ -52,14 +54,14 @@ func TestCollectErrorPathDoesNotLeak(t *testing.T) {
 	benches := modelBenches(t, 6)
 	boom := func(i int) error { return fmt.Errorf("injected failure on benchmark #%d", i) }
 	orig := collectBench
-	collectBench = func(boardName string, b *workloads.Benchmark, seed int64) ([]Observation, int, error) {
+	collectBench = func(ctx context.Context, boardName string, b *workloads.Benchmark, seed int64, res *fault.Resilience, co *collectObs) ([]Observation, int, int, *DroppedBench, error) {
 		for i, fail := range benches {
 			// Fail every odd-index benchmark; index 1 must win the report.
 			if b == fail && i%2 == 1 {
-				return nil, 0, boom(i)
+				return nil, 0, 0, nil, boom(i)
 			}
 		}
-		return orig(boardName, b, seed)
+		return orig(ctx, boardName, b, seed, res, co)
 	}
 	defer func() { collectBench = orig }()
 
@@ -89,11 +91,11 @@ func TestCollectErrorIsSchedulingIndependent(t *testing.T) {
 	benches := modelBenches(t, 5)
 	wantErr := errors.New("injected")
 	orig := collectBench
-	collectBench = func(boardName string, b *workloads.Benchmark, seed int64) ([]Observation, int, error) {
+	collectBench = func(ctx context.Context, boardName string, b *workloads.Benchmark, seed int64, res *fault.Resilience, co *collectObs) ([]Observation, int, int, *DroppedBench, error) {
 		if b == benches[2] || b == benches[4] {
-			return nil, 0, fmt.Errorf("%w: %s", wantErr, b.Name)
+			return nil, 0, 0, nil, fmt.Errorf("%w: %s", wantErr, b.Name)
 		}
-		return nil, 1, nil
+		return nil, 1, 0, nil, nil
 	}
 	defer func() { collectBench = orig }()
 

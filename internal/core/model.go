@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -87,11 +88,18 @@ func designMatrix(kind Kind, set *counters.Set, rows []Observation) (x [][]float
 // selection up to maxVars variables (use MaxVariables for the paper's
 // configuration).
 func Train(ds *Dataset, kind Kind, maxVars int) (*Model, error) {
+	return TrainCtx(context.Background(), ds, kind, maxVars)
+}
+
+// TrainCtx is Train with cooperative cancellation, checked between
+// forward-selection steps. A cancelled training run returns the context's
+// cause wrapped in the error.
+func TrainCtx(ctx context.Context, ds *Dataset, kind Kind, maxVars int) (*Model, error) {
 	if len(ds.Rows) == 0 {
 		return nil, errors.New("core: empty dataset")
 	}
 	x, y := designMatrix(kind, ds.Set, ds.Rows)
-	sel, err := regress.ForwardSelect(x, y, maxVars)
+	sel, err := regress.ForwardSelectCtx(ctx, x, y, maxVars)
 	if err != nil {
 		return nil, fmt.Errorf("core: training %s model for %s: %w", kind, ds.Board, err)
 	}

@@ -28,17 +28,41 @@ type DroppedBench struct {
 	Point     fault.Point
 }
 
-// CollectResilient is CollectParallel under the fault harness. With a nil
-// or fault-free Resilience it produces a dataset byte-identical to
-// CollectParallel; under an all-transient campaign with enough retries it
-// converges to the same dataset, and under permanent faults it degrades
-// by dropping benchmarks.
-func CollectResilient(boardName string, benches []*workloads.Benchmark, seed int64, workers int, res *fault.Resilience) (*Dataset, error) {
+// CollectOptions configures a unified collection campaign.
+type CollectOptions struct {
+	Seed int64
+	// Workers bounds the pool; < 1 means 1, the bit-exact sequential
+	// reference (the dataset is identical at any width).
+	Workers int
+	// Res carries the fault campaign and the retry/watchdog policy. nil
+	// behaves like a fault-free harness with a single attempt per pass.
+	Res *fault.Resilience
+}
+
+// cancelled wraps a context's cancellation cause in the package's error
+// shape; errors.Is against the original cause keeps working.
+func cancelled(ctx context.Context) error {
+	return fmt.Errorf("core: collect cancelled: %w", context.Cause(ctx))
+}
+
+// CollectCtx is the unified collection engine: every sequential, parallel
+// and resilient collect variant is a configuration of this one
+// implementation. With a nil or fault-free Resilience it produces the
+// reference dataset; under an all-transient campaign with enough retries
+// it converges to the same dataset, and under permanent faults it
+// degrades by dropping benchmarks (Dataset.Dropped).
+//
+// The context is checked before every measurement pass and retry attempt:
+// a cancel aborts the collection within one in-flight pass per worker and
+// returns the cause wrapped in the error.
+func CollectCtx(ctx context.Context, boardName string, benches []*workloads.Benchmark, opts CollectOptions) (*Dataset, error) {
+	res := opts.Res
 	if res == nil {
 		res = &fault.Resilience{}
 	}
 	res.Observe()
 	co := newCollectObs(res.Obs, boardName)
+	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
@@ -60,8 +84,10 @@ func CollectResilient(boardName string, benches []*workloads.Benchmark, seed int
 		dropped *DroppedBench
 		err     error
 	}
-	// Buffered to the benchmark count, like collect: no goroutine can ever
-	// block on delivery, so the error path leaks nothing.
+	// Buffered to the benchmark count: no goroutine can ever block on
+	// delivery, so the error path leaks nothing. Cancellation is checked
+	// before each job — remaining jobs fail with the wrapped cause while
+	// in-flight ones stop at their own pass boundaries.
 	if workers > len(benches) {
 		workers = len(benches)
 	}
@@ -74,7 +100,11 @@ func CollectResilient(boardName string, benches []*workloads.Benchmark, seed int
 	for w := 0; w < workers; w++ {
 		go func() {
 			for idx := range jobs {
-				rows, samples, retries, dropped, err := collectBenchR(boardName, benches[idx], seed, res, co)
+				if ctx.Err() != nil {
+					results <- chunk{idx: idx, err: cancelled(ctx)}
+					continue
+				}
+				rows, samples, retries, dropped, err := collectBench(ctx, boardName, benches[idx], opts.Seed, res, co)
 				results <- chunk{idx: idx, rows: rows, samples: samples, retries: retries, dropped: dropped, err: err}
 			}
 		}()
@@ -99,10 +129,29 @@ func CollectResilient(boardName string, benches []*workloads.Benchmark, seed int
 	return ds, nil
 }
 
+// CollectResilient is CollectParallel under the fault harness.
+//
+// Deprecated: use CollectCtx (or session.Session.Collect) with
+// CollectOptions.Res — CollectResilient is the unified engine without a
+// context and delegates to it.
+func CollectResilient(boardName string, benches []*workloads.Benchmark, seed int64, workers int, res *fault.Resilience) (*Dataset, error) {
+	return CollectCtx(context.Background(), boardName, benches,
+		CollectOptions{Seed: seed, Workers: workers, Res: res})
+}
+
+// collectBench is the per-benchmark collector the pool workers call; a
+// variable so tests can inject failures into the error path.
+var collectBench = collectBenchR
+
 // collectBenchR gathers one benchmark's samples under the fault harness.
 // A nil *DroppedBench and nil error mean success; a non-nil *DroppedBench
 // means the benchmark was sacrificed to a fault that would not go away.
-func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fault.Resilience, co *collectObs) ([]Observation, int, int, *DroppedBench, error) {
+//
+// Each profiling pass and each observation draws from a noise stream
+// scoped to its (scale, pair), so a retried pass replays exactly the
+// noise a clean run would have drawn — the engine's output is a pure
+// function of the seed.
+func collectBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, seed int64, res *fault.Resilience, co *collectObs) ([]Observation, int, int, *DroppedBench, error) {
 	scope := boardName + "|" + b.Name
 	track := res.Obs.Track("model/" + boardName + "/" + b.Name)
 	span := track.Begin("collect "+b.Name, obs.Arg{Key: "board", Value: boardName})
@@ -111,6 +160,9 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 	var dev *driver.Device
 	var lastPt fault.Point
 	for attempt := 0; attempt < res.Attempts(); attempt++ {
+		if ctx.Err() != nil {
+			return nil, 0, 0, nil, cancelled(ctx)
+		}
 		d, err := driver.OpenBoardWithFaults(boardName, res.Injector("boot|"+scope, attempt))
 		if err == nil {
 			dev = d
@@ -169,6 +221,11 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 			}
 			var last fault.Point
 			for attempt := 0; attempt < res.Attempts(); attempt++ {
+				if ctx.Err() != nil {
+					// A cancelled parent must not spin the retry budget —
+					// abort the pass at the attempt boundary.
+					return nil, "", cancelled(ctx)
+				}
 				if attempt > 0 {
 					retries++
 				}
@@ -186,8 +243,8 @@ func collectBenchR(boardName string, b *workloads.Benchmark, seed int64, res *fa
 				if profiled {
 					dev.EnableProfiler()
 				}
-				ctx, cancel := res.LaunchContext(context.Background())
-				rr, err := dev.RunMeteredCtx(ctx, b.Name, kernels, hostGap, MinRunSeconds)
+				runCtx, cancel := res.LaunchContext(ctx)
+				rr, err := dev.RunMeteredCtx(runCtx, b.Name, kernels, hostGap, MinRunSeconds)
 				cancel()
 				if profiled {
 					dev.DisableProfiler()

@@ -22,6 +22,10 @@
 //     visible retry/classification machinery.
 //   - obscheck:     instrumentation spans that are never ended, and
 //     metric registration outside init functions and constructors.
+//   - sessioncheck: context.Context parameters that are accepted but
+//     never used (breaking the cancellation chain), and calls to the
+//     deprecated pre-session sweep/collect variants outside their
+//     defining packages.
 //
 // The framework is stdlib-only (go/ast, go/parser, go/types): the module
 // deliberately has an empty dependency set, so golang.org/x/tools is not
@@ -82,7 +86,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{UnitSafety, CounterClass, ErrCheck, Concurrency, FaultSafety, ObsCheck}
+	return []*Analyzer{UnitSafety, CounterClass, ErrCheck, Concurrency, FaultSafety, ObsCheck, SessionCheck}
 }
 
 // ByName returns the named analyzer, or nil.

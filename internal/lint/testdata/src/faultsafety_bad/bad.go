@@ -9,9 +9,9 @@ import (
 
 type dev struct{}
 
-func (d *dev) RunMeteredCtx(ctx context.Context, name string) error { return nil }
+func (d *dev) RunMeteredCtx(_ context.Context, name string) error { return nil }
 
-func (d *dev) LaunchCtx(ctx context.Context, name string) error { return nil }
+func (d *dev) LaunchCtx(_ context.Context, name string) error { return nil }
 
 func OpenBoardWithFaults(name string) (*dev, error) { return &dev{}, nil }
 

@@ -9,7 +9,7 @@ import (
 
 type dev struct{}
 
-func (d *dev) RunMeteredCtx(ctx context.Context, name string) error { return nil }
+func (d *dev) RunMeteredCtx(_ context.Context, name string) error { return nil }
 
 // PointOf stands in for the real fault.PointOf classifier.
 func PointOf(err error) (string, bool) { return "", err != nil }

@@ -1,0 +1,40 @@
+// Package sessioncheck_bad is a lint fixture: every line marked with a
+// want comment must be flagged by the sessioncheck analyzer.
+package sessioncheck_bad
+
+import "context"
+
+// Local package-level mocks of the deprecated campaign variants; the
+// fixture package is not their defining package, so calls are flagged.
+func SweepBoardParallel(board string, seed int64, workers int) error { return nil }
+func Table4Workers(seed int64, workers int) error                    { return nil }
+func CollectParallel(board string, seed int64, workers int) error    { return nil }
+
+func run() error { return nil }
+
+// The context is accepted and silently dropped: a cancel upstream never
+// reaches run.
+func dropped(ctx context.Context, board string) error { // want:sessioncheck "never used"
+	return run()
+}
+
+// Dropping it in a method breaks the chain just the same.
+type campaign struct{}
+
+func (c *campaign) sweep(ctx context.Context) error { // want:sessioncheck "never used"
+	return run()
+}
+
+// Calls to the deprecated pre-session variants outside their defining
+// package must migrate to the unified engines.
+func legacySweep() error {
+	return SweepBoardParallel("GTX 480", 42, 4) // want:sessioncheck "deprecated"
+}
+
+func legacyTable4() error {
+	return Table4Workers(42, 4) // want:sessioncheck "deprecated"
+}
+
+func legacyCollect() error {
+	return CollectParallel("GTX 480", 42, 4) // want:sessioncheck "deprecated"
+}

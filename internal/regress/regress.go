@@ -6,6 +6,7 @@
 package regress
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -189,6 +190,14 @@ var ErrNoUsableVariables = errors.New("regress: no usable variables")
 // column index. The reported Fit is refit by QR on the selected subset
 // for full numerical accuracy.
 func ForwardSelect(x [][]float64, y []float64, maxVars int) (*Selection, error) {
+	return ForwardSelectCtx(context.Background(), x, y, maxVars)
+}
+
+// ForwardSelectCtx is ForwardSelect with cooperative cancellation: the
+// context is checked before each selection step (one step is a full
+// O(p·n) candidate scan), so a cancelled training run stops at a step
+// boundary and returns the cause wrapped in the error.
+func ForwardSelectCtx(ctx context.Context, x [][]float64, y []float64, maxVars int) (*Selection, error) {
 	if maxVars <= 0 {
 		return nil, fmt.Errorf("regress: ForwardSelect: maxVars = %d", maxVars)
 	}
@@ -246,6 +255,9 @@ func ForwardSelect(x [][]float64, y []float64, maxVars int) (*Selection, error) 
 	sel := &Selection{}
 	used := make([]bool, p)
 	for len(sel.Indices) < maxVars && len(sel.Indices) < p {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("regress: forward selection cancelled: %w", context.Cause(ctx))
+		}
 		k := len(sel.Indices)
 		if n <= k+2 {
 			break // one more variable would exhaust the observations

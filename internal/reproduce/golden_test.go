@@ -1,0 +1,57 @@
+// The golden test lives in an external test package: it drives the
+// session layer, which itself imports reproduce.
+package reproduce_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"gpuperf/internal/reproduce"
+	"gpuperf/internal/session"
+)
+
+// stripElapsed removes the wall-clock line, the only nondeterministic
+// byte range in a report.
+func stripElapsed(s string) string {
+	lines := strings.Split(s, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(l, "reproduction completed in ") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestPaperQuickGolden pins the seed-42 quick report to the golden file
+// captured before the session refactor: the Session-driven engine must
+// reproduce the pre-refactor byte stream exactly, at the default worker
+// count and at the sequential reference.
+func TestPaperQuickGolden(t *testing.T) {
+	golden, err := os.ReadFile("testdata/paper-quick-seed42.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1} {
+		s, err := session.New(session.WithSeed(42), session.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, err = s.Reproduce(context.Background(), &buf, reproduce.Quick)
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := stripElapsed(buf.String()); got != string(golden) {
+			t.Fatalf("workers=%d: quick report diverged from the pre-refactor golden (len %d vs %d)",
+				workers, len(got), len(golden))
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package reproduce
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -68,6 +69,11 @@ type Options struct {
 	// Checkpoint, when set, journals completed sweep cells to this path
 	// and resumes from it, so a killed run repays only unfinished cells.
 	Checkpoint string
+	// Journal, when non-nil, is a pre-opened checkpoint journal the run
+	// uses instead of opening Checkpoint itself. The caller keeps
+	// ownership and must Close it — session.Session hands its journal in
+	// here so the file is opened exactly once per session.
+	Journal *characterize.Journal
 
 	// Obs, when non-nil, records the campaign: spans and events on the
 	// deterministic virtual clock plus the full metric set (driver, meter,
@@ -102,25 +108,36 @@ func DefaultOptions() Options {
 	}
 }
 
+// Quick trims an Options to the characterization sections only — the
+// CLI "-quick" toggle, shared by the command front ends and
+// session.Session.Reproduce tweaks.
+func Quick(o *Options) {
+	o.Modeling = false
+	o.Ablations = false
+	o.FutureWork = false
+	o.SelfCheck = false
+}
+
 // harness bundles the fault campaign's runtime state: the retry policy the
 // resilient sweeps use, the checkpoint journal, and the degradation
 // bookkeeping the summary section renders.
 type harness struct {
-	use      bool
-	res      *fault.Resilience
-	journal  *characterize.Journal
-	degraded []characterize.Degradation
-	dropped  map[string][]core.DroppedBench
-	retries  int
+	use        bool
+	res        *fault.Resilience
+	journal    *characterize.Journal
+	ownJournal bool // opened here (Checkpoint) vs lent by the caller (Journal)
+	degraded   []characterize.Degradation
+	dropped    map[string][]core.DroppedBench
+	retries    int
 }
 
 // newHarness resolves the fault/checkpoint/observability options. The
-// harness engages when a fault profile, a checkpoint path or a recorder is
-// configured; a checkpoint or recorder without faults runs a fault-free
-// campaign through the same code path.
+// harness engages when a fault profile, a checkpoint path or journal, or a
+// recorder is configured; a checkpoint or recorder without faults runs a
+// fault-free campaign through the same code path.
 func newHarness(opts Options) (*harness, error) {
 	h := &harness{dropped: map[string][]core.DroppedBench{}}
-	h.use = opts.Faults != nil || opts.Checkpoint != "" || opts.Obs != nil
+	h.use = opts.Faults != nil || opts.Checkpoint != "" || opts.Journal != nil || opts.Obs != nil
 	if !h.use {
 		return h, nil
 	}
@@ -131,7 +148,10 @@ func newHarness(opts Options) (*harness, error) {
 		Obs:           opts.Obs,
 	}
 	h.res.Observe()
-	if opts.Checkpoint != "" {
+	switch {
+	case opts.Journal != nil:
+		h.journal = opts.Journal
+	case opts.Checkpoint != "":
 		spec := ""
 		if opts.Faults != nil {
 			spec = opts.Faults.String()
@@ -141,14 +161,16 @@ func newHarness(opts Options) (*harness, error) {
 			return nil, err
 		}
 		h.journal = j
+		h.ownJournal = true
 	}
 	return h, nil
 }
 
 func (h *harness) close() {
-	if h.journal != nil {
+	if h.journal != nil && h.ownJournal {
 		// Every cell was already flushed by Record; a close error here
-		// cannot lose checkpoint data.
+		// cannot lose checkpoint data. A lent journal stays open — its
+		// owner closes it.
 		_ = h.journal.Close()
 	}
 }
@@ -188,6 +210,16 @@ type Result struct {
 
 // Run executes the configured sections, writing the report to w.
 func Run(opts Options, w io.Writer) (*Result, error) {
+	return RunContext(context.Background(), opts, w)
+}
+
+// RunContext is Run with cooperative cancellation threaded through every
+// section: sweeps and collections stop within one cell of the cancel,
+// model training stops at a selection-step boundary, and the returned
+// error wraps the context's cause. A configured checkpoint journal is
+// left resumable — a rerun replays the completed cells and produces a
+// byte-identical report.
+func RunContext(ctx context.Context, opts Options, w io.Writer) (*Result, error) {
 	start := time.Now()
 	if opts.MaxVars <= 0 {
 		opts.MaxVars = core.MaxVariables
@@ -228,25 +260,25 @@ func Run(opts Options, w io.Writer) (*Result, error) {
 	}
 
 	if opts.Characterization {
-		if err := runCharacterization(opts, boards, h, res, w); err != nil {
+		if err := runCharacterization(ctx, opts, boards, h, res, w); err != nil {
 			return nil, err
 		}
 	}
 
 	if opts.Modeling {
-		if err := runModeling(opts, boards, h, res, w); err != nil {
+		if err := runModeling(ctx, opts, boards, h, res, w); err != nil {
 			return nil, err
 		}
 	}
 
 	if opts.Ablations {
-		if err := runAblations(opts, w); err != nil {
+		if err := runAblations(ctx, opts, w); err != nil {
 			return nil, err
 		}
 	}
 
 	if opts.FutureWork {
-		if err := runFutureWork(opts, w); err != nil {
+		if err := runFutureWork(ctx, opts, w); err != nil {
 			return nil, err
 		}
 	}
@@ -351,7 +383,7 @@ func resolveBoards(names []string) ([]*arch.Spec, error) {
 	return out, nil
 }
 
-func runCharacterization(opts Options, boards []*arch.Spec, h *harness, res *Result, w io.Writer) error {
+func runCharacterization(ctx context.Context, opts Options, boards []*arch.Spec, h *harness, res *Result, w io.Writer) error {
 	fmt.Fprintln(w, "== Section III — power and performance characterization ==")
 	fmt.Fprintln(w)
 
@@ -360,15 +392,14 @@ func runCharacterization(opts Options, boards []*arch.Spec, h *harness, res *Res
 		boardNames[i] = spec.Name
 	}
 
-	// sweep routes through the resilient harness when a campaign is
-	// configured; otherwise it is the plain sweep. The track prefix keys
-	// the phase's virtual timelines ("1.fig", "2.table4" — the numbers
-	// make the sorted export layout follow campaign order).
+	// Every configuration — plain, fault campaign, checkpointed, observed —
+	// routes through the one unified engine; a fault-free sweep is its
+	// nil-Resilience configuration and byte-identical to the historical
+	// plain path. The track prefix keys the phase's virtual timelines
+	// ("1.fig", "2.table4" — the numbers make the sorted export layout
+	// follow campaign order).
 	sweep := func(prefix string, benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
-		if !h.use {
-			return characterize.SweepBoards(boardNames, benches, opts.Seed, opts.workers())
-		}
-		out, err := characterize.SweepBoardsR(boardNames, benches, characterize.SweepOptions{
+		out, err := characterize.Sweep(ctx, boardNames, benches, characterize.SweepOptions{
 			Seed:        opts.Seed,
 			Workers:     opts.workers(),
 			Res:         h.res,
@@ -376,7 +407,7 @@ func runCharacterization(opts Options, boards []*arch.Spec, h *harness, res *Res
 			Obs:         opts.Obs,
 			TrackPrefix: prefix,
 		})
-		if err == nil {
+		if err == nil && h.use {
 			h.note(out)
 		}
 		return out, err
@@ -437,7 +468,7 @@ func runCharacterization(opts Options, boards []*arch.Spec, h *harness, res *Res
 	return nil
 }
 
-func runModeling(opts Options, boards []*arch.Spec, h *harness, res *Result, w io.Writer) error {
+func runModeling(ctx context.Context, opts Options, boards []*arch.Spec, h *harness, res *Result, w io.Writer) error {
 	fmt.Fprintln(w, "== Section IV — statistical modeling ==")
 	fmt.Fprintln(w)
 
@@ -447,13 +478,8 @@ func runModeling(opts Options, boards []*arch.Spec, h *harness, res *Result, w i
 	datasets := map[string]*core.Dataset{}
 
 	for _, spec := range boards {
-		var ds *core.Dataset
-		var err error
-		if h.use {
-			ds, err = core.CollectResilient(spec.Name, workloads.ModelingSet(), opts.Seed, opts.workers(), h.res)
-		} else {
-			ds, err = core.CollectParallel(spec.Name, workloads.ModelingSet(), opts.Seed, opts.workers())
-		}
+		ds, err := core.CollectCtx(ctx, spec.Name, workloads.ModelingSet(),
+			core.CollectOptions{Seed: opts.Seed, Workers: opts.workers(), Res: h.res})
 		if err != nil {
 			return err
 		}
@@ -473,11 +499,11 @@ func runModeling(opts Options, boards []*arch.Spec, h *harness, res *Result, w i
 				continue
 			}
 		}
-		pm, err := core.Train(ds, core.Power, opts.MaxVars)
+		pm, err := core.TrainCtx(ctx, ds, core.Power, opts.MaxVars)
 		if err != nil {
 			return err
 		}
-		tm, err := core.Train(ds, core.Time, opts.MaxVars)
+		tm, err := core.TrainCtx(ctx, ds, core.Time, opts.MaxVars)
 		if err != nil {
 			return err
 		}
@@ -563,12 +589,12 @@ func runModeling(opts Options, boards []*arch.Spec, h *harness, res *Result, w i
 	return nil
 }
 
-func runAblations(opts Options, w io.Writer) error {
+func runAblations(ctx context.Context, opts Options, w io.Writer) error {
 	fmt.Fprintln(w, "== Ablations (DESIGN.md §6) ==")
 	fmt.Fprintln(w)
 
 	// Voltage-flat Kepler.
-	normal, err := sweepImprovement(arch.GTX680(), "backprop", opts.Seed)
+	normal, err := sweepImprovement(ctx, arch.GTX680(), "backprop", opts.Seed)
 	if err != nil {
 		return err
 	}
@@ -576,7 +602,7 @@ func runAblations(opts Options, w io.Writer) error {
 	flat.CoreVoltLow = flat.CoreVoltHigh
 	flat.MemVoltLow = flat.MemVoltHigh
 	flat.VoltExponent = 1
-	flatImp, err := sweepImprovement(flat, "backprop", opts.Seed)
+	flatImp, err := sweepImprovement(ctx, flat, "backprop", opts.Seed)
 	if err != nil {
 		return err
 	}
@@ -585,12 +611,14 @@ func runAblations(opts Options, w io.Writer) error {
 
 	// Clock-blind (naive) power model. The collect is a byte-identical
 	// repeat of the modeling section's, so with the shared launch cache
-	// warm it re-simulates nothing.
-	ds, err := core.CollectParallel("GTX 680", workloads.ModelingSet(), opts.Seed, opts.workers())
+	// warm it re-simulates nothing. Ablations always run fault-free — they
+	// are mechanism probes, not measurement campaigns.
+	ds, err := core.CollectCtx(ctx, "GTX 680", workloads.ModelingSet(),
+		core.CollectOptions{Seed: opts.Seed, Workers: opts.workers()})
 	if err != nil {
 		return err
 	}
-	um, err := core.Train(ds, core.Power, opts.MaxVars)
+	um, err := core.TrainCtx(ctx, ds, core.Power, opts.MaxVars)
 	if err != nil {
 		return err
 	}
@@ -604,7 +632,7 @@ func runAblations(opts Options, w io.Writer) error {
 	return nil
 }
 
-func runFutureWork(opts Options, w io.Writer) error {
+func runFutureWork(ctx context.Context, opts Options, w io.Writer) error {
 	fmt.Fprintln(w, "== Future work — AMD Radeon (GCN) ==")
 	fmt.Fprintln(w)
 	spec := arch.RadeonHD7970()
@@ -616,7 +644,7 @@ func runFutureWork(opts Options, w io.Writer) error {
 	fmt.Fprintf(w, "board: %s (%s), %d stream processors, %d-counter profiler set\n",
 		spec.Name, spec.Generation, spec.TotalCores(), dev.CounterSet().Len())
 	for _, bench := range []string{"backprop", "streamcluster", "gaussian"} {
-		sw, err := characterize.SweepBenchmark(dev, workloads.ByName(bench))
+		sw, err := characterize.SweepBenchmarkCtx(ctx, dev, workloads.ByName(bench))
 		if err != nil {
 			return err
 		}
@@ -627,13 +655,13 @@ func runFutureWork(opts Options, w io.Writer) error {
 	return nil
 }
 
-func sweepImprovement(spec *arch.Spec, bench string, seed int64) (float64, error) {
+func sweepImprovement(ctx context.Context, spec *arch.Spec, bench string, seed int64) (float64, error) {
 	dev, err := driver.OpenSpec(spec)
 	if err != nil {
 		return 0, err
 	}
 	dev.Seed(seed)
-	r, err := characterize.SweepBenchmark(dev, workloads.ByName(bench))
+	r, err := characterize.SweepBenchmarkCtx(ctx, dev, workloads.ByName(bench))
 	if err != nil {
 		return 0, err
 	}

@@ -7,6 +7,7 @@
 package selfcheck
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -140,7 +141,8 @@ func Run(seed int64) []Result {
 	for _, n := range []string{"sgemm", "lbm", "gaussian", "spmv"} {
 		small = append(small, workloads.ByName(n))
 	}
-	ds, err := core.Collect("GTX 680", small, seed)
+	ds, err := core.CollectCtx(context.Background(), "GTX 680", small,
+		core.CollectOptions{Seed: seed, Workers: 1})
 	if err != nil {
 		add("models-train", false, "%v", err)
 		return out

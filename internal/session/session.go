@@ -1,0 +1,355 @@
+// Package session is the campaign engine's front door: one Session owns
+// the full measurement-stack construction — board resolution, the fault
+// retry policy, the checkpoint journal, the launch-cache mode, the
+// observability recorder — and exposes the context-aware campaign
+// methods (Sweep, Collect, Model, Reproduce) every front end drives.
+//
+// The CLI commands build a Session from their shared flag block
+// (internal/cliflags) and the root package re-exports it as
+// gpuperf.Session; a future serving layer would hold many of them, one
+// per concurrent campaign.
+//
+// Construction graph and ownership:
+//
+//	Config ──► New ──► Session
+//	                    ├── boards    resolved arch.Specs (validated once)
+//	                    ├── res       *fault.Resilience — campaign, retry
+//	                    │             budget, watchdog, obs hook (nil when
+//	                    │             no faults/checkpoint/obs configured)
+//	                    ├── journal   *characterize.Journal — opened from
+//	                    │             Config.Checkpoint, closed by Close
+//	                    └── cache     launch-cache mode, pushed at New and
+//	                                  restored by Close
+//
+// Everything a Session builds it also owns: Close releases the journal
+// and the cache toggle exactly once, and the campaign methods only
+// borrow. reproduce.RunContext receives the session's journal through
+// reproduce.Options.Journal precisely so the file is never double-opened.
+//
+// Cancellation contract: every campaign method takes a context and
+// checks it at cell boundaries — one (board, benchmark, pair)
+// measurement for sweeps, one profiling/observation pass for collects,
+// one forward-selection step for training. A single CancelFunc therefore
+// aborts a full multi-board campaign within one in-flight cell per
+// worker; the error wraps context.Cause(ctx), and a configured journal
+// is left resumable — rerunning the same Session configuration replays
+// the completed cells and yields byte-identical results.
+package session
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/characterize"
+	"gpuperf/internal/core"
+	"gpuperf/internal/driver"
+	"gpuperf/internal/fault"
+	"gpuperf/internal/obs"
+	"gpuperf/internal/reproduce"
+	"gpuperf/internal/workloads"
+)
+
+// Config is the single knob set every campaign front end shares. The
+// zero value is not ready to use — build one with DefaultConfig (or New,
+// which applies the functional options on top of the defaults).
+type Config struct {
+	// Seed drives every noise and fault stream; campaigns are a pure
+	// function of it.
+	Seed int64
+	// Workers bounds the sweep/collect pools (0 or negative means
+	// GOMAXPROCS); 1 is the bit-exact sequential reference and the output
+	// is identical at any width.
+	Workers int
+	// Boards restricts the campaign (empty: the paper's four boards).
+	Boards []string
+	// MaxVars caps the models' explanatory variables (0: the paper's 10).
+	MaxVars int
+
+	// Faults, when non-nil, runs campaigns under fault injection with
+	// MaxRetries/LaunchTimeout as the retry/watchdog policy.
+	Faults        *fault.Profile
+	MaxRetries    int
+	LaunchTimeout time.Duration
+	// Checkpoint, when set, journals completed sweep cells to this path
+	// and resumes from it.
+	Checkpoint string
+	// Obs, when non-nil, records spans, events and metrics for the whole
+	// session.
+	Obs *obs.Recorder
+	// Cache enables launch memoization (DefaultConfig turns it on; false
+	// is the uncached reference mode — output is identical either way).
+	Cache bool
+	// ArtifactsDir, when set, receives Reproduce's per-table/figure files.
+	ArtifactsDir string
+}
+
+// DefaultConfig mirrors the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          42,
+		Workers:       runtime.GOMAXPROCS(0),
+		MaxVars:       core.MaxVariables,
+		MaxRetries:    fault.DefaultMaxRetries,
+		LaunchTimeout: fault.DefaultLaunchTimeout,
+		Cache:         true,
+	}
+}
+
+// Option mutates a Config during New.
+type Option func(*Config)
+
+// WithSeed sets the campaign seed.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithWorkers bounds the worker pools; 1 is the bit-exact sequential
+// reference (results are identical at any width).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithBoards restricts the session to the named boards.
+func WithBoards(names ...string) Option {
+	return func(c *Config) { c.Boards = append([]string(nil), names...) }
+}
+
+// WithMaxVars caps the models' explanatory variables.
+func WithMaxVars(n int) Option { return func(c *Config) { c.MaxVars = n } }
+
+// WithFaults runs the session's campaigns under a fault-injection
+// profile.
+func WithFaults(p *fault.Profile) Option { return func(c *Config) { c.Faults = p } }
+
+// WithRetryPolicy sets the transient-fault retry budget and the per-run
+// watchdog deadline.
+func WithRetryPolicy(maxRetries int, launchTimeout time.Duration) Option {
+	return func(c *Config) {
+		c.MaxRetries = maxRetries
+		c.LaunchTimeout = launchTimeout
+	}
+}
+
+// WithCheckpoint journals completed sweep cells to path and resumes from
+// it.
+func WithCheckpoint(path string) Option { return func(c *Config) { c.Checkpoint = path } }
+
+// WithObs attaches an observability recorder to the session.
+func WithObs(rec *obs.Recorder) Option { return func(c *Config) { c.Obs = rec } }
+
+// WithCache toggles launch memoization (false is the uncached reference
+// mode; output is identical either way).
+func WithCache(enabled bool) Option { return func(c *Config) { c.Cache = enabled } }
+
+// WithArtifactsDir routes Reproduce's per-table/figure files to dir.
+func WithArtifactsDir(dir string) Option { return func(c *Config) { c.ArtifactsDir = dir } }
+
+// Session owns one campaign stack. Build with New, release with Close.
+// A Session is safe for concurrent campaign calls — the engines share no
+// mutable state beyond the session's own resilience policy and journal,
+// which are designed for pool-wide use.
+type Session struct {
+	cfg     Config
+	boards  []*arch.Spec
+	res     *fault.Resilience
+	journal *characterize.Journal
+
+	restoreCache func()
+	closed       bool
+}
+
+// New validates the options, resolves the board set, builds the fault
+// harness and journal, and pins the launch-cache mode. Callers must
+// Close the session to release the journal and restore the cache toggle.
+func New(options ...Option) (*Session, error) {
+	cfg := DefaultConfig()
+	for _, opt := range options {
+		opt(&cfg)
+	}
+	return Open(cfg)
+}
+
+// Open is New for callers that already hold a Config (the cliflags
+// translation path).
+func Open(cfg Config) (*Session, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxVars <= 0 {
+		cfg.MaxVars = core.MaxVariables
+	}
+	if err := fault.ValidateHarness(cfg.Workers, cfg.MaxRetries, cfg.LaunchTimeout); err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	boards, err := resolveBoards(cfg.Boards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{cfg: cfg, boards: boards}
+
+	// The harness engages when a fault profile, a checkpoint or a recorder
+	// is configured; a checkpoint or recorder without faults runs a
+	// fault-free campaign through the same engine configuration.
+	if cfg.Faults != nil || cfg.Checkpoint != "" || cfg.Obs != nil {
+		s.res = &fault.Resilience{
+			Campaign:      &fault.Campaign{Profile: cfg.Faults, Seed: cfg.Seed},
+			MaxRetries:    cfg.MaxRetries,
+			LaunchTimeout: cfg.LaunchTimeout,
+			Obs:           cfg.Obs,
+		}
+		s.res.Observe()
+	}
+	if cfg.Checkpoint != "" {
+		spec := ""
+		if cfg.Faults != nil {
+			spec = cfg.Faults.String()
+		}
+		j, err := characterize.OpenJournal(cfg.Checkpoint, cfg.Seed, spec)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+	}
+	s.restoreCache = driver.PushLaunchCachingEnabled(cfg.Cache)
+	return s, nil
+}
+
+func resolveBoards(names []string) ([]*arch.Spec, error) {
+	if len(names) == 0 {
+		return arch.AllBoards(), nil
+	}
+	out := make([]*arch.Spec, 0, len(names))
+	for _, n := range names {
+		spec := arch.BoardByName(n)
+		if spec == nil {
+			return nil, fmt.Errorf("session: unknown board %q", n)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// Close releases what New built: the checkpoint journal and the pinned
+// launch-cache mode. Safe to call more than once.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.journal != nil {
+		err = s.journal.Close()
+	}
+	if s.restoreCache != nil {
+		s.restoreCache()
+	}
+	return err
+}
+
+// Config returns a copy of the session's resolved configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Boards returns the session's resolved board specs, in campaign order.
+func (s *Session) Boards() []*arch.Spec {
+	return append([]*arch.Spec(nil), s.boards...)
+}
+
+// BoardNames returns the resolved board names, in campaign order.
+func (s *Session) BoardNames() []string {
+	names := make([]string, len(s.boards))
+	for i, spec := range s.boards {
+		names[i] = spec.Name
+	}
+	return names
+}
+
+// Journal exposes the session's checkpoint journal (nil when no
+// checkpoint is configured) — owned by the session; do not Close it.
+func (s *Session) Journal() *characterize.Journal { return s.journal }
+
+// sweepOptions assembles the engine options shared by every sweep.
+func (s *Session) sweepOptions(trackPrefix string) characterize.SweepOptions {
+	return characterize.SweepOptions{
+		Seed:        s.cfg.Seed,
+		Workers:     s.cfg.Workers,
+		Res:         s.res,
+		Journal:     s.journal,
+		Obs:         s.cfg.Obs,
+		TrackPrefix: trackPrefix,
+	}
+}
+
+// Sweep runs the benches over every session board through the unified
+// engine — one shared pool over (board, benchmark) jobs, results indexed
+// [board][benchmark]. Cancelling ctx aborts within one cell per worker.
+func (s *Session) Sweep(ctx context.Context, benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
+	return characterize.Sweep(ctx, s.BoardNames(), benches, s.sweepOptions(""))
+}
+
+// SweepBoard sweeps one board's benchmarks; the board need not be in the
+// session's resolved set.
+func (s *Session) SweepBoard(ctx context.Context, boardName string, benches []*workloads.Benchmark) ([]*characterize.BenchResult, error) {
+	m, err := characterize.Sweep(ctx, []string{boardName}, benches, s.sweepOptions(""))
+	if err != nil {
+		return nil, err
+	}
+	return m[boardName], nil
+}
+
+// Collect builds one board's modeling dataset through the unified
+// collection engine.
+func (s *Session) Collect(ctx context.Context, boardName string, benches []*workloads.Benchmark) (*core.Dataset, error) {
+	return core.CollectCtx(ctx, boardName, benches,
+		core.CollectOptions{Seed: s.cfg.Seed, Workers: s.cfg.Workers, Res: s.res})
+}
+
+// Model trains a unified power or time model over a dataset with the
+// session's variable cap, stopping at a selection-step boundary on
+// cancel.
+func (s *Session) Model(ctx context.Context, ds *core.Dataset, kind core.Kind) (*core.Model, error) {
+	return core.TrainCtx(ctx, ds, kind, s.cfg.MaxVars)
+}
+
+// Device opens one board wired with the session's seed, fault campaign
+// and recorder — the factory the interactive front ends (gpusim, sched)
+// use so their measurements share the campaign configuration.
+func (s *Session) Device(boardName string) (*driver.Device, error) {
+	dev, err := driver.OpenBoardWithFaults(boardName, s.res.Injector("device|"+boardName, 0))
+	if err != nil {
+		return nil, err
+	}
+	dev.Seed(s.cfg.Seed)
+	if s.cfg.Obs != nil {
+		dev.Observe(s.cfg.Obs, "device/"+boardName)
+	}
+	return dev, nil
+}
+
+// ReproduceOptions translates the session configuration into
+// reproduce.Options — every section on, the session's journal lent via
+// Options.Journal (reproduce then never reopens the checkpoint file).
+func (s *Session) ReproduceOptions() reproduce.Options {
+	opts := reproduce.DefaultOptions()
+	opts.Seed = s.cfg.Seed
+	opts.Workers = s.cfg.Workers
+	opts.Boards = s.cfg.Boards
+	opts.MaxVars = s.cfg.MaxVars
+	opts.ArtifactsDir = s.cfg.ArtifactsDir
+	opts.Faults = s.cfg.Faults
+	opts.MaxRetries = s.cfg.MaxRetries
+	opts.LaunchTimeout = s.cfg.LaunchTimeout
+	opts.Journal = s.journal
+	opts.Obs = s.cfg.Obs
+	return opts
+}
+
+// Reproduce runs the full paper reproduction under the session
+// configuration, writing the report to w. Tweaks adjust the section
+// toggles (e.g. cmd/paper's -quick) before the run starts.
+func (s *Session) Reproduce(ctx context.Context, w io.Writer, tweaks ...func(*reproduce.Options)) (*reproduce.Result, error) {
+	opts := s.ReproduceOptions()
+	for _, t := range tweaks {
+		t(&opts)
+	}
+	return reproduce.RunContext(ctx, opts, w)
+}

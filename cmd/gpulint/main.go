@@ -1,19 +1,21 @@
 // Command gpulint runs the project-specific static-analysis suite over
 // the module: unit safety of the MHz/Hz clock conventions, completeness
 // of the core-event/memory-event counter classification, error hygiene,
-// and concurrency hygiene. See internal/lint for the analyzer
-// rationale and docs/ARCHITECTURE.md for how to add a rule.
+// concurrency hygiene, and the cross-function determinism-taint pass
+// guarding the byte-identity contract. See internal/lint for the
+// analyzer rationale and docs/ARCHITECTURE.md for how to add a rule.
 //
 // Usage:
 //
-//	gpulint [-json] [-only analyzer[,analyzer]] [packages]
+//	gpulint [-json] [-why] [-only analyzer[,analyzer]] [packages]
 //
 // Packages default to ./... resolved against the enclosing module.
+// -why prints, under each interprocedural finding, the source→sink call
+// path that produced it (in -json mode it adds a "trace" field).
 // Exit status: 0 clean, 1 findings, 2 load or usage failure.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line (file, line, col, analyzer, message)")
+	why := flag.Bool("why", false, "print the source→sink call path under each interprocedural finding")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
@@ -75,24 +78,18 @@ func main() {
 	}
 	diags := lint.Run(pkgs, analyzers)
 
-	enc := json.NewEncoder(os.Stdout)
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(cwd, rel); err == nil && !strings.HasPrefix(r, "..") {
-			rel = r
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags, cwd, *why); err != nil {
+			fail(err)
 		}
-		if *jsonOut {
-			if err := enc.Encode(struct {
-				File     string `json:"file"`
-				Line     int    `json:"line"`
-				Col      int    `json:"col"`
-				Analyzer string `json:"analyzer"`
-				Message  string `json:"message"`
-			}{rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message}); err != nil {
-				fail(err)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			if *why {
+				for _, s := range d.Trace {
+					fmt.Printf("\t%s:%d:%d: %s\n", rel(cwd, s.Pos.Filename), s.Pos.Line, s.Pos.Column, s.Desc)
+				}
 			}
-		} else {
-			fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 		}
 	}
 	if len(diags) > 0 {
@@ -101,6 +98,14 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// rel shortens path relative to base when it stays inside base.
+func rel(base, path string) string {
+	if r, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
 }
 
 func fail(err error) {

@@ -158,6 +158,8 @@ func (j *Journal) Lookup(board, bench string, p clock.Pair) (PairResult, bool) {
 
 // Record appends a completed cell and syncs it to disk, so a crash at any
 // later point cannot lose it.
+//
+//gpulint:deterministic
 func (j *Journal) Record(board, bench string, r PairResult) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()

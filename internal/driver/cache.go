@@ -169,6 +169,7 @@ func (d *Device) DisableLaunchCache() {
 // modified specs (flattened voltage curves, disabled caches) that keep the
 // original name, and those must never share cache entries with the
 // unmodified board.
+//gpulint:deterministic
 func specFingerprint(spec *arch.Spec) uint64 {
 	h := fnv.New64a()
 	_, _ = fmt.Fprintf(h, "%+v", *spec) // fnv: hash.Hash.Write never errors

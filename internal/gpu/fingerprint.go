@@ -12,6 +12,8 @@ import (
 // simulator would treat them identically, which makes the fingerprint a
 // safe launch-cache key: the interval simulator is deterministic, so
 // (board spec, clock pair, kernel fingerprint) fully determines a launch.
+//
+//gpulint:deterministic
 func (k *KernelDesc) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte

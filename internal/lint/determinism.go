@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"fmt"
+)
+
+// Determinism is the cross-function determinism-taint pass guarding the
+// byte-identity contract: campaigns must be bit-identical at a fixed seed
+// across worker counts, fault profiles and checkpoint resumes, so nothing
+// nondeterministic may reach an artifact path.
+//
+// Sources (detected in function bodies):
+//
+//   - time.Now / time.Since / time.Until — wall clock;
+//   - global math/rand functions — process-shared generator, not derived
+//     from the campaign seed (methods on a seeded *rand.Rand are fine);
+//   - os.Getpid / os.Getppid / os.Hostname / os.Environ — process identity;
+//   - map range whose iteration order escapes into emitted bytes, a
+//     channel, or a slice that is never sorted in the same function;
+//   - select with two or more communication cases — the runtime picks
+//     among ready cases at random;
+//   - goroutine fan-in appended in arrival order (a `go` inside a loop
+//     plus append(s, <-ch)) with no index-ordered merge.
+//
+// Sinks are the artifact entry points of the byte-identity contract —
+// obs exposition writers, trace/report/reproduce artifact writers, the
+// checkpoint journal codec, and fingerprint/cache-key constructors —
+// plus everything reachable from them through the static call graph
+// (see sinkRole in callgraph.go for the exact table). A diagnostic fires
+// at each source whose enclosing function is inside a sink's call cone;
+// gpulint -why prints the full source→sink call path.
+//
+// Calls through function values and interface methods are opaque to the
+// graph and assumed deterministic; claim such boundaries explicitly with
+// a //gpulint:deterministic contract comment, which the detcontract
+// analyzer verifies rather than trusts.
+var Determinism = &Analyzer{
+	Name:      "determinism",
+	Doc:       "nondeterminism sources reaching artifact/export paths through the call graph",
+	RunModule: runDeterminism,
+}
+
+// DetContract verifies //gpulint:deterministic contract comments: a
+// function so annotated must have no nondeterminism source reachable
+// through its static call graph. The comment is a checked claim, not a
+// suppression — an annotated function that goes nondeterministic three
+// refactors later fails the build, unlike a //gpulint:ignore which would
+// silently keep suppressing.
+var DetContract = &Analyzer{
+	Name:      "detcontract",
+	Doc:       "//gpulint:deterministic contract comments whose function is actually nondeterministic",
+	RunModule: runDetContract,
+}
+
+func runDeterminism(mp *ModulePass) {
+	f := mp.detFacts()
+	for _, fn := range f.cg.Order {
+		node := f.cg.Nodes[fn]
+		s, reachable := f.sink[fn]
+		if !reachable || len(node.Sources) == 0 {
+			continue
+		}
+		base := f.sinkTrace(fn)
+		for _, src := range node.Sources {
+			where := "inside it"
+			if s.hops == 1 {
+				where = "one call hop below it"
+			} else if s.hops > 1 {
+				where = fmt.Sprintf("%d call hops below it", s.hops)
+			}
+			trace := append(append([]TraceStep{}, base...), TraceStep{
+				Pos:  node.Pkg.Fset.Position(src.Pos),
+				Desc: fmt.Sprintf("source: %s in %s", src.Desc, displayName(fn)),
+			})
+			mp.report(node.Pkg, src.Pos, trace,
+				fmt.Sprintf("nondeterministic %s reaches %s (%s) %s, breaking byte-identity; sort/seed/order it or acknowledge with //gpulint:ignore determinism",
+					src.Want, displayName(s.root), s.role, where))
+		}
+	}
+}
+
+func runDetContract(mp *ModulePass) {
+	f := mp.detFacts()
+	for _, fn := range f.cg.Order {
+		node := f.cg.Nodes[fn]
+		if node.Contract == 0 {
+			continue
+		}
+		t, tainted := f.taint[fn]
+		if !tainted {
+			continue
+		}
+		depth := "directly"
+		if t.hops > 0 {
+			depth = fmt.Sprintf("through %d call hops", t.hops)
+		}
+		mp.report(node.Pkg, node.Decl.Pos(), f.taintTrace(fn),
+			fmt.Sprintf("%s is declared deterministic but reaches %s %s; fix the source or drop the //gpulint:deterministic contract",
+				displayName(fn), t.src.Desc, depth))
+	}
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDeterminismWhyTrace is the acceptance-critical case for -why: the
+// time.Now finding in the determinism_bad fixture must carry a complete
+// source→sink call path — sink root first, one step per call hop, the
+// source last — exactly what gpulint -why prints.
+func TestDeterminismWhyTrace(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "determinism_bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []*Analyzer{Determinism})
+	var found *Diagnostic
+	for i := range diags {
+		if strings.Contains(diags[i].Message, "time.Now") {
+			found = &diags[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("no time.Now finding in determinism_bad; got %v", diags)
+	}
+	// WriteReport -> stamp -> sample: sink step, two call hops, source.
+	if len(found.Trace) != 4 {
+		t.Fatalf("want a 4-step trace (sink, 2 hops, source), got %d: %v", len(found.Trace), found.Trace)
+	}
+	if !strings.Contains(found.Trace[0].Desc, "sink") || !strings.Contains(found.Trace[0].Desc, "WriteReport") {
+		t.Errorf("trace must start at the sink root: %q", found.Trace[0].Desc)
+	}
+	for _, hop := range found.Trace[1 : len(found.Trace)-1] {
+		if !strings.Contains(hop.Desc, "calls") {
+			t.Errorf("intermediate trace step is not a call hop: %q", hop.Desc)
+		}
+	}
+	last := found.Trace[len(found.Trace)-1]
+	if !strings.Contains(last.Desc, "source:") || !strings.Contains(last.Desc, "time.Now") {
+		t.Errorf("trace must end at the source: %q", last.Desc)
+	}
+	if last.Pos != found.Pos {
+		t.Errorf("source step position %v differs from the diagnostic position %v", last.Pos, found.Pos)
+	}
+}
+
+// TestDeterminismContractBarrier: the detcontract analyzer must verify,
+// not trust — the annotated function in detcontract_bad reaches a clock
+// through a callee and must be flagged, while both annotated functions in
+// detcontract_ok hold and stay silent. (The fixture suite covers the
+// same ground; this pins the analyzer subset in isolation.)
+func TestDeterminismContractBarrier(t *testing.T) {
+	bad, err := Load(filepath.Join("testdata", "src", "detcontract_bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(bad, []*Analyzer{DetContract})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "declared deterministic") {
+		t.Fatalf("want exactly one contract violation, got %v", diags)
+	}
+	if len(diags[0].Trace) == 0 {
+		t.Error("contract violation carries no -why trace")
+	}
+	ok, err := Load(filepath.Join("testdata", "src", "detcontract_ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(ok, []*Analyzer{DetContract}); len(diags) != 0 {
+		t.Fatalf("verified-clean contracts must not be flagged: %v", diags)
+	}
+}
+
+// TestJSONGolden pins the gpulint -json -why byte stream over the
+// determinism_bad fixture: two consecutive runs must encode to identical
+// bytes (stable sort + dedup), and those bytes must match the checked-in
+// golden. Regenerate with: go test ./internal/lint -run JSONGolden -update
+func TestJSONGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "determinism_bad")
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs [2]bytes.Buffer
+	for i := range runs {
+		pkgs, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&runs[i], Run(pkgs, All()), abs, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(runs[0].Bytes(), runs[1].Bytes()) {
+		t.Fatal("gpulint -json output is not byte-stable across runs")
+	}
+
+	golden := filepath.Join("testdata", "golden", "determinism_bad.jsonl")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, runs[0].Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(runs[0].Bytes(), want) {
+		t.Errorf("gpulint -json output drifted from the golden; diff or regenerate with -update\ngot:\n%swant:\n%s", runs[0].Bytes(), want)
+	}
+}
+
+// TestStaleIgnoreScoping: a directive is only judged stale when every
+// analyzer it names actually ran — `-only unitsafety` must not declare an
+// errcheck suppression dead.
+func TestStaleIgnoreScoping(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "staleignore_bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// errcheck did not run: the unused errcheck directive is out of scope,
+	// but the unknown-analyzer directive is always reported.
+	diags := Run(pkgs, []*Analyzer{UnitSafety, StaleIgnore})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppressed nothing") {
+			t.Errorf("errcheck directive judged stale without errcheck running: %s", d)
+		}
+	}
+	unknown := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unknown analyzer") {
+			unknown++
+		}
+	}
+	if unknown != 1 {
+		t.Errorf("want exactly one unknown-analyzer report, got %d in %v", unknown, diags)
+	}
+	// Without StaleIgnore in the set, the audit must not run at all.
+	if diags := Run(pkgs, []*Analyzer{UnitSafety}); len(diags) != 0 {
+		t.Errorf("audit ran without the staleignore analyzer: %v", diags)
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// jsonDiag is the wire form of one diagnostic: fixed field order, one
+// object per line. cmd/gpulint and the golden byte-stability test share
+// this encoder so the pinned bytes are the shipped bytes.
+type jsonDiag struct {
+	File     string      `json:"file"`
+	Line     int         `json:"line"`
+	Col      int         `json:"col"`
+	Analyzer string      `json:"analyzer"`
+	Message  string      `json:"message"`
+	Trace    []jsonTrace `json:"trace,omitempty"`
+}
+
+type jsonTrace struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Desc string `json:"desc"`
+}
+
+// relTo shortens path relative to base when it stays inside base.
+func relTo(base, path string) string {
+	if base == "" {
+		return path
+	}
+	if r, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}
+
+// WriteJSON writes diags as JSONL: one object per diagnostic, fields in
+// fixed order, file paths relative to base where possible. Traces are
+// included only when withTrace is set (gpulint -why). Run already sorts
+// and dedups, so for a given tree the bytes are stable run-to-run.
+func WriteJSON(w io.Writer, diags []Diagnostic, base string, withTrace bool) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		jd := jsonDiag{
+			File:     relTo(base, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if withTrace {
+			for _, s := range d.Trace {
+				jd.Trace = append(jd.Trace, jsonTrace{
+					File: relTo(base, s.Pos.Filename),
+					Line: s.Pos.Line,
+					Col:  s.Pos.Column,
+					Desc: s.Desc,
+				})
+			}
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -26,17 +26,32 @@
 //     never used (breaking the cancellation chain), and calls to the
 //     deprecated pre-session sweep/collect variants outside their
 //     defining packages.
+//   - determinism:  cross-function taint pass — nondeterminism sources
+//     (wall clock, global math/rand, map iteration order, select races,
+//     unordered goroutine fan-in) reaching the byte-identity artifact
+//     paths through the module call graph (callgraph.go).
+//   - detcontract:  //gpulint:deterministic contract comments verified
+//     against the same call-graph taint, so a claim of determinism is
+//     checked, never trusted.
+//   - staleignore:  //gpulint:ignore directives that suppressed nothing
+//     in this run — dead suppressions rot silently otherwise.
 //
 // The framework is stdlib-only (go/ast, go/parser, go/types): the module
 // deliberately has an empty dependency set, so golang.org/x/tools is not
 // available. Packages are loaded and type-checked by the loader in
-// load.go; analyzers receive fully type-checked syntax.
+// load.go; analyzers receive fully type-checked syntax. Most analyzers
+// inspect one package at a time (Analyzer.Run); the determinism family
+// runs once over the whole package set (Analyzer.RunModule) on top of a
+// shared call graph.
 //
 // A finding can be acknowledged in place with a trailing line comment
 //
 //	//gpulint:ignore <analyzer>[,<analyzer>...] -- reason
 //
 // which suppresses diagnostics from the named analyzers on that line.
+// The staleignore pseudo-analyzer audits these: a directive that
+// suppressed nothing (judged only when every analyzer it names actually
+// ran) is itself reported.
 package lint
 
 import (
@@ -47,11 +62,21 @@ import (
 	"strings"
 )
 
-// Diagnostic is one analyzer finding at one source position.
+// TraceStep is one hop of a -why explanation: a position plus what
+// happens there ("sink X", "f calls g", "source: time.Now() in h").
+type TraceStep struct {
+	Pos  token.Position
+	Desc string
+}
+
+// Diagnostic is one analyzer finding at one source position. Trace, when
+// non-empty, carries the source→sink call path behind an interprocedural
+// finding (printed by gpulint -why).
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Trace    []TraceStep
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
@@ -59,12 +84,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named rule. Run inspects the package held by the Pass
-// and reports findings through it.
+// Analyzer is one named rule. Exactly one of Run and RunModule is set
+// (except for staleignore, which the framework implements itself): Run
+// inspects one package at a time, RunModule runs once over the whole
+// loaded package set with the shared call-graph facts.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one (analyzer, package) pairing through a run.
@@ -84,9 +112,43 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// ModulePass carries one module-level analyzer across the whole package
+// set. The determinism facts (call graph, taint, sink reachability) are
+// computed once and shared by every module analyzer in the run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+	facts *detFacts
+}
+
+// detFacts returns the shared determinism analyses, computing them on
+// first use.
+func (p *ModulePass) detFacts() *detFacts {
+	if p.facts == nil {
+		p.facts = computeDetFacts(p.Pkgs)
+	}
+	return p.facts
+}
+
+// report records a finding at pos (resolved through pkg's file set) with
+// an optional -why trace.
+func (p *ModulePass) report(pkg *Package, pos token.Pos, trace []TraceStep, msg string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  msg,
+		Trace:    trace,
+	})
+}
+
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{UnitSafety, CounterClass, ErrCheck, Concurrency, FaultSafety, ObsCheck, SessionCheck}
+	return []*Analyzer{
+		UnitSafety, CounterClass, ErrCheck, Concurrency, FaultSafety,
+		ObsCheck, SessionCheck, Determinism, DetContract, StaleIgnore,
+	}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -100,24 +162,42 @@ func ByName(name string) *Analyzer {
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// diagnostics sorted by file, line and column. Findings on lines carrying
-// a matching //gpulint:ignore directive are dropped.
+// diagnostics sorted by file, line, column, analyzer and message, with
+// exact duplicates removed — the output is byte-stable run-to-run.
+// Findings on lines carrying a matching //gpulint:ignore directive are
+// dropped; if the staleignore analyzer is in the set, directives that
+// suppressed nothing (and whose analyzers all ran) are reported.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := ignoreDirectives(pkg)
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
-			a.Run(pass)
-		}
-		for _, d := range pkgDiags {
-			if ignores.covers(d) {
-				continue
+	var raw []Diagnostic
+	mp := &ModulePass{Pkgs: pkgs, diags: &raw}
+	for _, a := range analyzers {
+		switch {
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+				a.Run(pass)
 			}
-			diags = append(diags, d)
+		case a.RunModule != nil:
+			mp.Analyzer = a
+			a.RunModule(mp)
 		}
 	}
+
+	ignores := collectIgnores(pkgs)
+	var diags []Diagnostic
+	for _, d := range raw {
+		if ignores.covers(d) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	for _, a := range analyzers {
+		if a == StaleIgnore {
+			diags = append(diags, ignores.stale(analyzers)...)
+			break
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -129,52 +209,161 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	// Dedup identical findings (same analyzer, position and message):
+	// overlapping patterns may report one site twice, and the JSON output
+	// is pinned byte-stable by a golden test.
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			prev := out[len(out)-1]
+			if prev.Analyzer == d.Analyzer && prev.Pos == d.Pos && prev.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
-// ignoreSet maps file:line to the analyzer names suppressed there
-// ("*" suppresses all).
-type ignoreSet map[string]map[string]bool
-
-func (s ignoreSet) covers(d Diagnostic) bool {
-	names := s[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
-	return names != nil && (names["*"] || names[d.Analyzer])
+// ignoreEntry is one //gpulint:ignore directive with use tracking.
+type ignoreEntry struct {
+	pos   token.Position
+	names map[string]bool // analyzer names; "*" suppresses all
+	list  string          // names as written, for the stale message
+	used  bool
 }
 
-// ignoreDirectives collects //gpulint:ignore directives from a package.
-func ignoreDirectives(pkg *Package) ignoreSet {
-	set := ignoreSet{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//gpulint:ignore")
-				if !ok {
-					continue
+// ignoreIndex maps file:line to the directive on that line.
+type ignoreIndex map[string]*ignoreEntry
+
+// covers reports whether d is suppressed, marking the directive used.
+func (idx ignoreIndex) covers(d Diagnostic) bool {
+	e := idx[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
+	if e == nil || !(e.names["*"] || e.names[d.Analyzer]) {
+		return false
+	}
+	e.used = true
+	return true
+}
+
+// stale returns a staleignore diagnostic for every directive that
+// suppressed nothing and is auditable under the analyzers that actually
+// ran: every analyzer the directive names must have been in the run (a
+// bare directive needs the full suite), so `gpulint -only unitsafety`
+// never declares an errcheck suppression dead. Directives naming an
+// analyzer that does not exist at all are always reported.
+func (idx ignoreIndex) stale(analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Run != nil || a.RunModule != nil {
+			ran[a.Name] = true
+		}
+	}
+	full := true
+	for _, a := range All() {
+		if (a.Run != nil || a.RunModule != nil) && !ran[a.Name] {
+			full = false
+		}
+	}
+
+	var entries []*ignoreEntry
+	for _, e := range idx {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].pos.Filename != entries[j].pos.Filename {
+			return entries[i].pos.Filename < entries[j].pos.Filename
+		}
+		return entries[i].pos.Line < entries[j].pos.Line
+	})
+
+	var out []Diagnostic
+	for _, e := range entries {
+		if e.used {
+			continue
+		}
+		var names []string
+		for name := range e.names {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		auditable := true
+		unknown := ""
+		for _, name := range names {
+			switch {
+			case name == "*":
+				auditable = auditable && full
+			case ByName(name) == nil:
+				if unknown == "" {
+					unknown = name
 				}
-				// Everything after "--" is a human-readable reason.
-				if i := strings.Index(text, "--"); i >= 0 {
-					text = text[:i]
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				names := set[key]
-				if names == nil {
-					names = map[string]bool{}
-					set[key] = names
-				}
-				fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
-				if len(fields) == 0 {
-					names["*"] = true
-				}
-				for _, n := range fields {
-					names[n] = true
+			case !ran[name]:
+				auditable = false
+			}
+		}
+		if unknown != "" {
+			out = append(out, Diagnostic{
+				Analyzer: StaleIgnore.Name,
+				Pos:      e.pos,
+				Message:  fmt.Sprintf("//gpulint:ignore names unknown analyzer %q (try gpulint -list); it can never suppress anything", unknown),
+			})
+			continue
+		}
+		if !auditable {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: StaleIgnore.Name,
+			Pos:      e.pos,
+			Message:  fmt.Sprintf("//gpulint:ignore %s suppressed nothing in this run; the violation it acknowledged is gone — remove the directive", e.list),
+		})
+	}
+	return out
+}
+
+// collectIgnores gathers //gpulint:ignore directives from every package.
+func collectIgnores(pkgs []*Package) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//gpulint:ignore")
+					if !ok {
+						continue
+					}
+					// Everything after "--" is a human-readable reason.
+					if i := strings.Index(text, "--"); i >= 0 {
+						text = text[:i]
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					e := idx[key]
+					if e == nil {
+						e = &ignoreEntry{pos: pos, names: map[string]bool{}}
+						idx[key] = e
+					}
+					fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+					if len(fields) == 0 {
+						e.names["*"] = true
+						e.list = "(all analyzers)"
+					}
+					for _, n := range fields {
+						e.names[n] = true
+					}
+					if len(fields) > 0 {
+						e.list = strings.Join(fields, ",")
+					}
 				}
 			}
 		}
 	}
-	return set
+	return idx
 }
 
 // enclosingFunc returns the innermost FuncDecl containing pos in file,

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAnalyzerFixtureCoverage is the fixture meta-test: every registered
+// analyzer must ship both an ok and a bad fixture package under
+// testdata/src, the bad fixture must carry at least one // want:<name>
+// expectation, and ok fixtures must be expectation-free (they assert
+// silence). TestFixtures then enforces the other half of the contract:
+// each expectation fires exactly once — a diagnostic with no expectation
+// and an expectation with no diagnostic both fail — so an analyzer can
+// neither lose its fixtures nor let them rot.
+func TestAnalyzerFixtureCoverage(t *testing.T) {
+	for _, a := range All() {
+		okDir := filepath.Join("testdata", "src", a.Name+"_ok")
+		badDir := filepath.Join("testdata", "src", a.Name+"_bad")
+
+		if fi, err := os.Stat(okDir); err != nil || !fi.IsDir() {
+			t.Errorf("%s: missing ok fixture package %s", a.Name, okDir)
+		} else {
+			for key, exps := range parseExpectations(t, okDir) {
+				for range exps {
+					t.Errorf("%s: ok fixture carries a want expectation at %s; ok fixtures assert silence", a.Name, key)
+				}
+			}
+		}
+
+		fi, err := os.Stat(badDir)
+		if err != nil || !fi.IsDir() {
+			t.Errorf("%s: missing bad fixture package %s", a.Name, badDir)
+			continue
+		}
+		n := 0
+		for _, exps := range parseExpectations(t, badDir) {
+			for _, exp := range exps {
+				if exp.analyzer == a.Name {
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			t.Errorf("%s: bad fixture has no // want:%s expectation; the analyzer is untested", a.Name, a.Name)
+		}
+	}
+}

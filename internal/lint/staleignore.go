@@ -1,0 +1,19 @@
+package lint
+
+// StaleIgnore audits the suppression mechanism itself. A
+// //gpulint:ignore directive is an acknowledgement of one concrete
+// finding; when the code it excused is later fixed or deleted, the
+// directive stays behind and silently suppresses the *next* violation
+// introduced on that line. This pseudo-analyzer reports every directive
+// that suppressed nothing in the current run, plus directives naming an
+// analyzer that does not exist (typos never suppress anything).
+//
+// It has no Run function: the framework implements it inside Run, where
+// the use-tracking of the ignore index lives. A directive is only judged
+// stale when every analyzer it names actually ran — a bare directive
+// (suppressing all analyzers) needs the full suite — so partial `-only`
+// runs never produce false stale reports.
+var StaleIgnore = &Analyzer{
+	Name: "staleignore",
+	Doc:  "//gpulint:ignore directives that suppressed nothing this run",
+}

@@ -1,0 +1,15 @@
+// Package detcontract_bad is a lint fixture: the function below claims
+// determinism but reaches a wall-clock read one call hop down, so the
+// contract verifier must flag the declaration.
+package detcontract_bad
+
+import "time"
+
+//gpulint:deterministic
+func Stamp() int64 { // want:detcontract "declared deterministic"
+	return clock()
+}
+
+func clock() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,15 @@
+// Package detcontract_ok is a lint fixture: both contract placements —
+// doc comment and trailing on the declaration line — on functions that
+// really are deterministic, so the verifier must stay silent.
+package detcontract_ok
+
+// Stamp derives a pseudo-timestamp from the campaign seed alone.
+//
+//gpulint:deterministic
+func Stamp(seed int64) int64 {
+	return mix(seed)
+}
+
+func mix(seed int64) int64 { //gpulint:deterministic
+	return seed * 2654435761
+}

@@ -1,0 +1,68 @@
+// Package determinism_bad is a lint fixture: every line marked with a
+// want comment must be flagged by the determinism taint pass. WriteReport
+// and Fingerprint match the fixture-mode sink shapes (artifact writer,
+// cache-key constructor); the sources below sit up to two call hops
+// beneath them.
+package determinism_bad
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// WriteReport is an artifact writer: a sink root.
+func WriteReport(w io.Writer, rows map[string]int) {
+	stamp()
+	for name, v := range rows { // want:determinism "map range"
+		fmt.Fprintf(w, "%s=%d\n", name, v)
+	}
+}
+
+// stamp is one hop below the sink; sample two hops.
+func stamp() { sample() }
+
+func sample() {
+	_ = time.Now()  // want:determinism "time.Now"
+	_ = rand.Int()  // want:determinism "math/rand"
+	_ = os.Getpid() // want:determinism "os.Getpid"
+}
+
+// Fingerprint is a cache-key constructor: a sink root.
+func Fingerprint(seed uint64) uint64 {
+	h := seed
+	for _, p := range fanIn() {
+		h = h*1099511628211 ^ p
+	}
+	return h ^ pick()
+}
+
+// fanIn gathers worker results in arrival order — byte-identity breaks
+// whenever the scheduler reorders two workers.
+func fanIn() []uint64 {
+	ch := make(chan uint64, 4)
+	for i := 0; i < 4; i++ {
+		go func() { ch <- uint64(i) }()
+	}
+	var parts []uint64
+	for i := 0; i < 4; i++ {
+		parts = append(parts, <-ch) // want:determinism "fan-in"
+	}
+	return parts
+}
+
+// pick races two ready channels through select.
+func pick() uint64 {
+	a := make(chan uint64, 1)
+	b := make(chan uint64, 1)
+	a <- 1
+	b <- 2
+	select { // want:determinism "select"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,14 @@
+// Package staleignore_bad is a lint fixture: the first directive excuses
+// an error that is actually checked (so it suppresses nothing), and the
+// second names an analyzer that does not exist. Both must be reported.
+package staleignore_bad
+
+import "os"
+
+func tidy() error {
+	return os.Remove("tmp-artifact") //gpulint:ignore errcheck -- dead acknowledgement // want:staleignore "suppressed nothing"
+}
+
+func also() {
+	_ = os.Remove("tmp-artifact") //gpulint:ignore errchek -- typo: never matches // want:staleignore "unknown analyzer"
+}

@@ -1,0 +1,10 @@
+// Package staleignore_ok is a lint fixture: the directive below
+// suppresses a real errcheck finding, so the stale-ignore audit must
+// stay silent.
+package staleignore_ok
+
+import "os"
+
+func cleanup() {
+	os.Remove("tmp-artifact") //gpulint:ignore errcheck -- best-effort cleanup; failure leaves a stray temp file only
+}

@@ -19,6 +19,8 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 // (JSONL), tracks in layout order, events in record order, timestamps on
 // the single laid-out virtual timeline. The encoding is hand-rolled so
 // field order — and therefore the bytes — is fixed.
+//
+//gpulint:deterministic
 func (r *Recorder) WriteEvents(w io.Writer) error {
 	if r == nil {
 		return nil

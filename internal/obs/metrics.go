@@ -273,6 +273,8 @@ func formatLe(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // WriteText writes the Prometheus text exposition: families sorted by
 // name, series sorted by rendered label string, histogram buckets
 // cumulative.
+//
+//gpulint:deterministic
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil

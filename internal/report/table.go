@@ -47,6 +47,8 @@ func (t *Table) AddRowf(cells ...interface{}) {
 }
 
 // String renders the table with aligned columns.
+//
+//gpulint:deterministic
 func (t *Table) String() string {
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
@@ -117,6 +119,8 @@ func (t *Table) Markdown() string {
 
 // CSV renders the table as comma-separated values (headers first). Cells
 // containing commas or quotes are quoted.
+//
+//gpulint:deterministic
 func (t *Table) CSV() string {
 	var b strings.Builder
 	writeRow := func(cells []string) {

@@ -220,7 +220,7 @@ func Run(opts Options, w io.Writer) (*Result, error) {
 // left resumable — a rerun replays the completed cells and produces a
 // byte-identical report.
 func RunContext(ctx context.Context, opts Options, w io.Writer) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //gpulint:ignore determinism -- feeds only the elapsed line, which byte-identity goldens strip (grep -v)
 	if opts.MaxVars <= 0 {
 		opts.MaxVars = core.MaxVariables
 	}
@@ -312,7 +312,7 @@ func RunContext(ctx context.Context, opts Options, w io.Writer) (*Result, error)
 		}
 	}
 
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //gpulint:ignore determinism -- the "completed in" line is wall-clock by design; goldens strip it (grep -v)
 	fmt.Fprintf(w, "\nreproduction completed in %v\n", res.Elapsed.Round(time.Millisecond))
 	return res, nil
 }

@@ -11,8 +11,14 @@ import (
 // dynamic invariants (energy conservation, DVFS monotonicity, …),
 // RunStatic verifies the invariants the compiler cannot see: unit-safe
 // frequency arithmetic, a complete core/memory-event counter
-// classification, error hygiene and concurrency hygiene. One Result per
-// analyzer, plus one for the load/type-check itself.
+// classification, error/concurrency hygiene, and the determinism-taint
+// contract over the artifact call graph. One Result per analyzer, plus
+// one for the load/type-check itself.
+//
+// The whole suite runs in a single lint.Run so the module call graph is
+// built once and the stale-ignore audit judges every //gpulint:ignore
+// directive against the full analyzer set; the diagnostics are then
+// bucketed per analyzer.
 func RunStatic(root string) []Result {
 	pkgs, err := lint.Load(root, "./...")
 	if err != nil {
@@ -23,8 +29,12 @@ func RunStatic(root string) []Result {
 		OK:     true,
 		Detail: fmt.Sprintf("%d packages type-checked", len(pkgs)),
 	}}
+	byAnalyzer := map[string][]lint.Diagnostic{}
+	for _, d := range lint.Run(pkgs, lint.All()) {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d)
+	}
 	for _, a := range lint.All() {
-		diags := lint.Run(pkgs, []*lint.Analyzer{a})
+		diags := byAnalyzer[a.Name]
 		r := Result{Name: "lint/" + a.Name, OK: len(diags) == 0, Detail: "clean"}
 		if len(diags) > 0 {
 			r.Detail = fmt.Sprintf("%d findings, first: %s", len(diags), diags[0])

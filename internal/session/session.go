@@ -282,6 +282,8 @@ func (s *Session) sweepOptions(trackPrefix string) characterize.SweepOptions {
 // Sweep runs the benches over every session board through the unified
 // engine — one shared pool over (board, benchmark) jobs, results indexed
 // [board][benchmark]. Cancelling ctx aborts within one cell per worker.
+//
+//gpulint:deterministic
 func (s *Session) Sweep(ctx context.Context, benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
 	return characterize.Sweep(ctx, s.BoardNames(), benches, s.sweepOptions(""))
 }

@@ -14,6 +14,8 @@ import (
 // power windows, with their per-window interpolated flags) merge onto
 // process-wide counter tracks. The result is a pure function of the
 // recorded events — byte-identical across runs at the same seed.
+//
+//gpulint:deterministic
 func FromRecorder(rec *obs.Recorder) *Builder {
 	b := NewBuilder()
 	for _, tl := range rec.Layout() {

@@ -1,0 +1,79 @@
+// Command benchgate is the CI performance gate: it runs the acceptance
+// benchmark several times, compares the best ns/op against the checked-in
+// baseline (BENCH_baseline.json's "after" figure), writes the verdict as a
+// JSON artifact, and exits non-zero on a regression past the threshold.
+//
+// Usage (the CI job's exact invocation):
+//
+//	benchgate -baseline BENCH_baseline.json -out bench-gate.json
+//
+// The benchmark runs under GOMAXPROCS=1 like the recorded baseline, so the
+// comparison measures the code, not the runner's core count.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"gpuperf/internal/benchgate"
+)
+
+func main() {
+	bench := flag.String("bench", "BenchmarkReproduce", "benchmark to gate (anchored exact match)")
+	pkg := flag.String("pkg", ".", "package containing the benchmark")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
+	count := flag.Int("count", 3, "benchmark repetitions; the gate takes the fastest")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value per repetition")
+	threshold := flag.Float64("threshold", 0.10, "allowed relative slowdown before the gate fails")
+	out := flag.String("out", "", "write the verdict JSON artifact to this path")
+	flag.Parse()
+
+	baseline, err := benchgate.LoadBaseline(*baselinePath, *bench)
+	if err != nil {
+		fatal(err)
+	}
+
+	cmd := exec.Command("go", "test", "-run=^$",
+		"-bench=^"+*bench+"$", "-benchtime="+*benchtime, "-count="+strconv.Itoa(*count), *pkg)
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=1")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		_, _ = os.Stdout.Write(buf.Bytes())
+		fatal(fmt.Errorf("benchmark run failed: %w", err))
+	}
+	_, _ = os.Stdout.Write(buf.Bytes())
+
+	samples, err := benchgate.ParseBenchOutput(&buf)
+	if err != nil {
+		fatal(err)
+	}
+	result, err := benchgate.Gate(*bench, samples[*bench], baseline, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(result)
+	if *out != "" {
+		raw, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if !result.Pass {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}

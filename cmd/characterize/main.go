@@ -38,6 +38,12 @@ func main() {
 	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
+	stopProf, err := camp.StartProfiling()
+	if err != nil {
+		cliflags.Fatal("characterize", err)
+	}
+	defer stopProf()
+
 	var restrict []string
 	if *board != "" {
 		restrict = []string{*board}

@@ -43,6 +43,12 @@ func main() {
 	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
+	stopProf, err := camp.StartProfiling()
+	if err != nil {
+		cliflags.Fatal("gpusim", err)
+	}
+	defer stopProf()
+
 	if *list {
 		fmt.Println("boards:")
 		for _, b := range gpuperf.Boards() {

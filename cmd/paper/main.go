@@ -36,6 +36,12 @@ func main() {
 	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
+	stopProf, err := camp.StartProfiling()
+	if err != nil {
+		cliflags.Fatal("paper", err)
+	}
+	defer stopProf()
+
 	var boards []string
 	if *board != "" {
 		boards = []string{*board}

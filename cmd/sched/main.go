@@ -31,6 +31,12 @@ func main() {
 	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
+	stopProf, err := camp.StartProfiling()
+	if err != nil {
+		cliflags.Fatal("sched", err)
+	}
+	defer stopProf()
+
 	jobs := strings.Split(*jobsArg, ",")
 	for i := range jobs {
 		jobs[i] = strings.TrimSpace(jobs[i])

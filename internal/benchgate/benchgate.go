@@ -1,0 +1,125 @@
+// Package benchgate is the CI performance-regression gate: it parses `go
+// test -bench` output, compares the best observed ns/op of a named
+// benchmark against a checked-in baseline (BENCH_baseline.json's "after"
+// figure), and fails when the measurement regresses past a relative
+// threshold. Taking the minimum over repeated counts filters scheduler
+// noise the way benchstat's best-of does: a shared CI runner can only make
+// a benchmark look slower, never faster, so the fastest sample is the
+// closest estimate of the code's true cost.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the subset of BENCH_baseline.json the gate reads.
+type Baseline struct {
+	Benchmark string `json:"benchmark"`
+	After     struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"after"`
+}
+
+// LoadBaseline reads the checked-in baseline file and returns the "after"
+// ns/op floor for the named benchmark.
+func LoadBaseline(path, benchmark string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return 0, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if b.Benchmark != benchmark {
+		return 0, fmt.Errorf("benchgate: %s records %q, not %q", path, b.Benchmark, benchmark)
+	}
+	if b.After.NsPerOp <= 0 {
+		return 0, fmt.Errorf("benchgate: %s has no after.ns_per_op figure", path)
+	}
+	return b.After.NsPerOp, nil
+}
+
+// ParseBenchOutput extracts ns/op samples from `go test -bench` output,
+// keyed by benchmark name with the -N GOMAXPROCS suffix stripped (so
+// "BenchmarkReproduce-8" and "BenchmarkReproduce" collect under one key;
+// sub-benchmark paths like "BenchmarkSweepBoard/workers=4" are preserved).
+// Repeated -count runs append in order. Lines that are not benchmark
+// results (headers, PASS, metrics) are ignored.
+func ParseBenchOutput(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// "BenchmarkX[-P] <iters> <ns> ns/op [...]"
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = append(out[name], ns)
+	}
+	return out, sc.Err()
+}
+
+// Result is the gate's verdict for one benchmark, written as the CI
+// artifact so a regression's numbers survive the failed job.
+type Result struct {
+	Benchmark       string    `json:"benchmark"`
+	BaselineNsPerOp float64   `json:"baseline_ns_per_op"`
+	BestNsPerOp     float64   `json:"best_ns_per_op"`
+	Samples         []float64 `json:"samples_ns_per_op"`
+	Ratio           float64   `json:"ratio_vs_baseline"`
+	Threshold       float64   `json:"threshold"`
+	Pass            bool      `json:"pass"`
+}
+
+// Gate compares the best (minimum) of the observed samples against the
+// baseline: the gate passes while best <= baseline × (1 + threshold).
+func Gate(benchmark string, samples []float64, baseline, threshold float64) (Result, error) {
+	if len(samples) == 0 {
+		return Result{}, fmt.Errorf("benchgate: no samples for %s", benchmark)
+	}
+	if baseline <= 0 {
+		return Result{}, fmt.Errorf("benchgate: non-positive baseline %g", baseline)
+	}
+	best := samples[0]
+	for _, s := range samples[1:] {
+		if s < best {
+			best = s
+		}
+	}
+	return Result{
+		Benchmark:       benchmark,
+		BaselineNsPerOp: baseline,
+		BestNsPerOp:     best,
+		Samples:         samples,
+		Ratio:           best / baseline,
+		Threshold:       threshold,
+		Pass:            best <= baseline*(1+threshold),
+	}, nil
+}
+
+// String renders the verdict as the gate's one-line log message.
+func (r Result) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s: %s best %.0f ns/op vs baseline %.0f ns/op (%.2fx, threshold %.2fx)",
+		verdict, r.Benchmark, r.BestNsPerOp, r.BaselineNsPerOp, r.Ratio, 1+r.Threshold)
+}

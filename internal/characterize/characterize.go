@@ -161,6 +161,7 @@ func SweepBenchmarkCtx(ctx context.Context, dev *driver.Device, b *workloads.Ben
 			return nil, fmt.Errorf("characterize: %s at %s: %w", b.Name, p, err)
 		}
 		out.Pairs = append(out.Pairs, pairResult(p, rr, 0))
+		driver.ReleaseRunResult(rr) // the cell copied out everything it needs
 	}
 	if err := dev.SetClocks(clock.DefaultPair()); err != nil {
 		return nil, err

@@ -156,6 +156,17 @@ func (j *Journal) Lookup(board, bench string, p clock.Pair) (PairResult, bool) {
 	return r, ok
 }
 
+// Contains reports whether the journal holds a completed cell without
+// counting it as a replay hit — the batched-precompute path asks this to
+// avoid simulating cells the sweep will never launch, and must not skew
+// the Hits accounting the real replay loop reports.
+func (j *Journal) Contains(board, bench string, p clock.Pair) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.cells[cellKey(board, bench, p)]
+	return ok
+}
+
 // Record appends a completed cell and syncs it to disk, so a crash at any
 // later point cannot lose it.
 //

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"gpuperf/internal/driver"
 	"gpuperf/internal/workloads"
 )
 
@@ -57,6 +58,34 @@ func TestSweepBoardsMatchesPerBoardSweeps(t *testing.T) {
 		if !reflect.DeepEqual(got[board], want) {
 			t.Fatalf("%s: grid-pool sweep differs from sequential per-board sweep", board)
 		}
+	}
+}
+
+// TestSweepBatchedColdCacheWorkers8 pins the batched fast path under
+// maximum concurrency from a cold cache: eight workers sweep a
+// multi-board grid, each job batch-filling the freshly emptied shared LRU
+// through PrecomputePairs while the others read it concurrently. The
+// results must be deeply identical to a sequential cold-cache sweep —
+// under -race this is also the data-race check on the sharded cache's
+// batch operations.
+func TestSweepBatchedColdCacheWorkers8(t *testing.T) {
+	benches := sweepSet(t, 4)
+	boards := []string{"GTX 480", "GTX 680", "GTX 285"}
+
+	restore := driver.PushSharedLaunchCache(driver.NewLaunchCache(driver.DefaultSharedLaunchCacheEntries))
+	want, err := SweepBoards(boards, benches, 42, 1)
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer driver.PushSharedLaunchCache(driver.NewLaunchCache(driver.DefaultSharedLaunchCacheEntries))()
+	got, err := SweepBoards(boards, benches, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("workers=8 cold-cache batched sweep differs from sequential cold-cache sweep")
 	}
 }
 

@@ -198,7 +198,29 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 	out := &BenchResult{Benchmark: b.Name, Board: boardName}
 	kernels := b.Kernels(1)
 	hostGap := b.HostGap(1)
-	for _, p := range clock.ValidPairs(dev.Spec()) {
+	pairs := clock.ValidPairs(dev.Spec())
+
+	// Batched fast path: compile each kernel once and simulate every pair
+	// the sweep will actually launch in one pass, so the per-pair loop
+	// below runs entirely against the per-device launch cache. Cells the
+	// journal will replay are skipped — their launches never happen.
+	// The precomputed entries are bit-identical to per-launch simulation
+	// (pinned by property tests), so results, golden artifacts and the
+	// device's noise stream are unchanged.
+	todo := pairs
+	if opts.Journal != nil {
+		todo = make([]clock.Pair, 0, len(pairs))
+		for _, p := range pairs {
+			if !opts.Journal.Contains(boardName, b.Name, p) {
+				todo = append(todo, p)
+			}
+		}
+	}
+	if _, err := dev.PrecomputePairs(kernels, todo); err != nil {
+		return nil, err
+	}
+
+	for _, p := range pairs {
 		if opts.Journal != nil {
 			if cell, ok := opts.Journal.Lookup(boardName, b.Name, p); ok {
 				out.Pairs = append(out.Pairs, cell)
@@ -301,7 +323,9 @@ func sweepCellR(ctx context.Context, dev *driver.Device, bench string, kernels [
 			retry(fault.MeterDegraded, attempt)
 			continue
 		}
-		return pairResult(p, rr, attempt), nil
+		pr := pairResult(p, rr, attempt)
+		driver.ReleaseRunResult(rr) // the cell copied out everything it needs
+		return pr, nil
 	}
 	return PairResult{Pair: p, Quarantined: true, FailPoint: lastPt, Retries: res.Attempts() - 1}, nil
 }

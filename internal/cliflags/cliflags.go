@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gpuperf/internal/fault"
@@ -38,6 +39,8 @@ type Campaign struct {
 	MetricsOut    string
 	EventsOut     string
 	Progress      bool
+	CPUProfile    string
+	MemProfile    string
 }
 
 // Register installs the shared campaign flag block on fs (flag.CommandLine
@@ -66,7 +69,54 @@ func Register(fs *flag.FlagSet) *Campaign {
 		"write the raw instrumentation events as JSONL to this path")
 	fs.BoolVar(&c.Progress, "progress", false,
 		"print a periodic one-line campaign status to stderr (implies instrumentation)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the campaign to this path")
+	fs.StringVar(&c.MemProfile, "memprofile", "",
+		"write a pprof heap profile at campaign exit to this path")
 	return c
+}
+
+// StartProfiling begins CPU profiling when -cpuprofile is set. The
+// returned stop function ends the CPU profile and — when -memprofile is
+// set — snapshots the heap after a GC; it is safe to defer whether or not
+// either flag was given. Error paths that os.Exit skip the deferred stop,
+// so a failed campaign leaves a truncated CPU profile and no heap profile,
+// exactly like any pprof-instrumented tool.
+func (c *Campaign) StartProfiling() (func(), error) {
+	var cpuF *os.File
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 // Config validates the block and translates it to a session.Config:

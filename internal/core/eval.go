@@ -91,15 +91,15 @@ func VariableSweep(ds *Dataset, kind Kind, minVars, maxVars int) ([]SweepPoint, 
 		return nil, err
 	}
 	var out []SweepPoint
+	pred := make([]float64, len(y))
 	for n := minVars; n <= len(sel.Indices); n++ {
 		cols := sel.Indices[:n]
-		fit, err := regress.OLS(regress.Project(x, cols), y)
+		fit, err := regress.OLSColumns(x, cols, y)
 		if err != nil {
 			continue
 		}
-		pred := make([]float64, len(y))
-		for i, row := range regress.Project(x, cols) {
-			pred[i] = fit.Predict(row)
+		for i, row := range x {
+			pred[i] = fit.PredictColumns(row, cols)
 		}
 		out = append(out, SweepPoint{
 			Vars:       n,
@@ -122,6 +122,15 @@ type PairEval struct {
 // pair's rows) plus the unified model (evaluated on everything), in Table
 // III row order with the unified model last — the layout of Figs. 9/10.
 func PerPairComparison(ds *Dataset, kind Kind, maxVars int) ([]PairEval, error) {
+	return PerPairComparisonWith(ds, kind, maxVars, nil)
+}
+
+// PerPairComparisonWith is PerPairComparison reusing an already-trained
+// unified model of the same dataset and kind (pass nil to train one here).
+// A campaign that has trained its Tables V/VI models passes them in, which
+// saves one full-width forward selection per comparison — the single most
+// expensive redundant step of a reproduction run.
+func PerPairComparisonWith(ds *Dataset, kind Kind, maxVars int, unified *Model) ([]PairEval, error) {
 	var out []PairEval
 	for _, p := range clock.ValidPairs(ds.Spec) {
 		rows := ds.RowsAtPair(p)
@@ -132,9 +141,12 @@ func PerPairComparison(ds *Dataset, kind Kind, maxVars int) ([]PairEval, error) 
 		ev := m.Evaluate(rows)
 		out = append(out, PairEval{Label: p.String(), Box: ev.Box(), Eval: ev})
 	}
-	unified, err := Train(ds, kind, maxVars)
-	if err != nil {
-		return nil, err
+	if unified == nil {
+		var err error
+		unified, err = Train(ds, kind, maxVars)
+		if err != nil {
+			return nil, err
+		}
 	}
 	ev := unified.Evaluate(ds.Rows)
 	out = append(out, PairEval{Label: "unified", Box: ev.Box(), Eval: ev})

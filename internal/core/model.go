@@ -45,23 +45,31 @@ type Model struct {
 // Time  (Eq. 2):  feature_i = counter_i / domainGHz
 func featureRow(kind Kind, set *counters.Set, o *Observation) []float64 {
 	out := make([]float64, set.Len())
-	for i, def := range set.Defs {
-		freq := o.CoreGHz
-		if def.Class == counters.MemEvent {
-			freq = o.MemGHz
-		}
-		c := o.Counters[i]
-		switch kind {
-		case Power:
-			// Per-second rate at this pair, scaled by domain frequency.
-			if o.TimeS > 0 {
-				out[i] = c / o.TimeS * freq
-			}
-		case Time:
-			out[i] = c / freq
-		}
+	for i := range set.Defs {
+		out[i] = featureAt(kind, set, o, i)
 	}
 	return out
+}
+
+// featureAt computes one entry of featureRow without materializing the
+// row — the prediction hot path only touches the model's selected columns,
+// a small fraction of the counter set.
+func featureAt(kind Kind, set *counters.Set, o *Observation, i int) float64 {
+	freq := o.CoreGHz
+	if set.Defs[i].Class == counters.MemEvent {
+		freq = o.MemGHz
+	}
+	c := o.Counters[i]
+	switch kind {
+	case Power:
+		// Per-second rate at this pair, scaled by domain frequency.
+		if o.TimeS > 0 {
+			return c / o.TimeS * freq
+		}
+		return 0
+	default: // Time
+		return c / freq
+	}
 }
 
 // target extracts the dependent variable.
@@ -77,8 +85,17 @@ func target(kind Kind, o *Observation) float64 {
 func designMatrix(kind Kind, set *counters.Set, rows []Observation) (x [][]float64, y []float64) {
 	x = make([][]float64, len(rows))
 	y = make([]float64, len(rows))
+	// One backing allocation for all rows, subsliced: the values are
+	// identical to per-row featureRow calls, but a campaign-sized design
+	// matrix costs two allocations instead of len(rows)+1.
+	n := set.Len()
+	flat := make([]float64, len(rows)*n)
 	for i := range rows {
-		x[i] = featureRow(kind, set, &rows[i])
+		row := flat[i*n : (i+1)*n : (i+1)*n]
+		for j := range set.Defs {
+			row[j] = featureAt(kind, set, &rows[i], j)
+		}
+		x[i] = row
 		y[i] = target(kind, &rows[i])
 	}
 	return x, y
@@ -188,12 +205,17 @@ func (m *Model) Predict(o *Observation) float64 {
 		neutral.CoreGHz, neutral.MemGHz = 1, 1
 		o = &neutral
 	}
-	row := featureRow(m.Kind, m.Set, o)
-	sel := make([]float64, len(m.Selection.Indices))
-	for i, idx := range m.Selection.Indices {
-		sel[i] = row[idx]
+	// Same accumulation order as Fit.Predict over the projected row, but
+	// computing only the selected features — no per-call allocation.
+	f := m.Selection.Fit
+	idxs := m.Selection.Indices
+	y := f.Intercept
+	for j, c := range f.Coef {
+		if j < len(idxs) {
+			y += c * featureAt(m.Kind, m.Set, o, idxs[j])
+		}
 	}
-	return m.Selection.Fit.Predict(sel)
+	return y
 }
 
 // Influence reports each selected variable's share of the model's output
@@ -208,9 +230,8 @@ type Influence struct {
 func (m *Model) Influences(rows []Observation) []Influence {
 	sums := make([]float64, len(m.Selection.Indices)+1) // + intercept
 	for i := range rows {
-		row := featureRow(m.Kind, m.Set, &rows[i])
 		for k, idx := range m.Selection.Indices {
-			v := m.Selection.Fit.Coef[k] * row[idx]
+			v := m.Selection.Fit.Coef[k] * featureAt(m.Kind, m.Set, &rows[i], idx)
 			if v < 0 {
 				v = -v
 			}

@@ -205,6 +205,22 @@ func collectBenchR(ctx context.Context, boardName string, b *workloads.Benchmark
 		kernels := b.Kernels(scale)
 		hostGap := b.HostGap(scale)
 
+		// Batched fast path: the passes below launch each kernel once
+		// profiled at the default pair, then unprofiled at every pair.
+		// Precompute both key populations kernel-major (compile once,
+		// evaluate all pairs in one pass) so the metered loop runs against
+		// the per-device launch cache. Payloads are bit-identical to
+		// per-launch simulation, so the dataset is unchanged.
+		dev.EnableProfiler()
+		_, perr := dev.PrecomputePairs(kernels, []clock.Pair{clock.DefaultPair()})
+		dev.DisableProfiler()
+		if perr != nil {
+			return nil, 0, 0, nil, perr
+		}
+		if _, perr := dev.PrecomputePairs(kernels, pairs); perr != nil {
+			return nil, 0, 0, nil, perr
+		}
+
 		// run is one metered pass (optionally profiled) at the given pair
 		// inside the retry loop. The seed tag matches collectBenchmark's
 		// for the same pass, so a successful attempt replays the plain
@@ -289,6 +305,7 @@ func collectBenchR(ctx context.Context, boardName string, b *workloads.Benchmark
 		for i, c := range prof.Counters {
 			perIter[i] = c / float64(prof.Iterations)
 		}
+		driver.ReleaseRunResult(prof) // per-iteration counters copied out above
 
 		samples++
 		for _, p := range pairs {
@@ -314,6 +331,7 @@ func collectBenchR(ctx context.Context, boardName string, b *workloads.Benchmark
 				TimeS:     rr.TimePerIteration(),
 				PowerW:    rr.Measurement.AvgWatts,
 			})
+			driver.ReleaseRunResult(rr) // the observation copied out everything it needs
 		}
 	}
 	if co != nil {

@@ -1,0 +1,101 @@
+package driver
+
+import (
+	"reflect"
+	"testing"
+
+	"gpuperf/internal/clock"
+	"gpuperf/internal/gpu"
+)
+
+// TestPrecomputePairsMatchesUncached is the batched-launch guarantee at
+// the driver layer: a device whose caches were filled by PrecomputePairs
+// produces byte-identical metered results to an uncached reference, a
+// second precompute simulates nothing, and a second device warms itself
+// entirely from the shared cache.
+func TestPrecomputePairsMatchesUncached(t *testing.T) {
+	defer PushSharedLaunchCache(NewLaunchCache(DefaultSharedLaunchCacheEntries))()
+	pre, err := OpenBoard("GTX 480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := OpenBoard("GTX 480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.DisableLaunchCache()
+	k := testKernel(4 * pre.Spec().SMCount)
+	pairs := clock.ValidPairs(pre.Spec())
+
+	// runAcrossPairs launches under the profiler, so precompute the
+	// profiled key population.
+	pre.EnableProfiler()
+	n, err := pre.PrecomputePairs([]*gpu.KernelDesc{k}, pairs)
+	pre.DisableProfiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(pairs) {
+		t.Fatalf("first precompute simulated %d entries, want %d", n, len(pairs))
+	}
+	got := runAcrossPairs(t, pre, 42)
+	want := runAcrossPairs(t, ref, 42)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("pair #%d: precomputed result differs from uncached", i)
+		}
+	}
+
+	// Idempotence: everything is cached now.
+	pre.EnableProfiler()
+	n, err = pre.PrecomputePairs([]*gpu.KernelDesc{k}, pairs)
+	pre.DisableProfiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("second precompute simulated %d entries, want 0", n)
+	}
+
+	// A second device must fill its per-device map from the shared cache
+	// without simulating, and still reproduce the reference.
+	second, err := OpenBoard("GTX 480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.EnableProfiler()
+	n, err = second.PrecomputePairs([]*gpu.KernelDesc{k}, pairs)
+	second.DisableProfiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("shared-warmed precompute simulated %d entries, want 0", n)
+	}
+	got = runAcrossPairs(t, second, 42)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("pair #%d: shared-warmed result differs from uncached", i)
+		}
+	}
+}
+
+// TestPrecomputePairsDisabled: with caching off the call is a no-op.
+func TestPrecomputePairsDisabled(t *testing.T) {
+	d, err := OpenBoard("GTX 285")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DisableLaunchCache()
+	k := testKernel(4 * d.Spec().SMCount)
+	n, err := d.PrecomputePairs([]*gpu.KernelDesc{k}, clock.ValidPairs(d.Spec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("cache-disabled precompute simulated %d entries, want 0", n)
+	}
+	if _, err := d.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -48,9 +49,26 @@ type cachedLaunch struct {
 // combinations; entries are a few hundred bytes each.
 const DefaultSharedLaunchCacheEntries = 16384
 
+// defaultLaunchCacheShards is the shard count of the process-wide cache.
+// Every worker of a parallel sweep hits the shared cache on every launch,
+// so a single mutex serializes the whole fleet; sixteen shards keep the
+// probability of two workers colliding on one lock low while the per-shard
+// LRU stays a plain list+map. Must be a power of two.
+const defaultLaunchCacheShards = 16
+
 // LaunchCache is a concurrency-safe, size-bounded LRU of noiseless launch
-// results, shareable between devices and goroutines.
+// results, shareable between devices and goroutines. The key space is
+// partitioned into independently locked shards; recency is tracked per
+// shard, so eviction approximates LRU over the whole cache (exact LRU
+// within a shard). The capacity bound is exact: shard capacities sum to at
+// most the requested total.
 type LaunchCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// cacheShard is one independently locked LRU partition.
+type cacheShard struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used
@@ -64,47 +82,148 @@ type cacheEntry struct {
 
 // NewLaunchCache returns an empty cache holding at most capacity entries.
 func NewLaunchCache(capacity int) *LaunchCache {
+	return newLaunchCache(capacity, defaultLaunchCacheShards)
+}
+
+// newLaunchCache builds a cache with an explicit shard count (the
+// contention microbenchmark compares shard counts through this). The count
+// is rounded down to a power of two and capped so no shard's capacity
+// rounds to zero.
+func newLaunchCache(capacity, shards int) *LaunchCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &LaunchCache{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[launchKey]*list.Element),
+	if shards < 1 {
+		shards = 1
 	}
+	if shards > capacity {
+		shards = capacity
+	}
+	// Largest power of two ≤ shards, so the index mask works.
+	shards = 1 << (bits.Len(uint(shards)) - 1)
+	c := &LaunchCache{shards: make([]cacheShard, shards), mask: uint64(shards - 1)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap:   capacity / shards,
+			order: list.New(),
+			items: make(map[launchKey]*list.Element),
+		}
+	}
+	return c
+}
+
+// shardIndex spreads a key across shards. The spec and kernel fields are
+// already FNV-1a digests, but a sweep holds spec constant and steps pairs
+// in a tiny enum, so the low bits need remixing (a splitmix64-style
+// finalizer) before masking.
+func (c *LaunchCache) shardIndex(k launchKey) uint64 {
+	h := k.spec ^ bits.RotateLeft64(k.kernel, 29)
+	h ^= uint64(k.pair.Core)<<8 | uint64(k.pair.Mem)<<4
+	if k.profiling {
+		h = ^h
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h & c.mask
 }
 
 // Len reports the current number of cached launches.
 func (c *LaunchCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 func (c *LaunchCache) get(k launchKey) (*cachedLaunch, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[k]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	s := &c.shards[c.shardIndex(k)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(k)
 }
 
 func (c *LaunchCache) put(k launchKey, v *cachedLaunch) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
-		c.order.MoveToFront(el)
+	s := &c.shards[c.shardIndex(k)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(k, v)
+}
+
+// getBatch looks up keys[i] for every i with out[i] == nil, filling out[i]
+// on a hit, and reports the number of hits. Each shard's lock is taken at
+// most once regardless of how many keys land on it — the point of the
+// batched sweep path.
+func (c *LaunchCache) getBatch(keys []launchKey, out []*cachedLaunch) int {
+	hits := 0
+	for si := range c.shards {
+		s := &c.shards[si]
+		locked := false
+		for i, k := range keys {
+			if out[i] != nil || c.shardIndex(k) != uint64(si) {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+			}
+			if v, ok := s.getLocked(k); ok {
+				out[i] = v
+				hits++
+			}
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
+	return hits
+}
+
+// putBatch inserts all entries, taking each shard's lock at most once.
+func (c *LaunchCache) putBatch(entries []cacheEntry) {
+	for si := range c.shards {
+		s := &c.shards[si]
+		locked := false
+		for _, e := range entries {
+			if c.shardIndex(e.key) != uint64(si) {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+			}
+			s.putLocked(e.key, e.val)
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *cacheShard) getLocked(k launchKey) (*cachedLaunch, bool) {
+	el, ok := s.items[k]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (s *cacheShard) putLocked(k launchKey, v *cachedLaunch) {
+	if el, ok := s.items[k]; ok {
+		s.order.MoveToFront(el)
 		el.Value.(*cacheEntry).val = v
 		return
 	}
-	c.items[k] = c.order.PushFront(&cacheEntry{key: k, val: v})
-	for len(c.items) > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+	s.items[k] = s.order.PushFront(&cacheEntry{key: k, val: v})
+	for len(s.items) > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
 	}
 }
 

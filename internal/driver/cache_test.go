@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -176,9 +177,11 @@ func TestKernelFingerprintSensitivity(t *testing.T) {
 	}
 }
 
-// TestLaunchCacheLRU checks the size bound and eviction order.
+// TestLaunchCacheLRU checks the size bound and eviction order of one
+// shard (a single-shard cache makes the recency order observable; the
+// sharded capacity bound has its own test below).
 func TestLaunchCacheLRU(t *testing.T) {
-	c := NewLaunchCache(2)
+	c := newLaunchCache(2, 1)
 	k := func(i uint64) launchKey { return launchKey{kernel: i} }
 	v := &cachedLaunch{time: 1}
 	c.put(k(1), v)
@@ -198,6 +201,92 @@ func TestLaunchCacheLRU(t *testing.T) {
 	}
 	if _, ok := c.get(k(3)); !ok {
 		t.Error("new entry missing")
+	}
+}
+
+// TestLaunchCacheSharding pins the sharded cache's invariants: the
+// capacity bound holds across shards, keys spread over more than one
+// shard, and the batch operations agree with the scalar ones.
+func TestLaunchCacheSharding(t *testing.T) {
+	const capacity = 64
+	c := NewLaunchCache(capacity)
+	if len(c.shards) != defaultLaunchCacheShards {
+		t.Fatalf("cache built %d shards, want %d", len(c.shards), defaultLaunchCacheShards)
+	}
+	k := func(i uint64) launchKey { return launchKey{spec: i * 0x9e3779b97f4a7c15, kernel: i} }
+	v := &cachedLaunch{time: 1}
+
+	// Overfill by 4x: the total size must never exceed the requested bound.
+	for i := uint64(0); i < 4*capacity; i++ {
+		c.put(k(i), v)
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", n, capacity)
+	}
+
+	// Fingerprint-like keys must not all collapse onto one shard.
+	used := map[uint64]bool{}
+	for i := uint64(0); i < 256; i++ {
+		used[c.shardIndex(k(i))] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("256 distinct keys landed on %d shard(s)", len(used))
+	}
+
+	// getBatch/putBatch round-trip against scalar get.
+	fresh := NewLaunchCache(capacity)
+	var entries []cacheEntry
+	keys := make([]launchKey, 16)
+	vals := make([]*cachedLaunch, 16)
+	for i := range keys {
+		keys[i] = k(uint64(i))
+		entries = append(entries, cacheEntry{key: keys[i], val: &cachedLaunch{time: float64(i)}})
+	}
+	if hits := fresh.getBatch(keys, vals); hits != 0 {
+		t.Fatalf("empty cache answered %d batch hits", hits)
+	}
+	fresh.putBatch(entries)
+	if hits := fresh.getBatch(keys, vals); hits != len(keys) {
+		t.Fatalf("batch get hit %d of %d inserted keys", hits, len(keys))
+	}
+	for i, val := range vals {
+		got, ok := fresh.get(keys[i])
+		if !ok || got != val || got.time != float64(i) {
+			t.Fatalf("key %d: scalar get disagrees with batch get", i)
+		}
+	}
+	// A second batch get must skip already-filled slots.
+	vals[3] = nil
+	if hits := fresh.getBatch(keys, vals); hits != 1 {
+		t.Fatalf("batch get refilled %d slots, want exactly the cleared one", hits)
+	}
+}
+
+// BenchmarkLaunchCacheParallel measures shared-cache hit throughput under
+// concurrent access — the contention the shard split removes. Run with
+// several -cpu values to see the single-mutex cache serialize while the
+// sharded one scales.
+func BenchmarkLaunchCacheParallel(b *testing.B) {
+	for _, shards := range []int{1, defaultLaunchCacheShards} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := newLaunchCache(4096, shards)
+			keys := make([]launchKey, 1024)
+			v := &cachedLaunch{time: 1}
+			for i := range keys {
+				keys[i] = launchKey{spec: uint64(i) * 0x9e3779b97f4a7c15, kernel: uint64(i)}
+				c.put(keys[i], v)
+			}
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, ok := c.get(keys[i&1023]); !ok {
+						b.Fatal("warm key missed")
+					}
+					i++
+				}
+			})
+		})
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"gpuperf/internal/bios"
 	"gpuperf/internal/clock"
 	"gpuperf/internal/counters"
+	"gpuperf/internal/fastrng"
 	"gpuperf/internal/fault"
 	"gpuperf/internal/gpu"
 	"gpuperf/internal/meter"
@@ -38,8 +39,14 @@ type Device struct {
 	inst *meter.Meter
 
 	profiling bool
-	rng       *rand.Rand
-	baseSeed  int64 // seed SeedScoped derives per-unit streams from
+	// The noise source: src is reseeded in place (Seed/SeedScoped run once
+	// per measurement cell — the fastrng package exists to make that
+	// allocation-free), rng is the long-lived adapter the meter and
+	// profiler draw through. The pair's stream is bit-identical to
+	// rand.New(rand.NewSource(seed)) for every seed.
+	src      *fastrng.Source
+	rng      *rand.Rand
+	baseSeed int64 // seed SeedScoped derives per-unit streams from
 
 	// Fault injection (see faulty.go). pristine is an untouched copy of
 	// the boot image, kept so a detected bit-flip can be recovered by
@@ -99,6 +106,7 @@ func Open(img []byte) (*Device, error) {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(spec.Name)) // fnv: hash.Hash.Write never errors
 	seed := int64(h.Sum64())
+	src, rng := fastrng.NewRand(seed)
 	d := &Device{
 		spec:     spec,
 		img:      own,
@@ -108,7 +116,8 @@ func Open(img []byte) (*Device, error) {
 		pm:       power.NewModel(spec),
 		set:      counters.ForGeneration(spec.Generation),
 		inst:     meter.New(),
-		rng:      rand.New(rand.NewSource(seed)),
+		src:      src,
+		rng:      rng,
 		baseSeed: seed,
 	}
 	d.initCaches()
@@ -143,6 +152,7 @@ func OpenSpec(spec *arch.Spec) (*Device, error) {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(spec.Name)) // fnv: hash.Hash.Write never errors
 	seed := int64(h.Sum64())
+	src, rng := fastrng.NewRand(seed)
 	img := bios.Build(spec)
 	d := &Device{
 		spec:     spec,
@@ -153,7 +163,8 @@ func OpenSpec(spec *arch.Spec) (*Device, error) {
 		pm:       power.NewModel(spec),
 		set:      counters.ForGeneration(spec.Generation),
 		inst:     meter.New(),
-		rng:      rand.New(rand.NewSource(seed)),
+		src:      src,
+		rng:      rng,
 		baseSeed: seed,
 	}
 	d.initCaches()
@@ -223,10 +234,12 @@ func (d *Device) SetClocks(p clock.Pair) error {
 }
 
 // Seed reseeds the device's noise sources (profiler jitter, meter noise)
-// and sets the base seed SeedScoped derives from.
+// and sets the base seed SeedScoped derives from. The source is reseeded
+// in place — the stream is bit-identical to a freshly built
+// rand.New(rand.NewSource(seed)) at zero allocations.
 func (d *Device) Seed(seed int64) {
 	d.baseSeed = seed
-	d.rng = rand.New(rand.NewSource(seed))
+	d.src.Seed(seed)
 }
 
 // SeedScoped reseeds the noise sources to a stream derived from the base
@@ -235,10 +248,13 @@ func (d *Device) Seed(seed int64) {
 // scopes consumed — so retries, skipped cells and reordered sweeps leave
 // every other measurement's noise untouched. The base seed itself is
 // unchanged; call Seed to move it.
+//
+// This runs once per measurement cell — the campaign stack's hottest
+// non-numeric path — so it must stay allocation-free (see fastrng).
 func (d *Device) SeedScoped(tag string) {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(tag)) // fnv: hash.Hash.Write never errors
-	d.rng = rand.New(rand.NewSource(d.baseSeed ^ int64(h.Sum64())))
+	d.src.Seed(d.baseSeed ^ int64(h.Sum64()))
 }
 
 // EnableProfiler turns on counter collection for subsequent launches,
@@ -326,6 +342,8 @@ func (d *Device) launch(k *gpu.KernelDesc) (*cachedLaunch, error) {
 	if shared != nil {
 		shared.put(key, cl)
 	}
+	// The result was copied by value into the cached payload above.
+	gpu.ReleaseResult(res)
 	return cl, nil
 }
 
@@ -401,9 +419,11 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 	// One noiseless pass builds a single iteration's period waveform and
 	// activity vector (the simulator is deterministic, so one pass
 	// suffices). The run is then represented as that period tiled — the
-	// stretch loop that used to materialize iters × segments is gone.
+	// stretch loop that used to materialize iters × segments is gone. The
+	// result struct and the period storage come from the pool; error
+	// returns may drop them (releasing is optional).
+	out, period := newRunResult()
 	iterTime := hostGapSeconds
-	var period meter.Trace
 	var iterActs counters.Vector
 	o := d.obs
 	type kernelSlice struct {
@@ -434,12 +454,10 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 		period = period.Append(hostGapSeconds, hostWatts)
 	}
 
-	out := &RunResult{
-		Workload:   name,
-		Iterations: iters,
-		Time:       iterTime * float64(iters),
-		Trace:      meter.Tile(period, iters),
-	}
+	out.Workload = name
+	out.Iterations = iters
+	out.Time = iterTime * float64(iters)
+	out.Trace = meter.Tile(period, iters)
 	iterActs.Scale(float64(iters))
 	out.Activities = iterActs
 	if d.profiling {

@@ -1,0 +1,201 @@
+package gpu_test
+
+import (
+	"math"
+	"testing"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/clock"
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/workloads"
+)
+
+// allKernels returns every distinct kernel description the campaign
+// stack can launch: the full benchmark suite at its default scale plus
+// the modeling set's extra scales.
+func allKernels(t *testing.T) []*gpu.KernelDesc {
+	t.Helper()
+	seen := map[string]bool{}
+	var out []*gpu.KernelDesc
+	add := func(ks []*gpu.KernelDesc) {
+		for _, k := range ks {
+			key := k.Name + "|" + string(rune(k.Blocks))
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, k)
+			}
+		}
+	}
+	for _, b := range workloads.All() {
+		add(b.Kernels(1))
+	}
+	for _, b := range workloads.ModelingSet() {
+		sizes := b.Sizes
+		if len(sizes) == 0 {
+			sizes = []float64{1}
+		}
+		for _, s := range sizes {
+			add(b.Kernels(s))
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no kernels found")
+	}
+	return out
+}
+
+// TestRunPairsBitIdenticalToRunKernel is the batched-vs-sequential
+// equivalence property: for every board, every kernel of the workload
+// suite, and every BIOS-exposed frequency pair, the compiled fast path
+// must reproduce RunKernel's result bit for bit — time, per-phase
+// durations, bottlenecks, events, and the full activity vector. The
+// seed-42 golden artifacts encode these floats, so "close" is not
+// enough; comparisons use exact bit patterns.
+func TestRunPairsBitIdenticalToRunKernel(t *testing.T) {
+	for _, spec := range arch.AllBoards() {
+		kernels := allKernels(t)
+		pairs := clock.ValidPairs(spec)
+		clkSeq := clock.NewState(spec)
+		simSeq := gpu.New(spec, clkSeq)
+		for _, k := range kernels {
+			ck, err := simSeq.Compile(k)
+			if err != nil {
+				t.Fatalf("%s/%s: Compile: %v", spec.Name, k.Name, err)
+			}
+			batched, err := simSeq.RunPairs(ck, pairs)
+			if err != nil {
+				t.Fatalf("%s/%s: RunPairs: %v", spec.Name, k.Name, err)
+			}
+			if clkSeq.Pair() != clock.DefaultPair() {
+				t.Fatalf("%s/%s: RunPairs moved the simulator clock to %s", spec.Name, k.Name, clkSeq.Pair())
+			}
+			for pi, p := range pairs {
+				if err := clkSeq.SetPair(p); err != nil {
+					t.Fatal(err)
+				}
+				want, err := simSeq.RunKernel(k)
+				if err != nil {
+					t.Fatalf("%s/%s@%s: RunKernel: %v", spec.Name, k.Name, p, err)
+				}
+				compareResults(t, spec.Name, k.Name, p, batched[pi], want)
+
+				// RunCompiled at the programmed pair must agree too.
+				got, err := simSeq.RunCompiled(ck)
+				if err != nil {
+					t.Fatalf("%s/%s@%s: RunCompiled: %v", spec.Name, k.Name, p, err)
+				}
+				compareResults(t, spec.Name, k.Name, p, got, want)
+			}
+			if err := clkSeq.SetPair(clock.DefaultPair()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func compareResults(t *testing.T, board, kernel string, p clock.Pair, got, want *gpu.KernelResult) {
+	t.Helper()
+	fail := func(field string, g, w float64) {
+		t.Fatalf("%s/%s@%s: %s = %v (%#x), want %v (%#x)",
+			board, kernel, p, field, g, math.Float64bits(g), w, math.Float64bits(w))
+	}
+	if got.Kernel != want.Kernel {
+		t.Fatalf("%s/%s@%s: kernel name %q != %q", board, kernel, p, got.Kernel, want.Kernel)
+	}
+	if math.Float64bits(got.Time) != math.Float64bits(want.Time) {
+		fail("Time", got.Time, want.Time)
+	}
+	if math.Float64bits(got.Occupancy) != math.Float64bits(want.Occupancy) {
+		fail("Occupancy", got.Occupancy, want.Occupancy)
+	}
+	if len(got.Phases) != len(want.Phases) {
+		t.Fatalf("%s/%s@%s: %d phases, want %d", board, kernel, p, len(got.Phases), len(want.Phases))
+	}
+	for i := range got.Phases {
+		g, w := &got.Phases[i], &want.Phases[i]
+		if g.Name != w.Name || g.Bottleneck != w.Bottleneck {
+			t.Fatalf("%s/%s@%s phase %d: (%q bound by %q), want (%q bound by %q)",
+				board, kernel, p, i, g.Name, g.Bottleneck, w.Name, w.Bottleneck)
+		}
+		if math.Float64bits(g.Duration) != math.Float64bits(w.Duration) {
+			fail("phase "+g.Name+" Duration", g.Duration, w.Duration)
+		}
+		if math.Float64bits(g.EnergyScale) != math.Float64bits(w.EnergyScale) {
+			fail("phase "+g.Name+" EnergyScale", g.EnergyScale, w.EnergyScale)
+		}
+		if g.Events != w.Events {
+			t.Fatalf("%s/%s@%s phase %s: events %+v, want %+v", board, kernel, p, g.Name, g.Events, w.Events)
+		}
+	}
+	for i := range got.Activities {
+		g, w := got.Activities[i], want.Activities[i]
+		if math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("%s/%s@%s: activity[%d] = %v (%#x), want %v (%#x)",
+				board, kernel, p, i, g, math.Float64bits(g), w, math.Float64bits(w))
+		}
+	}
+}
+
+// TestRunPairsSpecMismatch pins the cross-board safety check.
+func TestRunPairsSpecMismatch(t *testing.T) {
+	boards := arch.AllBoards()
+	if len(boards) < 2 {
+		t.Skip("needs two boards")
+	}
+	k := workloads.Table4()[0].Kernels(1)[0]
+	simA := gpu.New(boards[0], clock.NewState(boards[0]))
+	simB := gpu.New(boards[1], clock.NewState(boards[1]))
+	ck, err := simA.Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simB.RunCompiled(ck); err == nil {
+		t.Fatal("RunCompiled accepted a kernel compiled for another board")
+	}
+	if _, err := simB.RunPairs(ck, clock.ValidPairs(boards[1])); err == nil {
+		t.Fatal("RunPairs accepted a kernel compiled for another board")
+	}
+}
+
+// TestRunKernelAllocs pins the Phases preallocation: one result struct,
+// one phase slice, plus the bounded per-phase scratch of phaseBounds.
+// Regressing the preallocation (or adding per-phase garbage) fails here.
+func TestRunKernelAllocs(t *testing.T) {
+	spec := arch.AllBoards()[0]
+	sim := gpu.New(spec, clock.NewState(spec))
+	k := workloads.Table4()[0].Kernels(1)[0]
+	if _, err := sim.RunKernel(k); err != nil {
+		t.Fatal(err)
+	}
+	// Budget: result + phase slice + irregularity's FNV state + per phase
+	// the bounds slice (append growth up to 8 bounds ≤ 4 allocs) and the
+	// add closure. Catches any accidental per-bound allocation while
+	// leaving the fixed costs room.
+	budget := float64(4 + 6*len(k.Phases))
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := sim.RunKernel(k); err != nil {
+			t.Fatal(err)
+		}
+	}); n > budget {
+		t.Fatalf("RunKernel allocates %v objects per run, budget %v", n, budget)
+	}
+}
+
+// TestEvalAllocs pins the compiled path's allocation profile: exactly
+// the result struct and its phase slice, nothing per pair or per bound.
+func TestEvalAllocs(t *testing.T) {
+	spec := arch.AllBoards()[0]
+	sim := gpu.New(spec, clock.NewState(spec))
+	k := workloads.Table4()[0].Kernels(1)[0]
+	ck, err := sim.Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := sim.RunCompiled(ck); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 2 {
+		t.Fatalf("RunCompiled allocates %v objects per run, want at most 2", n)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/clock"
@@ -77,6 +78,35 @@ type KernelResult struct {
 	Occupancy  float64 // resident-warp fraction, 0..1
 }
 
+// resultPool recycles KernelResults and their phase slices. A frequency
+// sweep evaluates each kernel at every pair and immediately folds each
+// result into a cached launch payload, so the result struct is hot garbage;
+// callers that fully consume a result may hand it back via ReleaseResult.
+var resultPool = sync.Pool{New: func() any { return new(KernelResult) }}
+
+// newResult returns a zeroed KernelResult whose Phases slice has capacity
+// for nPhases entries, reusing pooled storage when available.
+func newResult(nPhases int) *KernelResult {
+	res := resultPool.Get().(*KernelResult)
+	ph := res.Phases
+	if cap(ph) < nPhases {
+		ph = make([]PhaseResult, 0, nPhases)
+	}
+	*res = KernelResult{Phases: ph[:0]}
+	return res
+}
+
+// ReleaseResult returns a KernelResult to the internal pool. Only the sole
+// owner may call it — after every needed value has been copied out — and
+// the result must not be touched afterwards. Releasing is optional;
+// unreleased results are ordinary garbage.
+func ReleaseResult(r *KernelResult) {
+	if r == nil {
+		return
+	}
+	resultPool.Put(r)
+}
+
 // Sim simulates kernels on one board at one DVFS state. It is not
 // goroutine-safe; drive one Sim per goroutine.
 type Sim struct {
@@ -143,10 +173,11 @@ func (s *Sim) RunKernel(k *KernelDesc) (*KernelResult, error) {
 		waveStretch = float64(s.spec.SMCount) / activeSMs
 	}
 
-	res := &KernelResult{
-		Kernel:    k.Name,
-		Occupancy: float64(residentWarps) / float64(s.spec.MaxWarpsPerSM),
-	}
+	// Pooled and sized up front: the append loop below must not reallocate
+	// on the metering hot path (pinned by an AllocsPerRun regression test).
+	res := newResult(len(k.Phases))
+	res.Kernel = k.Name
+	res.Occupancy = float64(residentWarps) / float64(s.spec.MaxWarpsPerSM)
 
 	// Architecture-dependent timing irregularity: a deterministic
 	// per-(kernel, grid) deviation that the performance counters do not

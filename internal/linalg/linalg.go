@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Matrix is a dense row-major matrix.
@@ -24,6 +25,35 @@ func NewMatrix(rows, cols int) *Matrix {
 		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// matrixPool recycles Matrix headers and their backing storage for the
+// regression layer, which assembles and discards one design matrix per
+// candidate fit.
+var matrixPool = sync.Pool{New: func() any { return new(Matrix) }}
+
+// GetMatrix returns a pooled rows×cols matrix whose contents are
+// UNSPECIFIED — callers must write every cell before reading any (unlike
+// NewMatrix, which zeroes). Pair with PutMatrix when the matrix no longer
+// escapes; un-put matrices are ordinary garbage.
+func GetMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", rows, cols))
+	}
+	m := matrixPool.Get().(*Matrix)
+	if cap(m.Data) < rows*cols {
+		m.Data = make([]float64, rows*cols)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:rows*cols]
+	return m
+}
+
+// PutMatrix returns a matrix to the pool. Only the sole owner may call
+// it; the matrix must not be touched afterwards.
+func PutMatrix(m *Matrix) {
+	if m != nil {
+		matrixPool.Put(m)
+	}
 }
 
 // FromRows builds a matrix from row slices (all equal length).
@@ -75,6 +105,15 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 // (numerically) linearly dependent columns.
 var ErrRankDeficient = errors.New("linalg: rank-deficient system")
 
+// solveScratch is SolveLS's reusable factorization workspace.
+type solveScratch struct {
+	data []float64 // QR copy of the input matrix
+	rhs  []float64 // transformed right-hand side
+	proj []float64 // per-column reflector projections
+}
+
+var solvePool = sync.Pool{New: func() any { return new(solveScratch) }}
+
 // SolveLS solves min‖A·x − b‖₂ for x via Householder QR. A must have at
 // least as many rows as columns. A and b are not modified.
 //
@@ -91,10 +130,27 @@ func SolveLS(a *Matrix, b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: SolveLS: underdetermined system %d×%d", a.Rows, a.Cols)
 	}
 	m, n := a.Rows, a.Cols
-	qr := a.Clone()
-	data := qr.Data
-	rhs := append([]float64(nil), b...)
-	proj := make([]float64, n) // per-column reflector projections, reused
+	// The factorization workspace (QR copy, transformed rhs, projection
+	// scratch) never escapes; recycle it — one solve runs per candidate
+	// fit of forward selection, and the copy dominated the solver's
+	// allocation profile. Every reused word is overwritten by the copies
+	// below or zeroed before use (proj).
+	sc := solvePool.Get().(*solveScratch)
+	defer solvePool.Put(sc)
+	if cap(sc.data) < m*n {
+		sc.data = make([]float64, m*n)
+	}
+	data := sc.data[:m*n]
+	copy(data, a.Data)
+	if cap(sc.rhs) < m {
+		sc.rhs = make([]float64, m)
+	}
+	rhs := sc.rhs[:m]
+	copy(rhs, b)
+	if cap(sc.proj) < n {
+		sc.proj = make([]float64, n)
+	}
+	proj := sc.proj[:n] // per-column reflector projections, reused
 
 	// Householder triangularization, applying the reflectors to rhs.
 	for k := 0; k < n; k++ {

@@ -10,6 +10,7 @@ package meter
 import (
 	"errors"
 	"math/rand"
+	"sync"
 
 	"gpuperf/internal/fault"
 	"gpuperf/internal/obs"
@@ -131,6 +132,13 @@ type Meter struct {
 	// dropped, spiked, stuck, interpolated). The handles are nil-safe, so
 	// a partially populated Obs is fine.
 	Obs *Obs
+
+	// Period prefix-sum scratch reused across MeasurePeriodic calls. A
+	// Meter is single-goroutine (it already shares the caller's rng), so
+	// plain fields suffice — this removes two allocations from every
+	// metered run, the campaign stack's per-cell hot path.
+	scratchEnds   []float64
+	scratchEnergy []float64
 }
 
 // Obs holds the metric handles a harness wires into the instrument (the
@@ -155,6 +163,35 @@ func New() *Meter {
 // sub-500 ms benchmarks by repeating their kernels.
 var ErrTooShort = errors.New("meter: trace shorter than the minimum sampling window")
 
+// measurementPool recycles Measurement structs and their sample storage.
+// Metered sweeps produce one Measurement per cell and read only a few
+// scalars from most of them; recycling the ~100-entry sample slices is a
+// measurable share of the campaign hot path's garbage.
+var measurementPool = sync.Pool{New: func() any { return new(Measurement) }}
+
+// newMeasurement returns a zeroed Measurement whose Samples slice has
+// capacity for n readings, reusing pooled storage when available.
+func newMeasurement(n int) *Measurement {
+	out := measurementPool.Get().(*Measurement)
+	if cap(out.Samples) < n {
+		out.Samples = make([]float64, 0, n)
+	}
+	*out = Measurement{Samples: out.Samples[:0]}
+	return out
+}
+
+// ReleaseMeasurement returns a Measurement to the internal pool. Only the
+// sole owner may call it — typically a harness that has copied the summary
+// scalars out of a metered run and is about to drop the result — and the
+// Measurement must not be touched afterwards. Releasing is optional;
+// unreleased Measurements are ordinary garbage.
+func ReleaseMeasurement(m *Measurement) {
+	if m == nil {
+		return
+	}
+	measurementPool.Put(m)
+}
+
 // Measure samples the trace every SamplePeriod and reports average power
 // and energy. The rng drives per-sample gaussian noise; pass nil for an
 // ideal (noise-free) instrument.
@@ -164,7 +201,7 @@ func (m *Meter) Measure(trace Trace, rng *rand.Rand) (*Measurement, error) {
 		return nil, ErrTooShort
 	}
 	n := int(total / m.SamplePeriod) // complete windows only, like the instrument
-	out := &Measurement{Samples: make([]float64, 0, n)}
+	out := newMeasurement(n)
 
 	seg, segUsed := 0, 0.0
 	for i := 0; i < n; i++ {

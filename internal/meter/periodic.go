@@ -77,6 +77,26 @@ func (p Periodic) prefix() (ends, energy []float64) {
 	return ends, energy
 }
 
+// prefixInto is prefix computed into the meter's reusable scratch
+// buffers — same values, no per-measurement allocation. The slices are
+// only valid until the next MeasurePeriodic call on this meter.
+func (m *Meter) prefixInto(p Periodic) (ends, energy []float64) {
+	if cap(m.scratchEnds) < len(p.Period) {
+		m.scratchEnds = make([]float64, len(p.Period))
+		m.scratchEnergy = make([]float64, len(p.Period))
+	}
+	ends = m.scratchEnds[:len(p.Period)]
+	energy = m.scratchEnergy[:len(p.Period)]
+	var t, e float64
+	for i, s := range p.Period {
+		t += s.Duration
+		e += s.Duration * s.Watts
+		ends[i] = t
+		energy[i] = e
+	}
+	return ends, energy
+}
+
 // energyAt evaluates the exact integral over [0, t] given the period
 // prefix sums (d is the period duration, ends/energy from prefix).
 func (p Periodic) energyAt(t, d float64, ends, energy []float64) float64 {
@@ -131,9 +151,9 @@ func (m *Meter) MeasurePeriodic(p Periodic, rng *rand.Rand) (*Measurement, error
 		return nil, ErrTooShort
 	}
 	n := int(total / m.SamplePeriod) // complete windows only, like the instrument
-	out := &Measurement{Samples: make([]float64, 0, n)}
+	out := newMeasurement(n)
 
-	ends, energy := p.prefix()
+	ends, energy := m.prefixInto(p)
 	prev := 0.0
 	for i := 0; i < n; i++ {
 		cur := p.energyAt(float64(i+1)*m.SamplePeriod, d, ends, energy)

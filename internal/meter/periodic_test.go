@@ -174,3 +174,52 @@ func TestMeasurePeriodicTooShort(t *testing.T) {
 		t.Errorf("zero repeats: err = %v, want ErrTooShort", err)
 	}
 }
+
+// TestMeasurePeriodicAllocsPinned pins the pooled metering hot path: once
+// the meter's prefix scratch and the measurement pool are warm, a
+// measure/release cycle must not allocate per run. The budget of 1
+// tolerates a GC emptying the pool mid-measurement; the unpooled path
+// cost 3+ (Measurement, Samples, two prefix slices).
+func TestMeasurePeriodicAllocsPinned(t *testing.T) {
+	m := New()
+	p := Tile(testPeriod(), 200)
+	rng := rand.New(rand.NewSource(7))
+	// Warm the pool and the prefix scratch.
+	for i := 0; i < 4; i++ {
+		got, err := m.MeasurePeriodic(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseMeasurement(got)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		got, err := m.MeasurePeriodic(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseMeasurement(got)
+	})
+	if allocs > 1 {
+		t.Fatalf("MeasurePeriodic allocates %.1f objects per pooled run, want <= 1", allocs)
+	}
+}
+
+// TestReleaseMeasurementReuse: a released Measurement's storage must come
+// back zeroed — no stale samples, flags or fault accounting may leak from
+// the previous owner, and nil releases must be harmless.
+func TestReleaseMeasurementReuse(t *testing.T) {
+	ReleaseMeasurement(nil)
+	stale := newMeasurement(8)
+	stale.Samples = append(stale.Samples, 1, 2, 3)
+	stale.Overloaded = true
+	stale.Dropped = 5
+	stale.Valid = []bool{false}
+	ReleaseMeasurement(stale)
+	fresh := newMeasurement(2)
+	if len(fresh.Samples) != 0 || fresh.Overloaded || fresh.Dropped != 0 || fresh.Valid != nil {
+		t.Fatalf("recycled Measurement not zeroed: %+v", fresh)
+	}
+	if cap(fresh.Samples) < 2 {
+		t.Fatalf("recycled Samples capacity %d, want >= 2", cap(fresh.Samples))
+	}
+}

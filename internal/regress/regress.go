@@ -37,9 +37,12 @@ func OLS(x [][]float64, y []float64) (*Fit, error) {
 	if n <= p+1 {
 		return nil, fmt.Errorf("regress: OLS: %d observations cannot support %d variables", n, p)
 	}
-	a := linalg.NewMatrix(n, p+1)
+	// Pooled: every cell is written below, and olsFinish returns the
+	// matrix to the pool once the fit statistics are derived.
+	a := linalg.GetMatrix(n, p+1)
 	for i, row := range x {
 		if len(row) != p {
+			linalg.PutMatrix(a)
 			return nil, fmt.Errorf("regress: OLS: ragged row %d", i)
 		}
 		a.Set(i, 0, 1)
@@ -47,6 +50,37 @@ func OLS(x [][]float64, y []float64) (*Fit, error) {
 			a.Set(i, j+1, v)
 		}
 	}
+	return olsFinish(a, y, n, p)
+}
+
+// OLSColumns fits y against the chosen columns of x with an intercept:
+// identical to OLS(Project(x, cols), y) — same design matrix, same QR
+// solve, bit-identical fit — without materializing the projected row set.
+// The hot consumers (forward selection's refit, the variable sweep) call
+// it once per candidate model size.
+func OLSColumns(x [][]float64, cols []int, y []float64) (*Fit, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("regress: OLS: %d rows vs %d targets", n, len(y))
+	}
+	p := len(cols)
+	if n <= p+1 {
+		return nil, fmt.Errorf("regress: OLS: %d observations cannot support %d variables", n, p)
+	}
+	a := linalg.GetMatrix(n, p+1) // every cell written; olsFinish pools it
+	for i, row := range x {
+		a.Set(i, 0, 1)
+		for j, c := range cols {
+			a.Set(i, j+1, row[c])
+		}
+	}
+	return olsFinish(a, y, n, p)
+}
+
+// olsFinish solves the assembled design matrix and derives the fit
+// statistics; shared by OLS and OLSColumns.
+func olsFinish(a *linalg.Matrix, y []float64, n, p int) (*Fit, error) {
+	defer linalg.PutMatrix(a) // olsFinish owns the assembled design matrix
 	beta, err := linalg.SolveLS(a, y)
 	if err != nil {
 		return nil, err
@@ -149,6 +183,19 @@ func (f *Fit) Predict(features []float64) float64 {
 	for j, c := range f.Coef {
 		if j < len(features) {
 			y += c * features[j]
+		}
+	}
+	return y
+}
+
+// PredictColumns evaluates a fit trained on the chosen columns against one
+// full-width feature row: identical to Predict(Project(...)) on that row's
+// projection, without materializing it.
+func (f *Fit) PredictColumns(row []float64, cols []int) float64 {
+	y := f.Intercept
+	for j, c := range f.Coef {
+		if j < len(cols) {
+			y += c * row[cols[j]]
 		}
 	}
 	return y
@@ -338,7 +385,7 @@ func ForwardSelectCtx(ctx context.Context, x [][]float64, y []float64, maxVars i
 	// refit is full-rank — mirroring the per-candidate skip of a per-fit
 	// implementation.
 	for len(sel.Indices) > 0 {
-		fit, err := OLS(subset(x, sel.Indices), y)
+		fit, err := OLSColumns(x, sel.Indices, y)
 		if err == nil {
 			sel.Fit = fit
 			observeSelection(sel)

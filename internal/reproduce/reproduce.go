@@ -569,7 +569,10 @@ func runModeling(ctx context.Context, opts Options, boards []*arch.Spec, h *harn
 	// Figs. 9 and 10: per-pair vs unified.
 	for i, kind := range []core.Kind{core.Power, core.Time} {
 		for _, spec := range modeled {
-			cols, err := core.PerPairComparison(datasets[spec.Name], kind, opts.MaxVars)
+			// The unified column reuses the Tables V/VI model (same dataset,
+			// kind and variable budget) instead of re-running the full-width
+			// forward selection.
+			cols, err := core.PerPairComparisonWith(datasets[spec.Name], kind, opts.MaxVars, models[spec.Name][i])
 			if err != nil {
 				return err
 			}

@@ -24,6 +24,7 @@ import (
 	"gpuperf/internal/driver"
 	"gpuperf/internal/report"
 	"gpuperf/internal/session"
+	"gpuperf/internal/validity"
 	"gpuperf/internal/workloads"
 )
 
@@ -129,18 +130,38 @@ func main() {
 	}
 
 	if *all || *table == 4 || *fig == 4 {
-		results, err := s.Sweep(ctx, workloads.Table4())
+		// Repeat is Sweep run Repetitions times; repetition 0 (rendered
+		// below) is bit-identical to a single sweep, and the triage engine
+		// judges every cell across the cohort when triage is engaged.
+		repsRes, err := s.Repeat(ctx, workloads.Table4())
 		if err != nil {
 			cliflags.Fatal("characterize", err)
 		}
+		results := repsRes[0]
+		var tr *validity.Triage
+		if cfg.Repetitions > 1 || cfg.TriageOut != "" || cfg.MinValid > 0 {
+			tr = s.NewTriage()
+			if err := characterize.ObserveTriageReps(tr, "table4", repsRes); err != nil {
+				cliflags.Fatal("characterize", err)
+			}
+		}
 		if *all || *table == 4 {
-			emit(report.Table4(boards, results))
+			emit(report.Table4(boards, results, tr))
 		}
 		if *all || *fig == 4 {
 			fmt.Println(report.Fig4(boards, results))
 		}
 		for _, d := range characterize.Degradations(results) {
 			fmt.Fprintln(os.Stderr, "degraded:", d.Line)
+		}
+		if tr != nil {
+			trep := tr.Finalize()
+			fmt.Fprintln(os.Stderr, trep.Summary())
+			if cfg.TriageOut != "" {
+				if err := trep.WriteFile(cfg.TriageOut); err != nil {
+					cliflags.Fatal("characterize", err)
+				}
+			}
 		}
 	}
 	if err := camp.WriteArtifacts(cfg.Obs); err != nil {

@@ -26,6 +26,7 @@ import (
 	"gpuperf/internal/regress"
 	"gpuperf/internal/report"
 	"gpuperf/internal/session"
+	"gpuperf/internal/validity"
 	"gpuperf/internal/workloads"
 )
 
@@ -69,19 +70,43 @@ func main() {
 	defer stop()
 
 	boards := s.Boards()
+	var tr *validity.Triage
+	if cfg.Repetitions > 1 || cfg.TriageOut != "" || cfg.MinValid > 0 {
+		tr = s.NewTriage()
+	}
+	benchNames := make([]string, 0, len(workloads.ModelingSet()))
+	for _, b := range workloads.ModelingSet() {
+		benchNames = append(benchNames, b.Name)
+	}
 	datasets := map[string]*core.Dataset{}
 	for _, spec := range boards {
 		ds, err := s.Collect(ctx, spec.Name, workloads.ModelingSet())
 		if err != nil {
 			cliflags.Fatal("model", err)
 		}
+		dropped := map[string]string{}
 		for _, d := range ds.Dropped {
 			fmt.Fprintf(os.Stderr, "dropped: %s / %s (%s)\n", spec.Name, d.Benchmark, d.Point)
+			dropped[d.Benchmark] = fmt.Sprintf("retry budget exhausted at %s; dropped from the modeling set", d.Point)
+		}
+		if tr != nil {
+			if err := validity.ObserveModeling(tr, spec.Name, benchNames, dropped); err != nil {
+				cliflags.Fatal("model", err)
+			}
 		}
 		if len(ds.Rows) == 0 {
 			cliflags.Fatal("model", fmt.Errorf("%s: no modeling data survived the fault campaign", spec.Name))
 		}
 		datasets[spec.Name] = ds
+	}
+	if tr != nil {
+		trep := tr.Finalize()
+		fmt.Fprintln(os.Stderr, trep.Summary())
+		if cfg.TriageOut != "" {
+			if err := trep.WriteFile(cfg.TriageOut); err != nil {
+				cliflags.Fatal("model", err)
+			}
+		}
 	}
 	train := func(ds *core.Dataset, kind core.Kind) *core.Model {
 		m, err := s.Model(ctx, ds, kind)

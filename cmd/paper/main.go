@@ -11,6 +11,9 @@
 //	paper -faults "launch.hang:0.02" -max-retries 5
 //	                           chaos campaign: inject faults, retry, quarantine
 //	paper -checkpoint j.jsonl  journal sweep cells; resume after a crash
+//	paper -repetitions 5 -min-valid 3 -triage-out reports/baseline.json
+//	                           repetition cohort: triage every cell and write
+//	                           the machine-readable validity report
 //	paper -trace-out t.json -metrics-out m.txt
 //	                           record the campaign: Perfetto trace + metrics
 //

@@ -1,0 +1,130 @@
+// Command triagecheck validates a machine-readable validity-triage
+// report (the -triage-out artifact, conventionally reports/baseline.json)
+// and asserts verdict counts against a CI expectation. It exits nonzero
+// with a diagnostic on the first violated assertion, so a chaos-matrix
+// job can pin "this profile must produce exactly these verdicts".
+//
+// Usage:
+//
+//	triagecheck -in reports/baseline.json
+//	triagecheck -in reports/baseline.json -valid 132 -flake 0 -model-failure 0
+//	triagecheck -in reports/baseline.json -min-flake 1 -publishable=false
+//	triagecheck -in reports/baseline.json -expect-unstable "GTX 460/backprop"
+//	triagecheck -in reports/baseline.json -cohort 0123456789abcdef
+//
+// Structural validation (schema, cohort-hash consistency, count/cell
+// agreement) always runs; every other assertion is opt-in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpuperf/internal/validity"
+)
+
+func main() {
+	in := flag.String("in", "", "triage report to validate (required)")
+	valid := flag.Int("valid", -1, "exact number of VALID cells (-1: don't check)")
+	modelFailure := flag.Int("model-failure", -1, "exact number of MODEL_FAILURE cells (-1: don't check)")
+	flake := flag.Int("flake", -1, "exact number of INFRA_FLAKE cells (-1: don't check)")
+	minFlake := flag.Int("min-flake", -1, "minimum number of INFRA_FLAKE cells (-1: don't check)")
+	cells := flag.Int("cells", -1, "exact total cell count (-1: don't check)")
+	reps := flag.Int("repetitions", -1, "exact repetition-cohort size (-1: don't check)")
+	cohort := flag.String("cohort", "", "required cohort hash (empty: don't check)")
+	expectUnstable := flag.String("expect-unstable", "",
+		`comma-separated "board/bench" substrings that must appear among the non-VALID cells`)
+	publishable := flag.String("publishable", "", `require publishability: "true" or "false" (empty: don't check)`)
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "triagecheck: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := validity.ReadReport(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *in, err))
+	}
+
+	check := func(name string, want, got int) {
+		if want >= 0 && got != want {
+			fatal(fmt.Errorf("%s: %s = %d, want %d", *in, name, got, want))
+		}
+	}
+	check("VALID cells", *valid, r.Counts[validity.Valid])
+	check("MODEL_FAILURE cells", *modelFailure, r.Counts[validity.ModelFailure])
+	check("INFRA_FLAKE cells", *flake, r.Counts[validity.InfraFlake])
+	check("total cells", *cells, len(r.Cells))
+	check("repetitions", *reps, r.Repetitions)
+	if *minFlake >= 0 && r.Counts[validity.InfraFlake] < *minFlake {
+		fatal(fmt.Errorf("%s: INFRA_FLAKE cells = %d, want ≥ %d", *in, r.Counts[validity.InfraFlake], *minFlake))
+	}
+	if *cohort != "" && r.CohortHash != *cohort {
+		fatal(fmt.Errorf("%s: cohort hash %s, want %s", *in, r.CohortHash, *cohort))
+	}
+	switch *publishable {
+	case "":
+	case "true":
+		if !r.Publishable() {
+			fatal(fmt.Errorf("%s: report is not publishable: %s", *in, nonValidSummary(r)))
+		}
+	case "false":
+		if r.Publishable() {
+			fatal(fmt.Errorf("%s: report is publishable, expected a gated campaign", *in))
+		}
+	default:
+		fatal(fmt.Errorf("-publishable must be true or false, got %q", *publishable))
+	}
+	for _, want := range strings.Split(*expectUnstable, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, c := range r.Cells {
+			if c.Class != validity.Valid && strings.Contains(c.Board+"/"+c.Bench+"@"+c.Pair, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("%s: no non-VALID cell matches %q (non-VALID: %s)", *in, want, nonValidSummary(r)))
+		}
+	}
+
+	fmt.Printf("ok: %s — %s\n", *in, oneLine(r))
+}
+
+// oneLine compresses the report's headline into one status line.
+func oneLine(r *validity.Report) string {
+	return fmt.Sprintf("cohort %s, %d cells: %d VALID, %d MODEL_FAILURE, %d INFRA_FLAKE (repetitions %d, min valid %d)",
+		r.CohortHash, len(r.Cells),
+		r.Counts[validity.Valid], r.Counts[validity.ModelFailure], r.Counts[validity.InfraFlake],
+		r.Repetitions, r.MinValid)
+}
+
+// nonValidSummary lists the non-VALID cells for diagnostics.
+func nonValidSummary(r *validity.Report) string {
+	var out []string
+	for _, c := range r.Cells {
+		if c.Class != validity.Valid {
+			out = append(out, fmt.Sprintf("%s/%s@%s (%s)", c.Board, c.Bench, c.Pair, c.Class))
+		}
+	}
+	if len(out) == 0 {
+		return "none"
+	}
+	return strings.Join(out, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "triagecheck: %v\n", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 	"gpuperf/internal/clock"
 	"gpuperf/internal/driver"
 	"gpuperf/internal/fault"
+	"gpuperf/internal/validity"
 	"gpuperf/internal/workloads"
 )
 
@@ -41,6 +42,24 @@ type PairResult struct {
 	Retries      int         `json:",omitempty"`
 	Confidence   float64     `json:",omitempty"`
 	Interpolated int         `json:",omitempty"`
+
+	// Verdict is the run-level triage classification (validity.ClassifyRun
+	// over the bookkeeping above). Every construction site classifies, so
+	// a zero Verdict marks a cell that bypassed the triage policy.
+	Verdict validity.Verdict `json:"verdict"`
+}
+
+// Classify maps the cell's fault bookkeeping onto its run verdict — a
+// pure function of the recorded facts, so journal migration can re-derive
+// verdicts for cells written before they existed.
+func (p *PairResult) Classify() validity.Verdict {
+	return validity.ClassifyRun(validity.RunFacts{
+		Quarantined:  p.Quarantined,
+		FailPoint:    string(p.FailPoint),
+		Retries:      p.Retries,
+		Confidence:   p.Confidence,
+		Interpolated: p.Interpolated,
+	})
 }
 
 // Efficiency returns the paper's power-efficiency metric, the reciprocal of
@@ -180,6 +199,7 @@ func pairResult(p clock.Pair, rr *driver.RunResult, retries int) PairResult {
 		Interpolated:  rr.Measurement.Interpolated,
 		Confidence:    rr.Measurement.Confidence(),
 	}
+	out.Verdict = out.Classify()
 	return out
 }
 

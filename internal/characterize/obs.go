@@ -1,6 +1,8 @@
 package characterize
 
 import (
+	"strconv"
+
 	"gpuperf/internal/obs"
 )
 
@@ -40,11 +42,16 @@ func observePool(rec *obs.Recorder, workers int) {
 }
 
 // trackName names one sweep job's virtual timeline. The prefix groups a
-// campaign phase's tracks together in the sorted export layout.
+// campaign phase's tracks together in the sorted export layout; later
+// repetitions get their own track namespace while repetition 0 keeps the
+// single-run names, so single-run trace goldens are unaffected.
 func (o *SweepOptions) trackName(board, bench string) string {
 	prefix := o.TrackPrefix
 	if prefix == "" {
 		prefix = "sweep"
+	}
+	if o.Rep > 0 {
+		prefix = "rep" + strconv.Itoa(o.Rep) + "/" + prefix
 	}
 	return prefix + "/" + board + "/" + bench
 }

@@ -1,0 +1,99 @@
+package characterize
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"gpuperf/internal/validity"
+	"gpuperf/internal/workloads"
+)
+
+// Repetition cohorts: a campaign that claims a cell is VALID must be able
+// to show the same measurement N times, not once. SweepReps runs the
+// unified sweep engine N times with per-repetition seeds and fault
+// scopes, so each repetition draws independent noise and fault streams
+// while repetition 0 stays bit-identical to a single-run campaign — all
+// single-run goldens, journals and trace artifacts are unchanged.
+
+// RepSeed derives repetition r's campaign seed: the base seed for
+// repetition 0 (the campaign itself), seed ⊕ FNV-1a("rep|r") for later
+// repetitions — the same independent-stream scheme sweepSeed uses per
+// benchmark.
+func RepSeed(seed int64, rep int) int64 {
+	if rep == 0 {
+		return seed
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "rep|%d", rep) // fnv: hash.Hash.Write never errors
+	return seed ^ int64(h.Sum64())
+}
+
+// SweepReps runs the sweep reps times and returns one result map per
+// repetition, in repetition order. The options seed is the base campaign
+// seed; each repetition sweeps under RepSeed(seed, r) with Rep set, so
+// journal keys, fault scopes and obs tracks stay distinct across
+// repetitions. reps < 1 behaves as 1. Like Sweep, the result is a pure
+// function of the seed — identical at any worker count.
+func SweepReps(ctx context.Context, boardNames []string, benches []*workloads.Benchmark, opts SweepOptions, reps int) ([]map[string][]*BenchResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	base := opts.Seed
+	out := make([]map[string][]*BenchResult, 0, reps)
+	for r := 0; r < reps; r++ {
+		o := opts
+		o.Seed = RepSeed(base, r)
+		o.Rep = r
+		m, err := Sweep(ctx, boardNames, benches, o)
+		if err != nil {
+			return nil, fmt.Errorf("characterize: repetition %d: %w", r, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ObserveTriage feeds one repetition's sweep results into the triage
+// engine under the named provenance table. Every cell must already carry
+// a run verdict (all sweep paths classify at construction); a cell
+// without one is an error, not a silent VALID.
+func ObserveTriage(tr *validity.Triage, table string, rep int, results map[string][]*BenchResult) error {
+	boards := make([]string, 0, len(results))
+	for board := range results {
+		boards = append(boards, board)
+	}
+	sort.Strings(boards)
+	for _, board := range boards {
+		for _, br := range results[board] {
+			for i := range br.Pairs {
+				pr := &br.Pairs[i]
+				run := validity.Run{
+					Rep:        rep,
+					Verdict:    pr.Verdict,
+					Time:       pr.TimePerIter,
+					Watts:      pr.AvgWatts,
+					Energy:     pr.EnergyPerIter,
+					Retries:    pr.Retries,
+					Confidence: pr.Confidence,
+				}
+				if err := tr.Observe(table, board, br.Benchmark, pr.Pair.String(), run); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ObserveTriageReps feeds a whole repetition cohort (the SweepReps
+// result) into the triage engine.
+func ObserveTriageReps(tr *validity.Triage, table string, reps []map[string][]*BenchResult) error {
+	for r, m := range reps {
+		if err := ObserveTriage(tr, table, r, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

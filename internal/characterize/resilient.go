@@ -47,6 +47,13 @@ type SweepOptions struct {
 	// TrackPrefix namespaces this phase's track names ("fig", "table4");
 	// empty means "sweep".
 	TrackPrefix string
+	// Rep is the repetition index within a repetition cohort. Repetition 0
+	// is the campaign itself — identical scopes, track names and journal
+	// keys to a single-run campaign — while later repetitions suffix their
+	// fault scopes, journal keys and tracks so each repetition draws
+	// independent fault and noise streams. Callers normally go through
+	// SweepReps, which also derives the per-repetition seed.
+	Rep int
 }
 
 func (o *SweepOptions) res() *fault.Resilience {
@@ -163,7 +170,9 @@ func quarantineAll(boardName, bench string, pt fault.Point, retries int) *BenchR
 		return out
 	}
 	for _, p := range clock.ValidPairs(spec) {
-		out.Pairs = append(out.Pairs, PairResult{Pair: p, Quarantined: true, FailPoint: pt, Retries: retries})
+		pr := PairResult{Pair: p, Quarantined: true, FailPoint: pt, Retries: retries}
+		pr.Verdict = pr.Classify()
+		out.Pairs = append(out.Pairs, pr)
 	}
 	return out
 }
@@ -174,6 +183,11 @@ func quarantineAll(boardName, bench string, pt fault.Point, retries int) *BenchR
 func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, opts SweepOptions) (*BenchResult, error) {
 	res := opts.res()
 	scope := boardName + "|" + b.Name
+	if opts.Rep > 0 {
+		// Later repetitions draw independent fault streams; repetition 0
+		// keeps the exact scope of a single-run campaign.
+		scope += "|rep" + strconv.Itoa(opts.Rep)
+	}
 	so := newSweepObs(opts.Obs, boardName)
 	track := opts.Obs.Track(opts.trackName(boardName, b.Name))
 	span := track.Begin("sweep "+b.Name, obs.Arg{Key: "board", Value: boardName})
@@ -211,7 +225,7 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 	if opts.Journal != nil {
 		todo = make([]clock.Pair, 0, len(pairs))
 		for _, p := range pairs {
-			if !opts.Journal.Contains(boardName, b.Name, p) {
+			if !opts.Journal.Contains(boardName, b.Name, opts.Rep, p) {
 				todo = append(todo, p)
 			}
 		}
@@ -222,7 +236,7 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 
 	for _, p := range pairs {
 		if opts.Journal != nil {
-			if cell, ok := opts.Journal.Lookup(boardName, b.Name, p); ok {
+			if cell, ok := opts.Journal.Lookup(boardName, b.Name, opts.Rep, p); ok {
 				out.Pairs = append(out.Pairs, cell)
 				if so != nil {
 					so.journalHits.Inc()
@@ -248,7 +262,7 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 			}
 		}
 		if opts.Journal != nil {
-			if err := opts.Journal.Record(boardName, b.Name, cell); err != nil {
+			if err := opts.Journal.Record(boardName, b.Name, opts.Rep, cell); err != nil {
 				return nil, err
 			}
 		}
@@ -327,7 +341,9 @@ func sweepCellR(ctx context.Context, dev *driver.Device, bench string, kernels [
 		driver.ReleaseRunResult(rr) // the cell copied out everything it needs
 		return pr, nil
 	}
-	return PairResult{Pair: p, Quarantined: true, FailPoint: lastPt, Retries: res.Attempts() - 1}, nil
+	pr := PairResult{Pair: p, Quarantined: true, FailPoint: lastPt, Retries: res.Attempts() - 1}
+	pr.Verdict = pr.Classify()
+	return pr, nil
 }
 
 // Degradation is one human-readable line of the campaign's damage report.

@@ -1,6 +1,8 @@
 package characterize
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -221,16 +223,29 @@ func TestJournalCheckpointAndResume(t *testing.T) {
 	}
 	sameMeasurements(t, first, resumed)
 
-	// A journal recorded under a different seed or profile must reset
-	// rather than replay cells from the wrong campaign.
-	j3, err := OpenJournal(path, seed+1, prof)
+	// A journal recorded under a different seed or profile is a hard
+	// error — resuming it would silently change the published results —
+	// and the journal survives on disk, byte for byte.
+	before, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j3.Len() != 0 {
-		t.Errorf("seed-mismatched journal retained %d cells", j3.Len())
+	_, err = OpenJournal(path, seed+1, prof)
+	var mismatch *CohortMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("seed-mismatched open: err=%v, want *CohortMismatchError", err)
 	}
-	j3.Close()
+	if mismatch.Old.Seed != seed || mismatch.New.Seed != seed+1 {
+		t.Errorf("mismatch error carries seeds %d/%d, want %d/%d",
+			mismatch.Old.Seed, mismatch.New.Seed, seed, seed+1)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("cohort-mismatched open modified the journal")
+	}
 }
 
 // TestJournalRoundTripsCells: a recorded cell (including a quarantined
@@ -248,11 +263,18 @@ func TestJournalRoundTripsCells(t *testing.T) {
 	}
 	cell := PairResult{Pair: p, TimePerIter: 0.123456789123456789, AvgWatts: 321.0000000001,
 		EnergyPerIter: 39.6e-3, Retries: 2, Confidence: 0.975, Interpolated: 1}
+	cell.Verdict = cell.Classify()
 	quar := PairResult{Pair: clock.DefaultPair(), Quarantined: true, FailPoint: fault.LaunchHang, Retries: 3}
-	if err := j.Record("B", "bench", cell); err != nil {
+	quar.Verdict = quar.Classify()
+	rep1 := cell
+	rep1.TimePerIter = 0.2
+	if err := j.Record("B", "bench", 0, cell); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Record("B", "bench", quar); err != nil {
+	if err := j.Record("B", "bench", 0, quar); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("B", "bench", 1, rep1); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -262,15 +284,22 @@ func TestJournalRoundTripsCells(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	got, ok := j2.Lookup("B", "bench", p)
+	got, ok := j2.Lookup("B", "bench", 0, p)
 	if !ok || got != cell {
 		t.Errorf("cell round trip: %+v -> %+v (ok=%v)", cell, got, ok)
 	}
-	gq, ok := j2.Lookup("B", "bench", clock.DefaultPair())
+	gq, ok := j2.Lookup("B", "bench", 0, clock.DefaultPair())
 	if !ok || gq != quar {
 		t.Errorf("quarantined round trip: %+v -> %+v (ok=%v)", quar, gq, ok)
 	}
-	if _, ok := j2.Lookup("B", "other", p); ok {
+	gr, ok := j2.Lookup("B", "bench", 1, p)
+	if !ok || gr != rep1 {
+		t.Errorf("rep-1 round trip: %+v -> %+v (ok=%v)", rep1, gr, ok)
+	}
+	if _, ok := j2.Lookup("B", "other", 0, p); ok {
 		t.Error("journal answered a cell it never recorded")
+	}
+	if _, ok := j2.Lookup("B", "bench", 2, p); ok {
+		t.Error("journal answered a repetition it never recorded")
 	}
 }

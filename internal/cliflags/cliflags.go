@@ -35,6 +35,9 @@ type Campaign struct {
 	MaxRetries    int
 	LaunchTimeout time.Duration
 	Checkpoint    string
+	Repetitions   int
+	MinValid      int
+	TriageOut     string
 	TraceOut      string
 	MetricsOut    string
 	EventsOut     string
@@ -61,6 +64,12 @@ func Register(fs *flag.FlagSet) *Campaign {
 		"per-run watchdog deadline for hung launches")
 	fs.StringVar(&c.Checkpoint, "checkpoint", "",
 		"journal completed characterization sweep cells to this path and resume from it (modeling collections are not journaled)")
+	fs.IntVar(&c.Repetitions, "repetitions", 1,
+		"repetition-cohort size: run each characterization sweep N times with independent noise/fault streams and triage every cell on cross-repetition agreement (1: classic single run)")
+	fs.IntVar(&c.MinValid, "min-valid", 0,
+		"publishability floor in valid repetitions per cell (0: every repetition must be valid)")
+	fs.StringVar(&c.TriageOut, "triage-out", "",
+		"write the machine-readable validity-triage report (JSON) to this path, e.g. reports/baseline.json")
 	fs.StringVar(&c.TraceOut, "trace-out", "",
 		"write a Chrome/Perfetto trace of the campaign to this path")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "",
@@ -135,6 +144,15 @@ func (c *Campaign) Config(boards ...string) (session.Config, error) {
 	cfg.MaxRetries = c.MaxRetries
 	cfg.LaunchTimeout = c.LaunchTimeout
 	cfg.Checkpoint = c.Checkpoint
+	if c.Repetitions < 1 {
+		return cfg, fmt.Errorf("-repetitions must be ≥ 1 (got %d)", c.Repetitions)
+	}
+	if c.MinValid < 0 || c.MinValid > c.Repetitions {
+		return cfg, fmt.Errorf("-min-valid %d outside [0, repetitions=%d]", c.MinValid, c.Repetitions)
+	}
+	cfg.Repetitions = c.Repetitions
+	cfg.MinValid = c.MinValid
+	cfg.TriageOut = c.TriageOut
 	if c.Faults != "" {
 		p, err := fault.ParseProfile(c.Faults)
 		if err != nil {

@@ -401,6 +401,10 @@ func sinkRole(pkg *Package, fn *types.Func) string {
 			if recv == "Journal" || strings.Contains(name, "Journal") {
 				return "checkpoint journal codec"
 			}
+		case strings.HasSuffix(pkg.Path, "internal/validity"):
+			if strings.HasPrefix(name, "Write") || name == "Finalize" {
+				return "triage report writer"
+			}
 		}
 		return ""
 	}

@@ -26,6 +26,9 @@
 //     never used (breaking the cancellation chain), and calls to the
 //     deprecated pre-session sweep/collect variants outside their
 //     defining packages.
+//   - validitycheck: table writers that render measured sweep results
+//     (BenchResult parameters feeding AddRow/AddRowf) without consuming
+//     a triage verdict from the validity layer.
 //   - determinism:  cross-function taint pass — nondeterminism sources
 //     (wall clock, global math/rand, map iteration order, select races,
 //     unordered goroutine fan-in) reaching the byte-identity artifact
@@ -147,7 +150,7 @@ func (p *ModulePass) report(pkg *Package, pos token.Pos, trace []TraceStep, msg 
 func All() []*Analyzer {
 	return []*Analyzer{
 		UnitSafety, CounterClass, ErrCheck, Concurrency, FaultSafety,
-		ObsCheck, SessionCheck, Determinism, DetContract, StaleIgnore,
+		ObsCheck, SessionCheck, ValidityCheck, Determinism, DetContract, StaleIgnore,
 	}
 }
 

@@ -1,0 +1,34 @@
+// Package validitycheck_bad is a lint fixture: every line marked with a
+// want comment must be flagged by the validitycheck analyzer.
+package validitycheck_bad
+
+// Local mocks of the measurement and table-builder shapes; matching is
+// by name, so the fixture models them without importing the module.
+type BenchResult struct {
+	Benchmark string
+	BestPair  string
+}
+
+type Table struct{ rows [][]string }
+
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+func (t *Table) AddRowf(cells ...any)   { t.rows = append(t.rows, nil) }
+
+// A best-pair table rendered straight from the sweep: nothing consults a
+// triage verdict, so cells the campaign classified INFRA_FLAKE would be
+// published as if they were solid measurements.
+func renderBest(t *Table, results []*BenchResult) { // want:validitycheck "triage verdict"
+	for _, r := range results {
+		t.AddRow(r.Benchmark, r.BestPair)
+	}
+}
+
+// The board-grid shape (map[string][]*BenchResult) is measured input all
+// the same.
+func renderGrid(t *Table, results map[string][]*BenchResult, boards []string) { // want:validitycheck "triage verdict"
+	for _, board := range boards {
+		for _, r := range results[board] {
+			t.AddRowf(board, r.Benchmark, r.BestPair)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ValidityCheck enforces the campaign-validity discipline: a report
+// writer that renders table cells from measured sweep results must
+// consult the triage verdict before publishing a number.
+//
+// The rule: a function that (a) receives measured characterization
+// results — a parameter whose type mentions BenchResult — and (b) emits
+// table cells (calls AddRow/AddRowf on a table builder) must also
+// reference the validity layer (the validity package, a Triage engine,
+// or a Verdict) somewhere in its signature or body. A writer that prints
+// best-pair claims straight from the sweep silently publishes cells the
+// triage engine may have classified INFRA_FLAKE or MODEL_FAILURE; the
+// verdict consult is what turns those into "n/a (unstable)".
+//
+// Functions that render non-measured apparatus data (board specs,
+// frequency tables) take no BenchResult and are exempt; helpers that
+// massage results without emitting rows are exempt too. Matching is by
+// name (BenchResult, AddRow/AddRowf, validity/Triage/Verdict) so fixture
+// packages can model the shape without importing the module.
+var ValidityCheck = &Analyzer{
+	Name: "validitycheck",
+	Doc:  "table writers that render measured sweep results without consuming a triage verdict",
+	Run:  runValidityCheck,
+}
+
+func runValidityCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			if !paramMentionsBenchResult(fd) {
+				return true
+			}
+			if !emitsTableRows(fd.Body) {
+				return true
+			}
+			if consultsValidity(fd) {
+				return true
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"%s renders table cells from measured sweep results without consuming a triage verdict; thread the validity.Triage engine (or a Verdict) and gate unstable cells", fd.Name.Name)
+			return true
+		})
+	}
+}
+
+// paramMentionsBenchResult reports whether any parameter type of fd
+// mentions the BenchResult measurement type (directly, behind pointers,
+// or inside map/slice shapes like map[string][]*BenchResult).
+func paramMentionsBenchResult(fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		found := false
+		ast.Inspect(field.Type, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "BenchResult" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// emitsTableRows reports whether body calls AddRow or AddRowf on
+// anything — the table builder's row-emission methods.
+func emitsTableRows(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "AddRow" || sel.Sel.Name == "AddRowf" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// validityNames are the identifiers whose presence marks a verdict
+// consult: the validity package qualifier, its triage engine, its
+// verdict type, and the per-cell/per-bench judging methods.
+var validityNames = map[string]bool{
+	"validity":     true,
+	"Triage":       true,
+	"Verdict":      true,
+	"CellVerdict":  true,
+	"BenchVerdict": true,
+}
+
+// consultsValidity reports whether fd references the validity layer in
+// its parameter list or body.
+func consultsValidity(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && validityNames[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

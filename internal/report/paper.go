@@ -8,6 +8,7 @@ import (
 	"gpuperf/internal/characterize"
 	"gpuperf/internal/clock"
 	"gpuperf/internal/core"
+	"gpuperf/internal/validity"
 )
 
 // Table1 renders Table I: specifications of the NVIDIA GPUs.
@@ -49,8 +50,13 @@ func Table3(boards []*arch.Spec) *Table {
 }
 
 // Table4 renders Table IV: the best frequency pairs for power efficiency.
-// results maps board name → sweep results in benchmark order.
-func Table4(boards []*arch.Spec, results map[string][]*characterize.BenchResult) *Table {
+// results maps board name → sweep results in benchmark order. tr, when
+// non-nil, is the campaign's triage engine: a best-pair claim prints only
+// when the "table4" bench verdict is VALID — a cell the triage judged an
+// INFRA_FLAKE or MODEL_FAILURE renders "n/a (unstable)" even if a
+// plausible-looking best pair survived. A nil tr keeps the classic
+// single-run behavior (unstable means the sweep itself was quarantined).
+func Table4(boards []*arch.Spec, results map[string][]*characterize.BenchResult, tr *validity.Triage) *Table {
 	headers := []string{"Benchmark"}
 	for _, s := range boards {
 		headers = append(headers, s.Name)
@@ -67,8 +73,15 @@ func Table4(boards []*arch.Spec, results map[string][]*characterize.BenchResult)
 			if i < len(rs) {
 				// A cell whose sweep was quarantined by the fault harness
 				// has no best pair — report it as unstable rather than
-				// inventing one.
-				if best := rs[i].Best(); best != nil {
+				// inventing one. The triage verdict extends the same rule
+				// to cells that measured but failed the validity gate.
+				best := rs[i].Best()
+				if best != nil && tr != nil {
+					if v, ok := tr.BenchVerdict("table4", s.Name, rs[i].Benchmark); ok && v.Class != validity.Valid {
+						best = nil
+					}
+				}
+				if best != nil {
 					row = append(row, best.Pair.String())
 				} else {
 					row = append(row, "n/a (unstable)")

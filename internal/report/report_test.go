@@ -9,6 +9,7 @@ import (
 	"gpuperf/internal/clock"
 	"gpuperf/internal/core"
 	"gpuperf/internal/regress"
+	"gpuperf/internal/validity"
 )
 
 func TestTableRendering(t *testing.T) {
@@ -109,13 +110,34 @@ func fakeSweep(bench string) *characterize.BenchResult {
 func TestTable4AndFig4(t *testing.T) {
 	boards := []*arch.Spec{arch.GTX680()}
 	results := map[string][]*characterize.BenchResult{"GTX 680": {fakeSweep("backprop")}}
-	s := Table4(boards, results).String()
+	s := Table4(boards, results, nil).String()
 	if !strings.Contains(s, "backprop") || !strings.Contains(s, "(M-H)") {
 		t.Errorf("Table4 wrong:\n%s", s)
 	}
 	f := Fig4(boards, results)
 	if !strings.Contains(f, "backprop") || !strings.Contains(f, "%") {
 		t.Errorf("Fig4 wrong:\n%s", f)
+	}
+}
+
+// TestTable4TriageGate: a cell the triage engine judged non-VALID renders
+// "n/a (unstable)" even though the sweep itself produced a best pair.
+func TestTable4TriageGate(t *testing.T) {
+	boards := []*arch.Spec{arch.GTX680()}
+	results := map[string][]*characterize.BenchResult{"GTX 680": {fakeSweep("backprop")}}
+	cohort := validity.Cohort{Seed: 42, Boards: []string{"GTX 680"}, CodeVersion: "test"}
+	tr := validity.NewTriage(cohort, 1, 1, 0)
+	if err := tr.Observe("table4", "GTX 680", "backprop", "(M-H)", validity.Run{
+		Verdict: validity.Verdict{Class: validity.InfraFlake, Reason: "retry budget exhausted at launch.hang"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := Table4(boards, results, tr).String()
+	if !strings.Contains(s, "n/a (unstable)") {
+		t.Errorf("triage-gated Table4 still shows a best pair:\n%s", s)
+	}
+	if strings.Contains(s, "(M-H)") {
+		t.Errorf("triage-gated Table4 leaked the best pair:\n%s", s)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"gpuperf/internal/regress"
 	"gpuperf/internal/report"
 	"gpuperf/internal/selfcheck"
+	"gpuperf/internal/validity"
 	"gpuperf/internal/workloads"
 )
 
@@ -82,6 +83,29 @@ type Options struct {
 	// to the plain paths — and the recorded artifacts are a pure function
 	// of the seed, independent of Workers.
 	Obs *obs.Recorder
+
+	// Repetitions is the campaign's repetition-cohort size (0 or 1: the
+	// classic single run). Repetition 0 is bit-identical to a single run;
+	// later repetitions draw independent noise and fault streams, and the
+	// triage engine judges every characterization cell on cross-repetition
+	// agreement. The report's tables and figures always render repetition 0.
+	Repetitions int
+	// MinValid is the publishability floor in valid repetitions per cell
+	// (0: every repetition must be valid).
+	MinValid int
+	// TriageOut, when set, writes the machine-readable triage report
+	// (reports/baseline.json) to this path. Triage engages when TriageOut
+	// is set, Repetitions > 1 or MinValid > 0; otherwise the run is
+	// byte-identical to the pre-triage engine.
+	TriageOut string
+	// CodeVersion overrides the cohort's code-version stamp; empty
+	// resolves the running binary's VCS revision (or "unknown").
+	CodeVersion string
+}
+
+// triageOn reports whether the validity-triage engine engages.
+func (o *Options) triageOn() bool {
+	return o.TriageOut != "" || o.Repetitions > 1 || o.MinValid > 0
 }
 
 // workers resolves the configured pool width.
@@ -126,17 +150,43 @@ type harness struct {
 	res        *fault.Resilience
 	journal    *characterize.Journal
 	ownJournal bool // opened here (Checkpoint) vs lent by the caller (Journal)
+	triage     *validity.Triage
 	degraded   []characterize.Degradation
 	dropped    map[string][]core.DroppedBench
 	retries    int
 }
 
-// newHarness resolves the fault/checkpoint/observability options. The
-// harness engages when a fault profile, a checkpoint path or journal, or a
-// recorder is configured; a checkpoint or recorder without faults runs a
-// fault-free campaign through the same code path.
-func newHarness(opts Options) (*harness, error) {
+// campaignCohort assembles the run's cohort identity — the exact same
+// construction session.Open uses, so a journal a Session created and one
+// this package opens from Options.Checkpoint carry identical headers.
+func campaignCohort(opts Options, boardNames []string) validity.Cohort {
+	spec := ""
+	if opts.Faults != nil {
+		spec = opts.Faults.String()
+	}
+	code := opts.CodeVersion
+	if code == "" {
+		code = validity.ResolveCodeVersion()
+	}
+	return validity.Cohort{
+		Seed:        opts.Seed,
+		Boards:      boardNames,
+		Profile:     spec,
+		CodeVersion: code,
+	}
+}
+
+// newHarness resolves the fault/checkpoint/observability/triage options.
+// The fault harness engages when a fault profile, a checkpoint path or
+// journal, or a recorder is configured; a checkpoint or recorder without
+// faults runs a fault-free campaign through the same code path. The
+// triage engine engages independently (Options.triageOn) — a fault-free
+// repetition cohort still gets judged.
+func newHarness(opts Options, cohort validity.Cohort) (*harness, error) {
 	h := &harness{dropped: map[string][]core.DroppedBench{}}
+	if opts.triageOn() {
+		h.triage = validity.NewTriage(cohort, opts.Repetitions, opts.MinValid, 0)
+	}
 	h.use = opts.Faults != nil || opts.Checkpoint != "" || opts.Journal != nil || opts.Obs != nil
 	if !h.use {
 		return h, nil
@@ -152,11 +202,10 @@ func newHarness(opts Options) (*harness, error) {
 	case opts.Journal != nil:
 		h.journal = opts.Journal
 	case opts.Checkpoint != "":
-		spec := ""
-		if opts.Faults != nil {
-			spec = opts.Faults.String()
-		}
-		j, err := characterize.OpenJournal(opts.Checkpoint, opts.Seed, spec)
+		// The journal is bound to the full cohort; resuming under any other
+		// configuration is a hard *characterize.CohortMismatchError with
+		// the journal preserved on disk.
+		j, err := characterize.OpenJournalCohort(opts.Checkpoint, characterize.JournalConfig{Cohort: cohort})
 		if err != nil {
 			return nil, err
 		}
@@ -205,6 +254,10 @@ type Result struct {
 	CheckpointHits int
 	Dropped        map[string][]core.DroppedBench
 
+	// Triage is the finalized validity report (nil unless the triage
+	// engine engaged — see Options.TriageOut/Repetitions/MinValid).
+	Triage *validity.Report
+
 	Elapsed time.Duration
 }
 
@@ -224,9 +277,19 @@ func RunContext(ctx context.Context, opts Options, w io.Writer) (*Result, error)
 	if opts.MaxVars <= 0 {
 		opts.MaxVars = core.MaxVariables
 	}
+	if opts.Repetitions < 1 {
+		opts.Repetitions = 1
+	}
+	if opts.MinValid < 0 || opts.MinValid > opts.Repetitions {
+		return nil, fmt.Errorf("reproduce: min-valid %d outside [0, repetitions=%d]", opts.MinValid, opts.Repetitions)
+	}
 	boards, err := resolveBoards(opts.Boards)
 	if err != nil {
 		return nil, err
+	}
+	boardNames := make([]string, len(boards))
+	for i, spec := range boards {
+		boardNames[i] = spec.Name
 	}
 	res := &Result{
 		MeanImprovementPct: map[string]float64{},
@@ -236,7 +299,7 @@ func RunContext(ctx context.Context, opts Options, w io.Writer) (*Result, error)
 		PowerErrW:          map[string]float64{},
 		TimeErrPct:         map[string]float64{},
 	}
-	h, err := newHarness(opts)
+	h, err := newHarness(opts, campaignCohort(opts, boardNames))
 	if err != nil {
 		return nil, err
 	}
@@ -293,6 +356,17 @@ func RunContext(ctx context.Context, opts Options, w io.Writer) (*Result, error)
 		writeDegradationSummary(h, w)
 	}
 
+	if h.triage != nil {
+		trep := h.triage.Finalize()
+		res.Triage = trep
+		writeTriageSummary(trep, w)
+		if opts.TriageOut != "" {
+			if err := trep.WriteFile(opts.TriageOut); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	if opts.SelfCheck {
 		fmt.Fprintln(w, "== Apparatus self-check ==")
 		fmt.Fprintln(w)
@@ -346,6 +420,26 @@ func writeDegradationSummary(h *harness, w io.Writer) {
 	fmt.Fprintf(w, "\n%d degraded cells, %d dropped benchmarks\n\n", len(h.degraded), ndropped)
 }
 
+// writeTriageSummary renders the human form of the validity triage: the
+// cohort line, verdict counts and every non-VALID cell with its reason.
+func writeTriageSummary(trep *validity.Report, w io.Writer) {
+	fmt.Fprintln(w, "== Campaign validity triage ==")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, trep.Summary())
+	for _, c := range trep.Cells {
+		if c.Class == validity.Valid {
+			continue
+		}
+		fmt.Fprintf(w, "  %s %s/%s/%s@%s: %s\n", c.Class, c.Table, c.Board, c.Bench, c.Pair, c.Reason)
+	}
+	if trep.Publishable() {
+		fmt.Fprintln(w, "publishable: yes")
+	} else {
+		fmt.Fprintln(w, "publishable: NO")
+	}
+	fmt.Fprintln(w)
+}
+
 // saveArtifact writes content under the artifacts directory; no-op when
 // the directory is unset.
 func saveArtifact(dir, name, content string) error {
@@ -397,20 +491,33 @@ func runCharacterization(ctx context.Context, opts Options, boards []*arch.Spec,
 	// nil-Resilience configuration and byte-identical to the historical
 	// plain path. The track prefix keys the phase's virtual timelines
 	// ("1.fig", "2.table4" — the numbers make the sorted export layout
-	// follow campaign order).
-	sweep := func(prefix string, benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
-		out, err := characterize.Sweep(ctx, boardNames, benches, characterize.SweepOptions{
+	// follow campaign order). With Repetitions > 1 each sweep runs as a
+	// repetition cohort; the report renders repetition 0 (bit-identical to
+	// a single run) and the triage engine judges cells across the cohort
+	// under the named provenance table.
+	sweep := func(prefix, table string, benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
+		reps, err := characterize.SweepReps(ctx, boardNames, benches, characterize.SweepOptions{
 			Seed:        opts.Seed,
 			Workers:     opts.workers(),
 			Res:         h.res,
 			Journal:     h.journal,
 			Obs:         opts.Obs,
 			TrackPrefix: prefix,
-		})
-		if err == nil && h.use {
-			h.note(out)
+		}, opts.Repetitions)
+		if err != nil {
+			return nil, err
 		}
-		return out, err
+		if h.use {
+			// The degradation summary covers the campaign itself (repetition
+			// 0); the cross-repetition story is the triage report's.
+			h.note(reps[0])
+		}
+		if h.triage != nil {
+			if err := characterize.ObserveTriageReps(h.triage, table, reps); err != nil {
+				return nil, err
+			}
+		}
+		return reps[0], nil
 	}
 
 	// Figs. 1–3: the three showcase benchmarks. The (benchmark, board)
@@ -424,7 +531,7 @@ func runCharacterization(ctx context.Context, opts Options, boards []*arch.Spec,
 	for i, sc := range showcases {
 		showBenches[i] = workloads.ByName(sc.bench)
 	}
-	showSweeps, err := sweep("1.fig", showBenches)
+	showSweeps, err := sweep("1.fig", "fig1-3", showBenches)
 	if err != nil {
 		return err
 	}
@@ -449,23 +556,41 @@ func runCharacterization(ctx context.Context, opts Options, boards []*arch.Spec,
 		}
 	}
 
-	// Table IV and Fig. 4 over the full Table IV benchmark set.
-	all, err := sweep("2.table4", workloads.Table4())
+	// Table IV and Fig. 4 over the full Table IV benchmark set. The Table
+	// IV renderer consults the triage verdicts: a best-pair claim prints
+	// only for cells the cohort judged VALID.
+	all, err := sweep("2.table4", "table4", workloads.Table4())
 	if err != nil {
 		return err
 	}
 	for _, spec := range boards {
 		res.MeanImprovementPct[spec.Name] = characterize.MeanImprovementPct(all[spec.Name])
 	}
-	fmt.Fprintln(w, report.Table4(boards, all).String())
+	fmt.Fprintln(w, report.Table4(boards, all, h.triage).String())
 	fmt.Fprintln(w, report.Fig4(boards, all))
-	if err := saveArtifact(opts.ArtifactsDir, "table4.csv", report.Table4(boards, all).CSV()); err != nil {
+	if err := saveArtifact(opts.ArtifactsDir, "table4.csv", report.Table4(boards, all, h.triage).CSV()); err != nil {
 		return err
 	}
 	if err := saveArtifact(opts.ArtifactsDir, "fig4.txt", report.Fig4(boards, all)); err != nil {
 		return err
 	}
 	return nil
+}
+
+// observeModelingTriage feeds one board's modeling collection into the
+// triage engine under the "modeling" provenance table: a benchmark whose
+// retry budget was exhausted is an INFRA_FLAKE naming the fault point;
+// the survivors are VALID single runs.
+func observeModelingTriage(tr *validity.Triage, board string, ds *core.Dataset) error {
+	dropped := map[string]string{}
+	for _, d := range ds.Dropped {
+		dropped[d.Benchmark] = fmt.Sprintf("retry budget exhausted at %s; dropped from the modeling set", d.Point)
+	}
+	benches := make([]string, 0, len(workloads.ModelingSet()))
+	for _, b := range workloads.ModelingSet() {
+		benches = append(benches, b.Name)
+	}
+	return validity.ObserveModeling(tr, board, benches, dropped)
 }
 
 func runModeling(ctx context.Context, opts Options, boards []*arch.Spec, h *harness, res *Result, w io.Writer) error {
@@ -482,6 +607,11 @@ func runModeling(ctx context.Context, opts Options, boards []*arch.Spec, h *harn
 			core.CollectOptions{Seed: opts.Seed, Workers: opts.workers(), Res: h.res})
 		if err != nil {
 			return err
+		}
+		if h.triage != nil {
+			if err := observeModelingTriage(h.triage, spec.Name, ds); err != nil {
+				return err
+			}
 		}
 		if h.use {
 			h.retries += ds.Retries

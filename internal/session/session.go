@@ -50,6 +50,7 @@ import (
 	"gpuperf/internal/fault"
 	"gpuperf/internal/obs"
 	"gpuperf/internal/reproduce"
+	"gpuperf/internal/validity"
 	"gpuperf/internal/workloads"
 )
 
@@ -85,6 +86,21 @@ type Config struct {
 	Cache bool
 	// ArtifactsDir, when set, receives Reproduce's per-table/figure files.
 	ArtifactsDir string
+
+	// Repetitions is the campaign's repetition-cohort size (0 or 1: the
+	// classic single run). Repetition 0 is bit-identical to a single run;
+	// later repetitions draw independent noise and fault streams, and the
+	// triage engine gates publishability on cross-repetition agreement.
+	Repetitions int
+	// MinValid is the publishability floor: a cell needs at least this
+	// many valid repetitions (0: all of them).
+	MinValid int
+	// TriageOut, when set, writes the machine-readable triage report
+	// (reports/baseline.json) to this path after Reproduce.
+	TriageOut string
+	// CodeVersion overrides the cohort's code-version stamp; empty
+	// resolves the running binary's VCS revision (or "unknown").
+	CodeVersion string
 }
 
 // DefaultConfig mirrors the paper's configuration.
@@ -144,6 +160,20 @@ func WithCache(enabled bool) Option { return func(c *Config) { c.Cache = enabled
 // WithArtifactsDir routes Reproduce's per-table/figure files to dir.
 func WithArtifactsDir(dir string) Option { return func(c *Config) { c.ArtifactsDir = dir } }
 
+// WithRepetitions sets the repetition-cohort size (see Config.Repetitions).
+func WithRepetitions(n int) Option { return func(c *Config) { c.Repetitions = n } }
+
+// WithMinValid sets the publishability floor in valid repetitions per
+// cell (0: every repetition must be valid).
+func WithMinValid(n int) Option { return func(c *Config) { c.MinValid = n } }
+
+// WithTriageOut writes the machine-readable triage report to path after
+// Reproduce.
+func WithTriageOut(path string) Option { return func(c *Config) { c.TriageOut = path } }
+
+// WithCodeVersion pins the cohort's code-version stamp (tests mostly).
+func WithCodeVersion(v string) Option { return func(c *Config) { c.CodeVersion = v } }
+
 // Session owns one campaign stack. Build with New, release with Close.
 // A Session is safe for concurrent campaign calls — the engines share no
 // mutable state beyond the session's own resilience policy and journal,
@@ -151,6 +181,7 @@ func WithArtifactsDir(dir string) Option { return func(c *Config) { c.ArtifactsD
 type Session struct {
 	cfg     Config
 	boards  []*arch.Spec
+	cohort  validity.Cohort
 	res     *fault.Resilience
 	journal *characterize.Journal
 
@@ -185,7 +216,26 @@ func Open(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Repetitions < 1 {
+		cfg.Repetitions = 1
+	}
+	if cfg.MinValid < 0 || cfg.MinValid > cfg.Repetitions {
+		return nil, fmt.Errorf("session: min-valid %d outside [0, repetitions=%d]", cfg.MinValid, cfg.Repetitions)
+	}
+	if cfg.CodeVersion == "" {
+		cfg.CodeVersion = validity.ResolveCodeVersion()
+	}
 	s := &Session{cfg: cfg, boards: boards}
+	spec := ""
+	if cfg.Faults != nil {
+		spec = cfg.Faults.String()
+	}
+	s.cohort = validity.Cohort{
+		Seed:        cfg.Seed,
+		Boards:      s.BoardNames(),
+		Profile:     spec,
+		CodeVersion: cfg.CodeVersion,
+	}
 
 	// The harness engages when a fault profile, a checkpoint or a recorder
 	// is configured; a checkpoint or recorder without faults runs a
@@ -200,15 +250,22 @@ func Open(cfg Config) (*Session, error) {
 		s.res.Observe()
 	}
 	if cfg.Checkpoint != "" {
-		spec := ""
-		if cfg.Faults != nil {
-			spec = cfg.Faults.String()
-		}
-		j, err := characterize.OpenJournal(cfg.Checkpoint, cfg.Seed, spec)
+		// The journal is bound to the full cohort: resuming under any other
+		// configuration is a hard *characterize.CohortMismatchError, with
+		// the journal preserved on disk.
+		j, err := characterize.OpenJournalCohort(cfg.Checkpoint, characterize.JournalConfig{Cohort: s.cohort})
 		if err != nil {
 			return nil, err
 		}
 		s.journal = j
+	}
+	if cfg.Obs != nil {
+		// Stamp the cohort identity into the metrics exposition so every
+		// recorded artifact names the campaign it measured.
+		cfg.Obs.Metrics().Gauge("campaign_cohort_info",
+			"campaign cohort identity (value is always 1; identity is in the labels)",
+			obs.L("cohort", s.cohort.Hash()),
+			obs.L("code_version", cfg.CodeVersion)).Set(1)
 	}
 	s.restoreCache = driver.PushLaunchCachingEnabled(cfg.Cache)
 	return s, nil
@@ -267,6 +324,16 @@ func (s *Session) BoardNames() []string {
 // checkpoint is configured) — owned by the session; do not Close it.
 func (s *Session) Journal() *characterize.Journal { return s.journal }
 
+// Cohort returns the session's campaign identity — the configuration
+// every journal header, triage report and metrics exposition is bound to.
+func (s *Session) Cohort() validity.Cohort { return s.cohort }
+
+// NewTriage builds a triage engine bound to the session's cohort and
+// repetition policy. Each campaign should finalize exactly one triage.
+func (s *Session) NewTriage() *validity.Triage {
+	return validity.NewTriage(s.cohort, s.cfg.Repetitions, s.cfg.MinValid, 0)
+}
+
 // sweepOptions assembles the engine options shared by every sweep.
 func (s *Session) sweepOptions(trackPrefix string) characterize.SweepOptions {
 	return characterize.SweepOptions{
@@ -286,6 +353,16 @@ func (s *Session) sweepOptions(trackPrefix string) characterize.SweepOptions {
 //gpulint:deterministic
 func (s *Session) Sweep(ctx context.Context, benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
 	return characterize.Sweep(ctx, s.BoardNames(), benches, s.sweepOptions(""))
+}
+
+// Repeat runs the session's repetition cohort: Config.Repetitions sweeps
+// of the benches over every session board, one result map per
+// repetition. Repetition 0 is bit-identical to Sweep; later repetitions
+// draw independent noise and fault streams (and share the launch cache,
+// so the marginal cost of a repetition is metering, not simulation).
+// Feed the result to a triage engine with characterize.ObserveTriageReps.
+func (s *Session) Repeat(ctx context.Context, benches []*workloads.Benchmark) ([]map[string][]*characterize.BenchResult, error) {
+	return characterize.SweepReps(ctx, s.BoardNames(), benches, s.sweepOptions(""), s.cfg.Repetitions)
 }
 
 // SweepBoard sweeps one board's benchmarks; the board need not be in the
@@ -342,6 +419,10 @@ func (s *Session) ReproduceOptions() reproduce.Options {
 	opts.LaunchTimeout = s.cfg.LaunchTimeout
 	opts.Journal = s.journal
 	opts.Obs = s.cfg.Obs
+	opts.Repetitions = s.cfg.Repetitions
+	opts.MinValid = s.cfg.MinValid
+	opts.TriageOut = s.cfg.TriageOut
+	opts.CodeVersion = s.cfg.CodeVersion
 	return opts
 }
 

@@ -1,0 +1,101 @@
+package validity
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Cohort is a campaign's identity: the configuration under which every
+// one of its measurements was taken. Two runs belong to the same cohort
+// — and only then may share a checkpoint journal or be aggregated into
+// one triage report — when all four fields match. The hash is stamped
+// into the journal header, the metrics exposition
+// (campaign_cohort_info) and the triage report.
+type Cohort struct {
+	// Seed drives every noise and fault stream.
+	Seed int64 `json:"seed"`
+	// Boards is the resolved board set, in campaign order.
+	Boards []string `json:"boards"`
+	// Profile is the canonical fault-profile spec ("" when fault-free).
+	Profile string `json:"profile"`
+	// CodeVersion identifies the code that produced the measurements —
+	// the VCS revision when the binary carries one, else "unknown".
+	// Resolve with ResolveCodeVersion; tests may pin it.
+	CodeVersion string `json:"code_version"`
+}
+
+// canonical renders the cohort as one unambiguous line. Board names
+// cannot contain newlines or the field separator, so the rendering is
+// injective.
+func (c Cohort) canonical() string {
+	return fmt.Sprintf("seed=%d|boards=%s|profile=%s|code=%s",
+		c.Seed, strings.Join(c.Boards, ","), c.Profile, c.CodeVersion)
+}
+
+// Hash returns the cohort's identity hash: the first 16 hex digits of
+// the SHA-256 of the canonical rendering. Deterministic across runs,
+// worker counts and platforms.
+//
+//gpulint:deterministic
+func (c Cohort) Hash() string {
+	sum := sha256.Sum256([]byte(c.canonical()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// String renders the cohort for error messages and report headers.
+func (c Cohort) String() string {
+	profile := c.Profile
+	if profile == "" {
+		profile = "fault-free"
+	}
+	return fmt.Sprintf("cohort %s (seed %d, %d boards, %s, code %s)",
+		c.Hash(), c.Seed, len(c.Boards), profile, c.CodeVersion)
+}
+
+// Equal reports whether two cohorts are the same campaign identity.
+func (c Cohort) Equal(o Cohort) bool {
+	if c.Seed != o.Seed || c.Profile != o.Profile || c.CodeVersion != o.CodeVersion ||
+		len(c.Boards) != len(o.Boards) {
+		return false
+	}
+	for i := range c.Boards {
+		if c.Boards[i] != o.Boards[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveCodeVersion derives the running binary's code-version stamp
+// from its embedded build info: the VCS revision (suffixed "+dirty"
+// when the worktree was modified) when present, else "unknown" — test
+// binaries and `go run` builds usually carry no VCS stamp, and two
+// "unknown" builds are deliberately treated as the same version rather
+// than poisoning every local journal.
+func ResolveCodeVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	revision, modified := "", ""
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if revision == "" {
+		return "unknown"
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	return revision + modified
+}

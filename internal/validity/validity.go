@@ -1,0 +1,130 @@
+// Package validity is the campaign triage engine: the benchmarking
+// validity policy of ROADMAP open item 5 ported into code. Every
+// measurement a campaign produces is classified into one of three
+// classes — VALID, MODEL_FAILURE, INFRA_FLAKE — by rule, not by
+// eyeball, and a table cell is "publishable" only when enough valid
+// repetitions back it and they agree with each other.
+//
+// The pieces:
+//
+//   - Class / Verdict: the three-way classification plus a
+//     human-readable reason ("retry budget exhausted at launch.hang
+//     after 5 attempts"). ClassifyRun maps the fault layer's outcomes
+//     (quarantined pairs, exhausted retries, watchdog kills,
+//     low-confidence meter windows) onto run verdicts.
+//   - Cohort: the campaign identity — seed, board set, canonical fault
+//     profile and a code-version hash. Its hash is stamped into the
+//     checkpoint journal header, the metrics exposition and the triage
+//     report; a mismatch is a hard error, never a silent reset.
+//   - Triage: the accumulator. Sweeps feed it one Run per
+//     (table, board, bench, pair, repetition); Finalize applies the
+//     repetition gate (≥ MinValid valid runs per cell) and the
+//     deterministic cross-repetition agreement check, and emits the
+//     machine-readable Report (reports/baseline.json).
+//
+// The class semantics follow the usual benchmarking-triage taxonomy:
+//
+//   - VALID: the measurement exists, its meter confidence clears the
+//     floor, and — in a repetition cohort — enough repetitions agree.
+//   - INFRA_FLAKE: the harness, not the subject, failed — retry budgets
+//     exhausted (boot.fail, clockset.fail, launch.hang watchdog kills),
+//     or a meter window whose confidence fell below the floor. The cell
+//     holds no defensible measurement.
+//   - MODEL_FAILURE: the measurements exist and are individually
+//     confident, but repetitions disagree beyond tolerance — the
+//     subject's behaviour, not the harness, is unstable.
+//
+// Everything here is a pure function of its inputs: triage of the same
+// campaign is byte-identical at any worker count.
+package validity
+
+import (
+	"fmt"
+)
+
+// Class is the three-way triage classification.
+type Class string
+
+const (
+	// Valid marks a defensible measurement (or cell).
+	Valid Class = "VALID"
+	// ModelFailure marks measurements that exist but disagree across
+	// repetitions — the subject is unstable, not the harness.
+	ModelFailure Class = "MODEL_FAILURE"
+	// InfraFlake marks harness-level failures: exhausted retry budgets,
+	// watchdog kills, boot failures, low-confidence meter windows.
+	InfraFlake Class = "INFRA_FLAKE"
+)
+
+// Classes lists the classes in report order.
+func Classes() []Class { return []Class{Valid, ModelFailure, InfraFlake} }
+
+// KnownClass reports whether c is one of the three triage classes.
+func KnownClass(c Class) bool {
+	return c == Valid || c == ModelFailure || c == InfraFlake
+}
+
+// Verdict is one classification with its reason. The zero value is not
+// a verdict — producers must classify explicitly.
+type Verdict struct {
+	Class  Class  `json:"class"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// DefaultMinConfidence is the meter-window confidence floor: a
+// measurement reconstructed beyond this fraction of interpolated
+// samples is an infrastructure flake, not a measurement.
+const DefaultMinConfidence = 0.9
+
+// RunFacts is what one sweep cell's run exposes to classification —
+// the fault-campaign bookkeeping the resilient harness already
+// records on every PairResult.
+type RunFacts struct {
+	// Quarantined marks a cell that exhausted its retry budget and
+	// holds no measurement; FailPoint names the fault that kept firing
+	// (e.g. "launch.hang" for watchdog kills, "boot.fail" for a board
+	// that never came up).
+	Quarantined bool
+	FailPoint   string
+	// Retries is the number of attempts beyond the first.
+	Retries int
+	// Confidence is the measurement's genuine-sample fraction (1 for a
+	// clean measurement, 0 for a quarantined cell); Interpolated counts
+	// the reconstructed samples.
+	Confidence   float64
+	Interpolated int
+}
+
+// ClassifyRun maps one run's fault outcomes onto a verdict:
+//
+//   - quarantined (retry budget exhausted, watchdog kill, dead boot)
+//     → INFRA_FLAKE naming the fault point and the attempt count;
+//   - meter confidence below the floor → INFRA_FLAKE with a distinct
+//     low-confidence reason naming the interpolation damage;
+//   - confidence below 1 but above the floor → VALID, with the
+//     interpolation noted so the triage report stays traceable;
+//   - clean → VALID with no reason.
+//
+// Cross-repetition disagreement (MODEL_FAILURE) is a cohort property
+// and is judged by Triage, never by a single run.
+func ClassifyRun(f RunFacts) Verdict {
+	if f.Quarantined {
+		point := f.FailPoint
+		if point == "" {
+			point = "unknown fault"
+		}
+		return Verdict{Class: InfraFlake,
+			Reason: fmt.Sprintf("retry budget exhausted at %s after %d attempts", point, f.Retries+1)}
+	}
+	if f.Confidence > 0 && f.Confidence < DefaultMinConfidence {
+		return Verdict{Class: InfraFlake,
+			Reason: fmt.Sprintf("meter confidence %.2f below %.2f floor (%d samples interpolated)",
+				f.Confidence, DefaultMinConfidence, f.Interpolated)}
+	}
+	if f.Interpolated > 0 {
+		return Verdict{Class: Valid,
+			Reason: fmt.Sprintf("accepted with %d interpolated samples (confidence %.2f)",
+				f.Interpolated, f.Confidence)}
+	}
+	return Verdict{Class: Valid}
+}

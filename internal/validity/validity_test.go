@@ -1,0 +1,225 @@
+package validity
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestClassifyRun(t *testing.T) {
+	cases := []struct {
+		name   string
+		facts  RunFacts
+		class  Class
+		reason string // required substring
+	}{
+		{"clean", RunFacts{Confidence: 1}, Valid, ""},
+		{"quarantined hang", RunFacts{Quarantined: true, FailPoint: "launch.hang", Retries: 4},
+			InfraFlake, "retry budget exhausted at launch.hang after 5 attempts"},
+		{"quarantined boot", RunFacts{Quarantined: true, FailPoint: "boot.fail", Retries: 1},
+			InfraFlake, "boot.fail after 2 attempts"},
+		{"quarantined unattributed", RunFacts{Quarantined: true},
+			InfraFlake, "unknown fault"},
+		{"low confidence", RunFacts{Confidence: 0.5, Interpolated: 120},
+			InfraFlake, "meter confidence 0.50 below 0.90 floor (120 samples interpolated)"},
+		{"accepted degraded", RunFacts{Confidence: 0.97, Interpolated: 3},
+			Valid, "accepted with 3 interpolated samples"},
+	}
+	for _, tc := range cases {
+		v := ClassifyRun(tc.facts)
+		if v.Class != tc.class {
+			t.Errorf("%s: class %s, want %s", tc.name, v.Class, tc.class)
+		}
+		if tc.reason != "" && !strings.Contains(v.Reason, tc.reason) {
+			t.Errorf("%s: reason %q missing %q", tc.name, v.Reason, tc.reason)
+		}
+		if tc.reason == "" && v.Reason != "" {
+			t.Errorf("%s: unexpected reason %q", tc.name, v.Reason)
+		}
+	}
+}
+
+func TestCohortHashStableAndSensitive(t *testing.T) {
+	base := Cohort{Seed: 42, Boards: []string{"GTX 480", "GTX 680"}, Profile: "", CodeVersion: "test"}
+	if base.Hash() != base.Hash() {
+		t.Fatal("cohort hash is not stable")
+	}
+	if !base.Equal(base) {
+		t.Fatal("cohort not equal to itself")
+	}
+	variants := []Cohort{
+		{Seed: 43, Boards: base.Boards, Profile: base.Profile, CodeVersion: base.CodeVersion},
+		{Seed: 42, Boards: []string{"GTX 480"}, Profile: base.Profile, CodeVersion: base.CodeVersion},
+		{Seed: 42, Boards: base.Boards, Profile: "launch.hang:0.02", CodeVersion: base.CodeVersion},
+		{Seed: 42, Boards: base.Boards, Profile: base.Profile, CodeVersion: "other"},
+	}
+	for i, v := range variants {
+		if v.Hash() == base.Hash() {
+			t.Errorf("variant %d shares the base hash", i)
+		}
+		if v.Equal(base) {
+			t.Errorf("variant %d compares equal to base", i)
+		}
+	}
+}
+
+func cleanRun(rep int, time, watts float64) Run {
+	return Run{Rep: rep, Verdict: Verdict{Class: Valid}, Time: time, Watts: watts, Energy: time * watts, Confidence: 1}
+}
+
+func TestTriageRepetitionGate(t *testing.T) {
+	cohort := Cohort{Seed: 42, Boards: []string{"B"}, CodeVersion: "test"}
+	tr := NewTriage(cohort, 3, 2, 0.05)
+
+	// Cell A: three agreeing repetitions — VALID.
+	for rep := 0; rep < 3; rep++ {
+		if err := tr.Observe("table4", "B", "a", "(H-H)", cleanRun(rep, 1.0+0.001*float64(rep), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cell B: one flake, two valid — still VALID (floor is 2), reason notes the flake.
+	if err := tr.Observe("table4", "B", "b", "(H-H)",
+		Run{Rep: 0, Verdict: Verdict{Class: InfraFlake, Reason: "retry budget exhausted at launch.hang after 5 attempts"}}); err != nil {
+		t.Fatal(err)
+	}
+	for rep := 1; rep < 3; rep++ {
+		if err := tr.Observe("table4", "B", "b", "(H-H)", cleanRun(rep, 2.0, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cell C: two flakes — below the floor, INFRA_FLAKE blaming the fault.
+	for rep := 0; rep < 2; rep++ {
+		if err := tr.Observe("table4", "B", "c", "(H-H)",
+			Run{Rep: rep, Verdict: Verdict{Class: InfraFlake, Reason: "retry budget exhausted at boot.fail after 3 attempts"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Observe("table4", "B", "c", "(H-H)", cleanRun(2, 2.0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	// Cell D: valid repetitions that disagree — MODEL_FAILURE.
+	if err := tr.Observe("table4", "B", "d", "(H-H)", cleanRun(0, 1.0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe("table4", "B", "d", "(H-H)", cleanRun(1, 1.5, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe("table4", "B", "d", "(H-H)", cleanRun(2, 1.0, 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]Class{"a": Valid, "b": Valid, "c": InfraFlake, "d": ModelFailure}
+	for bench, class := range want {
+		v, ok := tr.CellVerdict("table4", "B", bench, "(H-H)")
+		if !ok {
+			t.Fatalf("%s: no verdict", bench)
+		}
+		if v.Class != class {
+			t.Errorf("%s: class %s (%s), want %s", bench, v.Class, v.Reason, class)
+		}
+	}
+	if v, _ := tr.CellVerdict("table4", "B", "b", "(H-H)"); !strings.Contains(v.Reason, "infra flakes tolerated") {
+		t.Errorf("cell b reason %q does not note the tolerated flake", v.Reason)
+	}
+	if v, _ := tr.CellVerdict("table4", "B", "c", "(H-H)"); !strings.Contains(v.Reason, "boot.fail") {
+		t.Errorf("cell c reason %q does not blame boot.fail", v.Reason)
+	}
+	if v, _ := tr.CellVerdict("table4", "B", "d", "(H-H)"); !strings.Contains(v.Reason, "time spread") {
+		t.Errorf("cell d reason %q does not name the disagreeing metric", v.Reason)
+	}
+
+	// Bench-level aggregation: any non-valid pair poisons the group.
+	for rep := 0; rep < 2; rep++ {
+		if err := tr.Observe("table4", "B", "e", "(H-H)", cleanRun(rep, 1, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Observe("table4", "B", "e", "(L-L)",
+		Run{Rep: 0, Verdict: Verdict{Class: InfraFlake, Reason: "retry budget exhausted at launch.hang after 2 attempts"}}); err != nil {
+		t.Fatal(err)
+	}
+	bv, ok := tr.BenchVerdict("table4", "B", "e")
+	if !ok || bv.Class != InfraFlake || !strings.Contains(bv.Reason, "(L-L)") {
+		t.Errorf("bench verdict = %+v (ok=%v), want INFRA_FLAKE naming (L-L)", bv, ok)
+	}
+
+	// Duplicate observation is an error, unknown class too.
+	if err := tr.Observe("table4", "B", "a", "(H-H)", cleanRun(0, 1, 1)); err == nil {
+		t.Error("duplicate (cell, rep) observation accepted")
+	}
+	if err := tr.Observe("table4", "B", "z", "(H-H)", Run{Rep: 0}); err == nil {
+		t.Error("unclassified run accepted")
+	}
+}
+
+func TestReportRoundTripAndValidation(t *testing.T) {
+	cohort := Cohort{Seed: 7, Boards: []string{"GTX 480"}, Profile: "launch.hang:1", CodeVersion: "test"}
+	tr := NewTriage(cohort, 1, 1, 0)
+	if err := tr.Observe("table4", "GTX 480", "backprop", "(H-H)", cleanRun(0, 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe("table4", "GTX 480", "backprop", "(L-L)",
+		Run{Rep: 0, Verdict: Verdict{Class: InfraFlake, Reason: "retry budget exhausted at launch.hang after 6 attempts"}}); err != nil {
+		t.Fatal(err)
+	}
+	rep := tr.Finalize()
+	if rep.Counts[Valid] != 1 || rep.Counts[InfraFlake] != 1 {
+		t.Fatalf("counts %+v, want 1 VALID + 1 INFRA_FLAKE", rep.Counts)
+	}
+	if rep.Publishable() {
+		t.Error("report with an INFRA_FLAKE cell claims publishability")
+	}
+	tbl := rep.Tables["table4"]
+	if tbl.Cells != 2 || tbl.Publishable != 1 || len(tbl.Unstable) != 1 {
+		t.Errorf("table provenance %+v", tbl)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	buf.Reset()
+	if err := tr.Finalize().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != first {
+		t.Error("finalizing twice produced different bytes")
+	}
+
+	back, err := ReadReport([]byte(first))
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if back.CohortHash != cohort.Hash() {
+		t.Errorf("round-tripped cohort hash %s, want %s", back.CohortHash, cohort.Hash())
+	}
+
+	// Structural validation catches tampering.
+	tampered := strings.Replace(first, `"VALID": 1`, `"VALID": 2`, 1)
+	if tampered == first {
+		t.Fatal("tamper target not found in report JSON")
+	}
+	if _, err := ReadReport([]byte(tampered)); err == nil {
+		t.Error("count-tampered report validated")
+	}
+}
+
+func TestSpread(t *testing.T) {
+	cases := []struct {
+		values []float64
+		want   float64
+	}{
+		{nil, 0},
+		{[]float64{1}, 0},
+		{[]float64{1, 1, 1}, 0},
+		{[]float64{0.95, 1.0, 1.05}, 0.1},
+		{[]float64{2, 1}, 2.0 / 3.0},
+	}
+	for i, tc := range cases {
+		got := spread(tc.values)
+		if diff := got - tc.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("case %d: spread=%v, want %v", i, got, tc.want)
+		}
+	}
+}

@@ -58,12 +58,12 @@ func main() {
 		cliflags.Fatal("characterize", err)
 	}
 	defer s.Close()
-	defer camp.StartProgress(cfg.Obs, os.Stderr,
-		"characterize_cells_total", "fault_retries_total",
-		"characterize_cells_quarantined_total", "driver_launch_cache_hits_total")()
-
 	ctx, stop := cliflags.SignalContext()
 	defer stop()
+
+	defer camp.StartProgress(ctx, cfg.Obs, os.Stderr,
+		"characterize_cells_total", "fault_retries_total",
+		"characterize_cells_quarantined_total", "driver_launch_cache_hits_total")()
 
 	if *table == 0 && *fig == 0 && !*suite {
 		*all = true

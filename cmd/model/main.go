@@ -62,12 +62,12 @@ func main() {
 	if cfg.Obs != nil {
 		defer regress.Observe(cfg.Obs.Metrics())()
 	}
-	defer camp.StartProgress(cfg.Obs, os.Stderr,
-		"core_rows_total", "fault_retries_total", "core_benches_dropped_total",
-		"driver_launch_cache_hits_total")()
-
 	ctx, stop := cliflags.SignalContext()
 	defer stop()
+
+	defer camp.StartProgress(ctx, cfg.Obs, os.Stderr,
+		"core_rows_total", "fault_retries_total", "core_benches_dropped_total",
+		"driver_launch_cache_hits_total")()
 
 	boards := s.Boards()
 	var tr *validity.Triage

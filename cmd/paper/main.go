@@ -59,13 +59,13 @@ func main() {
 		cliflags.Fatal("paper", err)
 	}
 	defer s.Close()
-	defer camp.StartProgress(cfg.Obs, os.Stderr,
+	ctx, stop := cliflags.SignalContext()
+	defer stop()
+
+	defer camp.StartProgress(ctx, cfg.Obs, os.Stderr,
 		"characterize_cells_total", "core_rows_total", "fault_retries_total",
 		"characterize_cells_quarantined_total", "driver_launch_cache_hits_total",
 		"meter_windows_interpolated_total")()
-
-	ctx, stop := cliflags.SignalContext()
-	defer stop()
 
 	w := os.Stdout
 	if *out != "" {

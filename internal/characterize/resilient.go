@@ -54,6 +54,17 @@ type SweepOptions struct {
 	// independent fault and noise streams. Callers normally go through
 	// SweepReps, which also derives the per-repetition seed.
 	Rep int
+	// Fanout, when non-nil, receives live scope-tagged power samples from
+	// every metered run (see driver.PowerFanout). Live-only: attaching it
+	// never changes measurements or artifacts. It is called from every
+	// sweep worker, so it must be safe for concurrent use.
+	Fanout driver.PowerFanout
+	// OnCell, when non-nil, is called after every cell is resolved —
+	// measured, replayed from the journal (replayed=true), or quarantined —
+	// with the cell's result. Called from every sweep worker; must be safe
+	// for concurrent use. Progress introspection only: it must not mutate
+	// the result.
+	OnCell func(board, bench string, pr PairResult, replayed bool)
 }
 
 func (o *SweepOptions) res() *fault.Resilience {
@@ -202,11 +213,17 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 			so.quarantined.With(string(failPt)).Add(int64(len(out.Pairs)))
 			track.Instant("quarantined (boot failed)", obs.Arg{Key: "point", Value: string(failPt)})
 		}
+		if opts.OnCell != nil {
+			for _, pr := range out.Pairs {
+				opts.OnCell(boardName, b.Name, pr, false)
+			}
+		}
 		return out, nil
 	}
 	if opts.Obs != nil {
 		dev.Observe(opts.Obs, track.Name())
 	}
+	dev.SetPowerFanout(opts.Fanout)
 	dev.Seed(sweepSeed(opts.Seed, b.Name))
 
 	out := &BenchResult{Benchmark: b.Name, Board: boardName}
@@ -242,6 +259,9 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 					so.journalHits.Inc()
 					track.Instant("journal replay", obs.Arg{Key: "pair", Value: p.String()})
 				}
+				if opts.OnCell != nil {
+					opts.OnCell(boardName, b.Name, cell, true)
+				}
 				continue
 			}
 		}
@@ -260,6 +280,9 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 				track.Instant("quarantined", obs.Arg{Key: "pair", Value: p.String()},
 					obs.Arg{Key: "point", Value: string(cell.FailPoint)})
 			}
+		}
+		if opts.OnCell != nil {
+			opts.OnCell(boardName, b.Name, cell, false)
 		}
 		if opts.Journal != nil {
 			if err := opts.Journal.Record(boardName, b.Name, opts.Rep, cell); err != nil {

@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"gpuperf/internal/fault"
@@ -174,12 +175,13 @@ func (c *Campaign) Instrumented() bool {
 
 // StartProgress starts the periodic status line when -progress is set,
 // reporting the named counters; the returned stop is safe to defer
-// either way.
-func (c *Campaign) StartProgress(rec *obs.Recorder, w io.Writer, counters ...string) func() {
+// either way. The ticker goroutine also ends when ctx is cancelled (a
+// SIGINT mid-campaign), so an aborted command never leaks it.
+func (c *Campaign) StartProgress(ctx context.Context, rec *obs.Recorder, w io.Writer, counters ...string) func() {
 	if !c.Progress || rec == nil {
 		return func() {}
 	}
-	return rec.StartProgress(w, 2*time.Second, counters...)
+	return rec.StartProgressCtx(ctx, w, 2*time.Second, counters...)
 }
 
 // WriteArtifacts flushes the recorder to the -trace-out, -metrics-out
@@ -195,6 +197,15 @@ func (c *Campaign) WriteArtifacts(rec *obs.Recorder) error {
 // kills the process.
 func SignalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+// ServerSignalContext is the root context a serving process (gpuperfd)
+// runs under: both SIGINT and SIGTERM cancel it — SIGTERM being what
+// process supervisors send on shutdown — so the daemon can drain
+// in-flight campaigns to a checkpoint boundary before exiting. A second
+// signal kills the process (default handling is restored on the first).
+func ServerSignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 // Fatal prints a command-prefixed error and exits 1.

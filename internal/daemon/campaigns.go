@@ -1,0 +1,429 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gpuperf/internal/arch"
+	"gpuperf/internal/characterize"
+	"gpuperf/internal/core"
+	"gpuperf/internal/fault"
+	"gpuperf/internal/report"
+	"gpuperf/internal/session"
+	"gpuperf/internal/validity"
+	"gpuperf/internal/workloads"
+)
+
+// Campaign kinds.
+const (
+	KindSweep = "sweep" // Table IV characterization sweep (repetition cohort)
+	KindModel = "model" // per-board modeling collection + unified models
+)
+
+// Campaign states. A campaign moves pending → running → one of the
+// terminal states; DELETE moves a running campaign to cancelled at its
+// next cell boundary.
+const (
+	StatePending   = "pending"
+	StateRunning   = "running"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// CampaignRequest is the POST /api/v1/campaigns body. The zero value of
+// every optional field means the engine default.
+type CampaignRequest struct {
+	// Kind selects the campaign engine: "sweep" (default) or "model".
+	Kind string `json:"kind,omitempty"`
+	// Seed drives every noise and fault stream; campaigns are a pure
+	// function of it (0 is a valid seed and is used as-is).
+	Seed int64 `json:"seed"`
+	// Boards restricts the campaign (empty: the daemon's full fleet).
+	// Every named board must be in the served fleet.
+	Boards []string `json:"boards,omitempty"`
+	// Benchmarks restricts the workload set by name (empty: the paper's
+	// Table IV set for sweeps, the modeling set for model campaigns).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Workers bounds the sweep pool; 1 is the bit-exact sequential
+	// reference (0: GOMAXPROCS). Output is identical at any width.
+	Workers int `json:"workers,omitempty"`
+	// Faults is a fault-injection profile spec (empty: fault-free).
+	Faults string `json:"faults,omitempty"`
+	// MaxRetries / LaunchTimeoutMS tune the retry/watchdog policy
+	// (0: engine defaults).
+	MaxRetries      int   `json:"max_retries,omitempty"`
+	LaunchTimeoutMS int64 `json:"launch_timeout_ms,omitempty"`
+	// Repetitions / MinValid configure the repetition cohort and its
+	// publishability floor (0: single run / all-valid).
+	Repetitions int `json:"repetitions,omitempty"`
+	MinValid    int `json:"min_valid,omitempty"`
+	// NoCache is rejected: the daemon's campaigns share one process-wide
+	// launch cache; per-campaign cache opt-out would toggle a global.
+	NoCache bool `json:"nocache,omitempty"`
+}
+
+// TriageStatus is the validity verdict summary embedded in a campaign's
+// status JSON once triage has run.
+type TriageStatus struct {
+	Publishable bool           `json:"publishable"`
+	Summary     string         `json:"summary"`
+	Counts      map[string]int `json:"counts"`
+}
+
+// CampaignStatus is the status JSON for one campaign.
+type CampaignStatus struct {
+	ID         string           `json:"id"`
+	Kind       string           `json:"kind"`
+	State      string           `json:"state"`
+	Request    CampaignRequest  `json:"request"`
+	Progress   session.Progress `json:"progress"`
+	Checkpoint string           `json:"checkpoint"`
+	Error      string           `json:"error,omitempty"`
+	Triage     *TriageStatus    `json:"triage,omitempty"`
+}
+
+// Campaign is one submitted job: a session.Session run by a dedicated
+// goroutine under a cancellable context.
+type Campaign struct {
+	id         string
+	req        CampaignRequest
+	checkpoint string
+	cancel     context.CancelFunc
+	done       chan struct{}
+
+	mu     sync.Mutex
+	state  string
+	errMsg string
+	sess   *session.Session // set while running (progress introspection)
+	final  session.Progress // last progress snapshot after the session closed
+	report string           // rendered report, terminal states only
+	triage *validity.Report
+}
+
+// Status snapshots the campaign for its status JSON.
+func (c *Campaign) Status() CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CampaignStatus{
+		ID:         c.id,
+		Kind:       c.req.Kind,
+		State:      c.state,
+		Request:    c.req,
+		Checkpoint: c.checkpoint,
+		Error:      c.errMsg,
+	}
+	if c.sess != nil {
+		st.Progress = c.sess.Progress()
+	} else {
+		st.Progress = c.final
+	}
+	if c.triage != nil {
+		counts := make(map[string]int, len(c.triage.Counts))
+		for class, n := range c.triage.Counts {
+			counts[string(class)] = n
+		}
+		st.Triage = &TriageStatus{
+			Publishable: c.triage.Publishable(),
+			Summary:     c.triage.Summary(),
+			Counts:      counts,
+		}
+	}
+	return st
+}
+
+// Done returns a channel closed when the campaign reaches a terminal
+// state.
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// RequestError is a campaign submission the server rejected; the HTTP
+// layer maps it to 400.
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+func reqErrf(format string, args ...any) error {
+	return &RequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// resolveBenches validates the request's benchmark names (empty: the
+// kind's default set).
+func resolveBenches(kind string, names []string) ([]*workloads.Benchmark, error) {
+	if len(names) == 0 {
+		if kind == KindModel {
+			return workloads.ModelingSet(), nil
+		}
+		return workloads.Table4(), nil
+	}
+	out := make([]*workloads.Benchmark, 0, len(names))
+	for _, n := range names {
+		b := workloads.ByName(n)
+		if b == nil {
+			return nil, reqErrf("unknown benchmark %q", n)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Submit validates a campaign request, assigns it an ID and starts its
+// runner. Rejections are *RequestError (bad request) or ErrDraining.
+func (s *Server) Submit(req CampaignRequest) (*Campaign, error) {
+	if req.Kind == "" {
+		req.Kind = KindSweep
+	}
+	if req.Kind != KindSweep && req.Kind != KindModel {
+		return nil, reqErrf("unknown campaign kind %q", req.Kind)
+	}
+	if req.NoCache {
+		return nil, reqErrf("nocache campaigns are not served: the daemon shares one launch cache across campaigns")
+	}
+	fleet := make(map[string]bool, len(s.cfg.Boards))
+	for _, b := range s.cfg.Boards {
+		fleet[b] = true
+	}
+	for _, b := range req.Boards {
+		if arch.BoardByName(b) == nil {
+			return nil, reqErrf("unknown board %q", b)
+		}
+		if !fleet[b] {
+			return nil, reqErrf("board %q is not in the served fleet", b)
+		}
+	}
+	benches, err := resolveBenches(req.Kind, req.Benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	var profile *fault.Profile
+	if req.Faults != "" {
+		profile, err = fault.ParseProfile(req.Faults)
+		if err != nil {
+			return nil, reqErrf("faults: %v", err)
+		}
+	}
+	if req.Repetitions < 0 || req.MinValid < 0 {
+		return nil, reqErrf("repetitions and min_valid must be ≥ 0")
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.seq++
+	id := strconv.Itoa(s.seq)
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Campaign{
+		id:         id,
+		req:        req,
+		checkpoint: filepath.Join(s.cfg.DataDir, "campaign-"+id+".journal"),
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		state:      StatePending,
+	}
+	s.campaigns[id] = c
+	s.order = append(s.order, id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.run(ctx, c, profile, benches)
+	return c, nil
+}
+
+// ErrDraining rejects submissions during graceful shutdown (HTTP 503).
+var ErrDraining = errors.New("daemon: draining, not accepting campaigns")
+
+// Campaign looks a campaign up by ID.
+func (s *Server) Campaign(id string) (*Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// Campaigns returns every campaign's status in submission order.
+func (s *Server) Campaigns() []CampaignStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	byID := make(map[string]*Campaign, len(ids))
+	for id, c := range s.campaigns {
+		byID[id] = c
+	}
+	s.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, byID[id].Status())
+	}
+	return out
+}
+
+// Cancel requests cancellation; the campaign stops at its next cell
+// boundary with its journal resumable. No-op on terminal campaigns.
+func (c *Campaign) Cancel() { c.cancel() }
+
+// sessionConfig translates a validated request into the session
+// configuration the runner opens. Cache is always on (see
+// CampaignRequest.NoCache); the daemon's recorder and collector are
+// shared across campaigns, with per-campaign track prefixes keeping
+// their virtual-time tracks apart.
+func (s *Server) sessionConfig(c *Campaign, profile *fault.Profile) session.Config {
+	cfg := session.DefaultConfig()
+	cfg.Seed = c.req.Seed
+	if c.req.Workers > 0 {
+		cfg.Workers = c.req.Workers
+	}
+	cfg.Boards = c.req.Boards
+	cfg.Faults = profile
+	if c.req.MaxRetries > 0 {
+		cfg.MaxRetries = c.req.MaxRetries
+	}
+	if c.req.LaunchTimeoutMS > 0 {
+		cfg.LaunchTimeout = time.Duration(c.req.LaunchTimeoutMS) * time.Millisecond
+	}
+	if c.req.Repetitions > 0 {
+		cfg.Repetitions = c.req.Repetitions
+	}
+	cfg.MinValid = c.req.MinValid
+	cfg.Checkpoint = c.checkpoint
+	cfg.Cache = true
+	cfg.Obs = s.rec
+	cfg.PowerFanout = s.col
+	cfg.TrackPrefix = "campaign/" + c.id
+	return cfg
+}
+
+// run executes one campaign to a terminal state. ctx is cancelled by
+// DELETE or by Drain; either way the session stops at a cell boundary
+// and the checkpoint journal stays resumable.
+func (s *Server) run(ctx context.Context, c *Campaign, profile *fault.Profile, benches []*workloads.Benchmark) {
+	defer s.wg.Done()
+	defer close(c.done)
+	fail := func(state string, err error) {
+		c.mu.Lock()
+		c.state = state
+		if err != nil {
+			c.errMsg = err.Error()
+		}
+		if c.sess != nil {
+			c.final = c.sess.Progress()
+		}
+		c.sess = nil
+		c.mu.Unlock()
+	}
+
+	sess, err := session.Open(s.sessionConfig(c, profile))
+	if err != nil {
+		fail(StateFailed, err)
+		return
+	}
+	defer sess.Close()
+	c.mu.Lock()
+	c.state = StateRunning
+	c.sess = sess
+	c.mu.Unlock()
+
+	var rendered string
+	var trep *validity.Report
+	switch c.req.Kind {
+	case KindModel:
+		rendered, err = runModel(ctx, sess, benches)
+	default:
+		rendered, trep, err = runSweep(ctx, sess, benches)
+	}
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			fail(StateCancelled, err)
+		} else {
+			fail(StateFailed, err)
+		}
+		return
+	}
+	if trep != nil {
+		if werr := trep.WriteFile(filepath.Join(s.cfg.DataDir, "campaign-"+c.id+".triage.json")); werr != nil {
+			fail(StateFailed, werr)
+			return
+		}
+	}
+	c.mu.Lock()
+	c.state = StateCompleted
+	c.report = rendered
+	c.triage = trep
+	c.final = sess.Progress() // stays visible after the session closes
+	c.sess = nil
+	c.mu.Unlock()
+}
+
+// runSweep is the Table IV path, mirroring cmd/characterize -table 4:
+// a repetition cohort, triage over the cohort, and the table rendered
+// from repetition 0 — so the journal and report are byte-identical to
+// the CLI run at the same seed and configuration. Triage always runs
+// (the status JSON carries its verdicts), but it only annotates the
+// rendered table when the CLI would have engaged it too.
+func runSweep(ctx context.Context, sess *session.Session, benches []*workloads.Benchmark) (string, *validity.Report, error) {
+	repsRes, err := sess.Repeat(ctx, benches)
+	if err != nil {
+		return "", nil, err
+	}
+	tr := sess.NewTriage()
+	if err := characterize.ObserveTriageReps(tr, "table4", repsRes); err != nil {
+		return "", nil, err
+	}
+	cfg := sess.Config()
+	var renderTr *validity.Triage
+	if cfg.Repetitions > 1 || cfg.MinValid > 0 {
+		renderTr = tr
+	}
+	tbl := report.Table4(sess.Boards(), repsRes[0], renderTr)
+	var b strings.Builder
+	b.WriteString(tbl.String())
+	b.WriteString("\n")
+	for _, d := range characterize.Degradations(repsRes[0]) {
+		b.WriteString("degraded: " + d.Line + "\n")
+	}
+	return b.String(), tr.Finalize(), nil
+}
+
+// runModel is the modeling path: one dataset collection and one power +
+// one time model per board, summarized as text.
+func runModel(ctx context.Context, sess *session.Session, benches []*workloads.Benchmark) (string, error) {
+	var b strings.Builder
+	for _, spec := range sess.Boards() {
+		ds, err := sess.Collect(ctx, spec.Name, benches)
+		if err != nil {
+			return "", err
+		}
+		for _, kind := range []core.Kind{core.Power, core.Time} {
+			m, err := sess.Model(ctx, ds, kind)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%s %s: adj-R² %.4f, %d variables: %s\n",
+				spec.Name, kind, m.AdjR2(), len(m.Variables()),
+				strings.Join(m.Variables(), ", "))
+		}
+	}
+	return b.String(), nil
+}
+
+// Report returns the campaign's rendered report once completed.
+func (c *Campaign) Report() (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateCompleted {
+		return "", false
+	}
+	return c.report, true
+}
+
+// Triage returns the campaign's finalized triage report, when present.
+func (c *Campaign) Triage() (*validity.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.triage, c.triage != nil
+}

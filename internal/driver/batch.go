@@ -90,6 +90,7 @@ func (d *Device) PrecomputePairs(ks []*gpu.KernelDesc, pairs []clock.Pair) (int,
 					ev.Scale(ph.EnergyScale)
 					w := d.pm.SystemWatts(scratch, ev, ph.Duration)
 					cl.trace = cl.trace.Append(ph.Duration, w)
+					cl.scopeJ = cl.scopeJ.Add(d.pm.ScopeWatts(scratch, ev, ph.Duration).Scale(ph.Duration))
 				}
 				found[missingIdx[mi]] = cl
 				gpu.ReleaseResult(res) // fully copied into the payload above

@@ -12,6 +12,7 @@ import (
 	"gpuperf/internal/clock"
 	"gpuperf/internal/counters"
 	"gpuperf/internal/meter"
+	"gpuperf/internal/power"
 )
 
 // The launch cache memoizes the *noiseless* outcome of a kernel launch:
@@ -42,6 +43,11 @@ type cachedLaunch struct {
 	time  float64
 	trace meter.Trace
 	acts  counters.Vector
+	// scopeJ is the launch's GPU-domain energy split by power scope
+	// (core vs memory, joules) — the noiseless per-scope integral the
+	// live telemetry fan-out scales into watts. Pure function of the
+	// same inputs as the trace, so cache hits and misses agree.
+	scopeJ power.Breakdown
 }
 
 // DefaultSharedLaunchCacheEntries bounds the process-wide cache. A full
@@ -288,6 +294,7 @@ func (d *Device) DisableLaunchCache() {
 // modified specs (flattened voltage curves, disabled caches) that keep the
 // original name, and those must never share cache entries with the
 // unmodified board.
+//
 //gpulint:deterministic
 func specFingerprint(spec *arch.Spec) uint64 {
 	h := fnv.New64a()

@@ -63,6 +63,30 @@ type Device struct {
 
 	// Instrumentation (see obs.go); nil unless Observe attached a recorder.
 	obs *driverObs
+	// fanout, when non-nil, receives live scope-tagged power samples from
+	// every metered run (see SetPowerFanout); nil outside a daemon.
+	fanout PowerFanout
+}
+
+// PowerFanout receives live scope-tagged power telemetry from metered
+// runs: one Breakdown (GPU / memory domains; module is their sum) per
+// meter sampling window, tagged with the reporting device's board name.
+// Implementations are called from whatever goroutine runs the campaign
+// cell, so they must be safe for concurrent use across devices. The
+// fan-out is live-only — it never influences measurements or artifacts.
+type PowerFanout interface {
+	SamplePower(device string, scopes power.Breakdown)
+}
+
+// SetPowerFanout attaches (or, with nil, detaches) the live power-sample
+// fan-out for this device's metered runs.
+func (d *Device) SetPowerFanout(f PowerFanout) { d.fanout = f }
+
+// IdleScopePower returns the device's modeled static power split by scope
+// at its current clocks — what a fleet collector reports for an idle
+// device between campaigns.
+func (d *Device) IdleScopePower() power.Breakdown {
+	return d.pm.IdleScopeWatts(d.clk)
 }
 
 // initCaches attaches the launch caches according to the global switch.
@@ -335,6 +359,7 @@ func (d *Device) launch(k *gpu.KernelDesc) (*cachedLaunch, error) {
 		ev.Scale(ph.EnergyScale)
 		w := d.pm.SystemWatts(d.clk, ev, ph.Duration)
 		cl.trace = cl.trace.Append(ph.Duration, w)
+		cl.scopeJ = cl.scopeJ.Add(d.pm.ScopeWatts(d.clk, ev, ph.Duration).Scale(ph.Duration))
 	}
 	if d.cache != nil {
 		d.cache[key] = cl
@@ -379,6 +404,11 @@ type RunResult struct {
 	Activities  counters.Vector // accumulated over all iterations
 	Counters    []float64       // profiler counters over the whole run; nil unless profiling
 	Measurement *meter.Measurement
+	// Power is the run's modeled GPU-domain power averaged over one
+	// iteration, split by scope (core vs memory; host and PSU excluded).
+	// Deterministic — it comes from the noiseless launch payloads, not
+	// from the metered samples.
+	Power power.Breakdown
 }
 
 // TimePerIteration returns the execution time of one kernel-sequence
@@ -425,6 +455,7 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 	out, period := newRunResult()
 	iterTime := hostGapSeconds
 	var iterActs counters.Vector
+	var scopeJ power.Breakdown // GPU-domain energy of one iteration, by scope
 	o := d.obs
 	type kernelSlice struct {
 		name string
@@ -441,6 +472,7 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 			period = period.Append(seg.Duration, seg.Watts)
 		}
 		iterActs.Add(&cl.acts)
+		scopeJ = scopeJ.Add(cl.scopeJ)
 		if o != nil {
 			kslices = append(kslices, kernelSlice{name: k.Name, dur: cl.time})
 		}
@@ -452,11 +484,16 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 	if hostGapSeconds > 0 {
 		hostWatts := d.pm.SystemWatts(d.clk, gpu.Events{}, 1) // idle GPU, busy host
 		period = period.Append(hostGapSeconds, hostWatts)
+		// During the gap the GPU sits at static power in both domains.
+		scopeJ = scopeJ.Add(d.pm.IdleScopeWatts(d.clk).Scale(hostGapSeconds))
 	}
 
 	out.Workload = name
 	out.Iterations = iters
 	out.Time = iterTime * float64(iters)
+	if iterTime > 0 {
+		out.Power = scopeJ.Scale(1 / iterTime)
+	}
 	out.Trace = meter.Tile(period, iters)
 	iterActs.Scale(float64(iters))
 	out.Activities = iterActs
@@ -482,6 +519,23 @@ func (d *Device) RunMetered(name string, ks []*gpu.KernelDesc, hostGapSeconds, m
 		if iters > 1 {
 			o.track.Slice(name+" (remaining iterations)", iterTime*float64(iters-1))
 		}
+	}
+	if f := d.fanout; f != nil {
+		// Stream one scope-tagged reading per sampling window: the run's
+		// deterministic per-scope average, modulated by how far the noisy
+		// wall sample deviates from the trace's true average. The closure
+		// only observes the samples the meter already produced, so
+		// measurements and artifacts stay byte-identical either way.
+		wallAvg := period.TrueAvgWatts()
+		dev, avg := d.spec.Name, out.Power
+		d.inst.Fanout = func(_ int, watts float64, _ bool) {
+			bd := avg
+			if wallAvg > 0 {
+				bd = avg.Scale(watts / wallAvg)
+			}
+			f.SamplePower(dev, bd)
+		}
+		defer func() { d.inst.Fanout = nil }()
 	}
 	m, err := d.inst.MeasurePeriodic(out.Trace, d.rng)
 	if err != nil {

@@ -1,0 +1,155 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"gpuperf/internal/gpu"
+	"gpuperf/internal/power"
+)
+
+// captureFanout records every scope-tagged sample it receives.
+type captureFanout struct {
+	devices []string
+	samples []power.Breakdown
+}
+
+func (c *captureFanout) SamplePower(device string, scopes power.Breakdown) {
+	c.devices = append(c.devices, device)
+	c.samples = append(c.samples, scopes)
+}
+
+// TestPowerFanoutStreamsScopedSamples: a metered run with a fan-out
+// attached streams one per-scope breakdown per meter sampling window,
+// tagged with the board name, with both domains positive and the module
+// scope equal to their sum.
+func TestPowerFanoutStreamsScopedSamples(t *testing.T) {
+	d, err := OpenBoard("GTX 480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &captureFanout{}
+	d.SetPowerFanout(cap)
+	rr, err := d.RunMetered("w", []*gpu.KernelDesc{testKernel(64)}, 0.02, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.samples) != len(rr.Measurement.Samples) {
+		t.Fatalf("fanout saw %d samples, meter took %d", len(cap.samples), len(rr.Measurement.Samples))
+	}
+	for i, dev := range cap.devices {
+		if dev != "GTX 480" {
+			t.Fatalf("sample %d tagged %q, want GTX 480", i, dev)
+		}
+	}
+	for i, bd := range cap.samples {
+		if bd.GPU <= 0 || bd.Memory <= 0 {
+			t.Fatalf("sample %d has non-positive domain: %+v", i, bd)
+		}
+		if math.Abs(bd.Module()-(bd.GPU+bd.Memory)) > 1e-12 {
+			t.Fatalf("sample %d module != sum: %+v", i, bd)
+		}
+	}
+	// The run's deterministic per-iteration average must be populated and
+	// the streamed samples must average near it (noise-modulated).
+	if rr.Power.GPU <= 0 || rr.Power.Memory <= 0 {
+		t.Fatalf("RunResult.Power not populated: %+v", rr.Power)
+	}
+	var sum power.Breakdown
+	for _, bd := range cap.samples {
+		sum = sum.Add(bd)
+	}
+	avg := sum.Scale(1 / float64(len(cap.samples)))
+	if rel := math.Abs(avg.Module()-rr.Power.Module()) / rr.Power.Module(); rel > 0.1 {
+		t.Fatalf("streamed average %.2f W vs run average %.2f W (rel %.3f)",
+			avg.Module(), rr.Power.Module(), rel)
+	}
+}
+
+// TestPowerFanoutDoesNotChangeArtifacts: the measurement and all
+// deterministic run outputs are bit-identical with and without a fan-out
+// attached — the live tap never perturbs the artifact path.
+func TestPowerFanoutDoesNotChangeArtifacts(t *testing.T) {
+	run := func(f PowerFanout) *RunResult {
+		d, err := OpenBoard("GTX 680")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Seed(42)
+		d.SetPowerFanout(f)
+		rr, err := d.RunMetered("w", []*gpu.KernelDesc{testKernel(64)}, 0.01, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+	plain := run(nil)
+	tapped := run(&captureFanout{})
+	if plain.Time != tapped.Time || plain.Iterations != tapped.Iterations {
+		t.Fatal("fanout changed the run shape")
+	}
+	if plain.Measurement.AvgWatts != tapped.Measurement.AvgWatts ||
+		plain.Measurement.EnergyJoules != tapped.Measurement.EnergyJoules {
+		t.Fatal("fanout changed the measurement")
+	}
+	for i := range plain.Measurement.Samples {
+		if plain.Measurement.Samples[i] != tapped.Measurement.Samples[i] {
+			t.Fatalf("sample %d differs with fanout attached", i)
+		}
+	}
+	if plain.Power != tapped.Power {
+		t.Fatalf("fanout changed RunResult.Power: %+v vs %+v", plain.Power, tapped.Power)
+	}
+	// Fanout detaches cleanly: a second run on the tapped device after
+	// SetPowerFanout(nil) streams nothing.
+	d, err := OpenBoard("GTX 480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &captureFanout{}
+	d.SetPowerFanout(cap)
+	d.SetPowerFanout(nil)
+	if _, err := d.RunMetered("w", []*gpu.KernelDesc{testKernel(64)}, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.samples) != 0 {
+		t.Fatalf("detached fanout still saw %d samples", len(cap.samples))
+	}
+}
+
+// TestRunResultPowerMatchesScopeModel: the run-average breakdown equals
+// the integral of per-phase ScopeWatts over one iteration divided by the
+// iteration time — i.e. RunResult.Power is the scope model, not a second
+// estimate.
+func TestRunResultPowerMatchesScopeModel(t *testing.T) {
+	d, err := OpenBoard("GTX 480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hostGap = 0.02
+	rr, err := d.RunMetered("w", []*gpu.KernelDesc{testKernel(64)}, hostGap, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterTime := rr.TimePerIteration()
+	// Idle floor: even during the host gap both domains draw static power,
+	// so the run average must exceed the idle breakdown.
+	idle := d.IdleScopePower()
+	if rr.Power.GPU <= idle.GPU || rr.Power.Memory <= idle.Memory {
+		t.Fatalf("run power %+v not above idle %+v", rr.Power, idle)
+	}
+	// Energy accounting: Power × iterTime must equal kernel scope energy
+	// plus host-gap idle energy (reconstruct from a fresh identical run).
+	d2, err := OpenBoard("GTX 480")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := d2.launch(testKernel(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cl.scopeJ.Add(d2.IdleScopePower().Scale(hostGap)).Scale(1 / iterTime)
+	if math.Abs(want.GPU-rr.Power.GPU) > 1e-9 || math.Abs(want.Memory-rr.Power.Memory) > 1e-9 {
+		t.Fatalf("run power %+v, want %+v", rr.Power, want)
+	}
+}

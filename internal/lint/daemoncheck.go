@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DaemonCheck enforces the serving-layer discipline introduced with
+// cmd/gpuperfd: HTTP handlers never write to the metrics registry.
+//
+// The daemon's scrape-safety contract (internal/daemon package doc) is
+// that every metric family is registered once, in New or a collector
+// constructor, and /metrics renders a Registry.Snapshot — so a scrape is
+// a pure read, safe concurrently with running campaigns and
+// byte-identical to the artifact writer. A handler that calls a
+// registration method breaks that contract twice over: it takes the
+// family lock on the request path, and it can mint series whose
+// appearance depends on request traffic rather than on construction —
+// two scrapes of an idle server would disagree.
+//
+// ObsCheck already flags registration outside init/constructors, but a
+// handler can evade it with a constructor-shaped name (ObserveScrape,
+// NewSession). This analyzer keys on the signature instead: any function
+// or literal taking a ResponseWriter and a *Request (or any method named
+// ServeHTTP), matched by type name like the other analyzers so fixtures
+// can model net/http without importing it.
+var DaemonCheck = &Analyzer{
+	Name: "daemoncheck",
+	Doc:  "metric registration inside HTTP handlers; handlers read the registry through Snapshot only",
+	Run:  runDaemonCheck,
+}
+
+// daemonRegistrationMethods are the Registry methods that create or look
+// up a family under the lock. A superset of obscheck's list: FloatGauge
+// is the live power-gauge constructor the daemon's collector uses.
+var daemonRegistrationMethods = map[string]bool{
+	"Counter":    true,
+	"Gauge":      true,
+	"FloatGauge": true,
+	"Histogram":  true,
+	"CounterVec": true,
+}
+
+func runDaemonCheck(pass *Pass) {
+	if pass.Pkg.Path == "gpuperf/internal/obs" {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		checkHandlerRegistration(pass, info, file)
+	}
+}
+
+// handlerShaped reports whether a function with type ft and name name is
+// HTTP-handler-shaped: it takes a ResponseWriter and a *Request (in any
+// order, by type name), or is a two-parameter ServeHTTP method.
+func handlerShaped(info *types.Info, ft *ast.FuncType, name string) bool {
+	if ft.Params == nil {
+		return false
+	}
+	nParams := 0
+	var hasWriter, hasRequest bool
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		nParams += n
+		t := info.TypeOf(field.Type)
+		switch namedTypeName(t) {
+		case "ResponseWriter":
+			hasWriter = true
+		case "Request":
+			if _, ok := t.(*types.Pointer); ok {
+				hasRequest = true
+			}
+		}
+	}
+	if name == "ServeHTTP" && nParams == 2 {
+		return true
+	}
+	return hasWriter && hasRequest
+}
+
+// handlerNode reports whether n opens a handler-shaped function scope,
+// and the name to report it under.
+func handlerNode(info *types.Info, n ast.Node) (string, bool) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		if handlerShaped(info, fn.Type, fn.Name.Name) {
+			return fn.Name.Name, true
+		}
+	case *ast.FuncLit:
+		if handlerShaped(info, fn.Type, "") {
+			return "handler literal", true
+		}
+	}
+	return "", false
+}
+
+// checkHandlerRegistration walks one file with an explicit node stack so
+// a registration call is attributed to the innermost enclosing
+// handler-shaped function — declaration or literal, however deeply the
+// call is nested inside it.
+func checkHandlerRegistration(pass *Pass, info *types.Info, file *ast.File) {
+	type frame struct {
+		node ast.Node
+		name string // non-empty iff handler-shaped
+	}
+	var stack []frame
+	// innermostHandler returns the nearest enclosing handler name, or "".
+	innermostHandler := func() string {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].name != "" {
+				return stack[i].name
+			}
+		}
+		return ""
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		f := frame{node: n}
+		if name, ok := handlerNode(info, n); ok {
+			f.name = name
+		}
+		stack = append(stack, f)
+
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !daemonRegistrationMethods[sel.Sel.Name] {
+			return true
+		}
+		if namedTypeName(info.TypeOf(sel.X)) != "Registry" {
+			return true
+		}
+		if h := innermostHandler(); h != "" {
+			pass.Reportf(call.Pos(),
+				"Registry.%s called inside HTTP handler %s: handlers must not write to the registry — register the handle in New/a collector constructor and serve scrapes from Registry.Snapshot",
+				sel.Sel.Name, h)
+		}
+		return true
+	})
+}

@@ -22,6 +22,9 @@
 //     visible retry/classification machinery.
 //   - obscheck:     instrumentation spans that are never ended, and
 //     metric registration outside init functions and constructors.
+//   - daemoncheck:  metric registration inside HTTP-handler-shaped
+//     functions — the gpuperfd scrape-safety contract says handlers
+//     read the registry through Snapshot and never mint series.
 //   - sessioncheck: context.Context parameters that are accepted but
 //     never used (breaking the cancellation chain), and calls to the
 //     deprecated pre-session sweep/collect variants outside their
@@ -150,7 +153,7 @@ func (p *ModulePass) report(pkg *Package, pos token.Pos, trace []TraceStep, msg 
 func All() []*Analyzer {
 	return []*Analyzer{
 		UnitSafety, CounterClass, ErrCheck, Concurrency, FaultSafety,
-		ObsCheck, SessionCheck, ValidityCheck, Determinism, DetContract, StaleIgnore,
+		ObsCheck, DaemonCheck, SessionCheck, ValidityCheck, Determinism, DetContract, StaleIgnore,
 	}
 }
 

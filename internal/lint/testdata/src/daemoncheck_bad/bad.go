@@ -1,0 +1,61 @@
+// Package daemoncheck_bad models the serving-layer shapes (Registry,
+// ResponseWriter, *Request — matched by type name, as the analyzer does)
+// and breaks the scrape-safety contract: metric registration from inside
+// HTTP handlers.
+package daemoncheck_bad
+
+// ResponseWriter and Request mirror the net/http shapes the analyzer
+// keys on.
+type ResponseWriter interface {
+	Header() map[string][]string
+}
+
+type Request struct{ Method string }
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter    { return &Counter{} }
+func (r *Registry) FloatGauge(name string) *Counter { return &Counter{} }
+func (r *Registry) Histogram(name string) *Counter  { return &Counter{} }
+
+type Mux struct{}
+
+func (m *Mux) HandleFunc(pattern string, h func(ResponseWriter, *Request)) {}
+
+type server struct{ reg *Registry }
+
+// handleScrape registers on the scrape path: the family lock is taken
+// per request and the series appears only once this route is hit.
+func (s *server) handleScrape(w ResponseWriter, r *Request) {
+	s.reg.FloatGauge("bad_scrape_gauge").Inc() // want:daemoncheck "inside HTTP handler handleScrape"
+}
+
+// ObserveScrape is constructor-shaped by name, so obscheck trusts it —
+// but its signature says HTTP handler, and daemoncheck keys on that.
+func ObserveScrape(reg *Registry, w ResponseWriter, r *Request) {
+	reg.Counter("bad_evasive_total").Inc() // want:daemoncheck "inside HTTP handler ObserveScrape"
+}
+
+// ServeHTTP is a handler by method name, whatever its parameter types.
+func (s *server) ServeHTTP(w ResponseWriter, r *Request) {
+	s.reg.Histogram("bad_latency_hist").Inc() // want:daemoncheck "inside HTTP handler ServeHTTP" // want:obscheck "register in init or a constructor"
+}
+
+// routes registers from a handler literal: the literal's own signature,
+// not the enclosing declaration's, makes it a handler.
+func (s *server) routes(m *Mux) {
+	m.HandleFunc("GET /metrics", func(w ResponseWriter, r *Request) {
+		s.reg.Counter("bad_hits_total").Inc() // want:daemoncheck "inside HTTP handler handler literal" // want:obscheck "register in init or a constructor"
+	})
+}
+
+// newServer is the control: registration in a constructor is the
+// sanctioned idiom, handler-adjacent or not.
+func newServer(reg *Registry) *server {
+	reg.Counter("ok_boot_total").Inc()
+	return &server{reg: reg}
+}

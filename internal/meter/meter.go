@@ -132,6 +132,14 @@ type Meter struct {
 	// dropped, spiked, stuck, interpolated). The handles are nil-safe, so
 	// a partially populated Obs is fine.
 	Obs *Obs
+	// Fanout, when non-nil, streams every finalized sample of every
+	// successful measurement — the live-telemetry tap a collector hangs
+	// off the instrument. It observes samples after the fault pipeline
+	// (valid=false marks interpolated reconstructions) and must not
+	// mutate anything the measurement owns; it never affects the
+	// measurement itself, so artifacts are byte-identical with or
+	// without a fanout attached.
+	Fanout SampleFanout
 
 	// Period prefix-sum scratch reused across MeasurePeriodic calls. A
 	// Meter is single-goroutine (it already shares the caller's rng), so
@@ -140,6 +148,11 @@ type Meter struct {
 	scratchEnds   []float64
 	scratchEnergy []float64
 }
+
+// SampleFanout receives one finalized sample: its window index within
+// the measurement, the measured watts, and whether the reading is
+// genuine (false: reconstructed by interpolation).
+type SampleFanout func(index int, watts float64, valid bool)
 
 // Obs holds the metric handles a harness wires into the instrument (the
 // driver registers them per board — see driver.Device.Observe). A nil Obs
@@ -258,5 +271,10 @@ func (m *Meter) finalize(out *Measurement) (*Measurement, error) {
 	out.AvgWatts = sum / float64(len(out.Samples))
 	out.Duration = float64(len(out.Samples)) * m.SamplePeriod
 	out.EnergyJoules = sum * m.SamplePeriod
+	if f := m.Fanout; f != nil {
+		for i, w := range out.Samples {
+			f(i, w, out.Valid == nil || out.Valid[i])
+		}
+	}
 	return out, nil
 }

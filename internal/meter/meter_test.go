@@ -211,3 +211,56 @@ func TestAutoRangeNeverOverloads(t *testing.T) {
 		t.Errorf("auto-range avg %g, want 5000", meas.AvgWatts)
 	}
 }
+
+func TestFanoutStreamsEverySample(t *testing.T) {
+	m := New()
+	m.NoiseStdDev = 0
+	var got []float64
+	var invalid int
+	m.Fanout = func(i int, w float64, valid bool) {
+		if i != len(got) {
+			t.Fatalf("fanout index %d out of order (have %d)", i, len(got))
+		}
+		got = append(got, w)
+		if !valid {
+			invalid++
+		}
+	}
+	trace := Trace{}.Append(1.0, 200)
+	meas, err := m.Measure(trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(meas.Samples) {
+		t.Fatalf("fanout saw %d samples, measurement has %d", len(got), len(meas.Samples))
+	}
+	for i, w := range meas.Samples {
+		if got[i] != w {
+			t.Fatalf("sample %d: fanout %g != measurement %g", i, got[i], w)
+		}
+	}
+	if invalid != 0 {
+		t.Fatalf("clean measurement reported %d invalid samples", invalid)
+	}
+}
+
+func TestFanoutDoesNotChangeMeasurement(t *testing.T) {
+	// Attaching a fanout must leave the measurement bit-identical — the
+	// live tap is invisible to the artifact path.
+	trace := Trace{}.Append(0.3, 150).Append(0.4, 320).Append(0.3, 90)
+	run := func(attach bool) *Measurement {
+		m := New()
+		if attach {
+			m.Fanout = func(int, float64, bool) {}
+		}
+		meas, err := m.Measure(trace, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meas
+	}
+	a, b := run(false), run(true)
+	if a.AvgWatts != b.AvgWatts || a.EnergyJoules != b.EnergyJoules || len(a.Samples) != len(b.Samples) {
+		t.Fatalf("fanout perturbed the measurement: %+v vs %+v", a, b)
+	}
+}

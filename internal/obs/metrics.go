@@ -38,6 +38,7 @@ type family struct {
 	name    string
 	help    string
 	kind    string // "counter" | "gauge" | "histogram"
+	micro   bool   // value is fixed-point micro-units (FloatGauge)
 	buckets []float64
 	series  map[string]*series
 }
@@ -73,11 +74,15 @@ func renderLabels(labels []Label) string {
 // the given labels. The family's kind and help are set on first
 // registration and left untouched after.
 func (r *Registry) seriesFor(name, help, kind string, buckets []float64, labels []Label) *series {
+	return r.seriesForMicro(name, help, kind, false, buckets, labels)
+}
+
+func (r *Registry) seriesForMicro(name, help, kind string, micro bool, buckets []float64, labels []Label) *series {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.fams[name]
 	if f == nil {
-		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: map[string]*series{}}
+		f = &family{name: name, help: help, kind: kind, micro: micro, buckets: buckets, series: map[string]*series{}}
 		r.fams[name] = f
 	}
 	key := renderLabels(labels)
@@ -133,6 +138,28 @@ func (g *Gauge) Value() int64 {
 	return atomic.LoadInt64(&g.s.val)
 }
 
+// FloatGauge is a settable fractional gauge stored in fixed-point
+// micro-units — the exposition renders a deterministic decimal (the same
+// formatting histogram sums use), and updates stay single integer atomics
+// so concurrent Sets commute with scrapes. Nil-safe.
+type FloatGauge struct{ s *series }
+
+// Set stores v (quantized to micro-units).
+func (g *FloatGauge) Set(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	atomic.StoreInt64(&g.s.val, usec(v))
+}
+
+// Value returns the current value in micro-units.
+func (g *FloatGauge) Value() int64 {
+	if g == nil || g.s == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.s.val)
+}
+
 // Histogram is a fixed-bucket distribution. Observations are recorded as
 // integer bucket counts plus a fixed-point micro-unit sum, keeping the
 // exposition independent of observation order. Nil-safe.
@@ -177,6 +204,15 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 		return nil
 	}
 	return &Gauge{s: r.seriesFor(name, help, "gauge", nil, labels)}
+}
+
+// FloatGauge returns (registering if needed) a fractional gauge handle
+// (exposed as a gauge, stored in fixed-point micro-units).
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	return &FloatGauge{s: r.seriesForMicro(name, help, "gauge", true, nil, labels)}
 }
 
 // Histogram returns (registering if needed) a histogram handle with the
@@ -235,9 +271,12 @@ func (r *Registry) Total(name string) (total int64, ok bool) {
 	if r == nil {
 		return 0, false
 	}
+	// The whole walk holds the registry lock: concurrent registrations
+	// mutate f.series, and iterating it unlocked races them. Series values
+	// are still read atomically, so in-flight Inc/Add/Set commute.
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	f := r.fams[name]
-	r.mu.Unlock()
 	if f == nil {
 		return 0, false
 	}
@@ -270,46 +309,124 @@ func formatMicro(mic int64) string {
 // formatLe renders a bucket bound the way Prometheus does.
 func formatLe(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// WriteText writes the Prometheus text exposition: families sorted by
-// name, series sorted by rendered label string, histogram buckets
-// cumulative.
-//
-//gpulint:deterministic
-func (r *Registry) WriteText(w io.Writer) error {
+// Snapshot is an immutable point-in-time copy of a registry: families
+// sorted by name, series sorted by rendered label string, every value
+// read atomically. It is the scrape-safe read path — a live /metrics
+// handler renders a Snapshot while campaigns keep registering series and
+// bumping counters — and the only path the artifact writer uses too, so
+// live and artifact expositions are byte-identical by construction.
+type Snapshot struct {
+	fams []famSnap
+}
+
+type famSnap struct {
+	name    string
+	help    string
+	kind    string
+	micro   bool
+	buckets []float64
+	series  []seriesSnap
+}
+
+type seriesSnap struct {
+	labels string
+	val    int64
+	sumMic int64
+	bucket []int64
+}
+
+// Snapshot copies the registry under its lock. The disabled-sink fast
+// path is untouched: a nil registry snapshots to nil, and the handles'
+// atomic updates never take this lock.
+func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.fams))
 	for n := range r.fams {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fams := make([]*family, 0, len(names))
+	snap := &Snapshot{fams: make([]famSnap, 0, len(names))}
 	for _, n := range names {
-		fams = append(fams, r.fams[n])
-	}
-	r.mu.Unlock()
-
-	var b strings.Builder
-	for _, f := range fams {
-		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		f := r.fams[n]
+		fs := famSnap{name: f.name, help: f.help, kind: f.kind, micro: f.micro, buckets: f.buckets}
 		keys := make([]string, 0, len(f.series))
 		for k := range f.series {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
+		fs.series = make([]seriesSnap, 0, len(keys))
 		for _, k := range keys {
 			s := f.series[k]
-			switch f.kind {
-			case "histogram":
-				writeHistogram(&b, f, s)
-			default:
-				if s.labels == "" {
-					fmt.Fprintf(&b, "%s %d\n", f.name, atomic.LoadInt64(&s.val))
+			ss := seriesSnap{
+				labels: s.labels,
+				val:    atomic.LoadInt64(&s.val),
+				sumMic: atomic.LoadInt64(&s.sumMic),
+			}
+			if s.bucket != nil {
+				ss.bucket = make([]int64, len(s.bucket))
+				for i := range s.bucket {
+					ss.bucket[i] = atomic.LoadInt64(&s.bucket[i])
+				}
+			}
+			fs.series = append(fs.series, ss)
+		}
+		snap.fams = append(snap.fams, fs)
+	}
+	return snap
+}
+
+// Total sums every series of a family in the snapshot, mirroring
+// Registry.Total.
+func (s *Snapshot) Total(name string) (total int64, ok bool) {
+	if s == nil {
+		return 0, false
+	}
+	for i := range s.fams {
+		if s.fams[i].name != name {
+			continue
+		}
+		for j := range s.fams[i].series {
+			total += s.fams[i].series[j].val
+		}
+		return total, true
+	}
+	return 0, false
+}
+
+// WriteText renders the snapshot's Prometheus text exposition: families
+// sorted by name, series sorted by rendered label string, histogram
+// buckets cumulative.
+//
+//gpulint:deterministic
+func (s *Snapshot) WriteText(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	var b strings.Builder
+	for i := range s.fams {
+		f := &s.fams[i]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for j := range f.series {
+			sr := &f.series[j]
+			switch {
+			case f.kind == "histogram":
+				writeHistogram(&b, f, sr)
+			case f.micro:
+				if sr.labels == "" {
+					fmt.Fprintf(&b, "%s %s\n", f.name, formatMicro(sr.val))
 				} else {
-					fmt.Fprintf(&b, "%s{%s} %d\n", f.name, s.labels, atomic.LoadInt64(&s.val))
+					fmt.Fprintf(&b, "%s{%s} %s\n", f.name, sr.labels, formatMicro(sr.val))
+				}
+			default:
+				if sr.labels == "" {
+					fmt.Fprintf(&b, "%s %d\n", f.name, sr.val)
+				} else {
+					fmt.Fprintf(&b, "%s{%s} %d\n", f.name, sr.labels, sr.val)
 				}
 			}
 		}
@@ -318,8 +435,18 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return err
 }
 
+// WriteText writes the Prometheus text exposition through a point-in-time
+// Snapshot, so writing is safe concurrently with registrations and
+// updates — a mid-campaign scrape and the end-of-campaign artifact use
+// the identical render path.
+//
+//gpulint:deterministic
+func (r *Registry) WriteText(w io.Writer) error {
+	return r.Snapshot().WriteText(w)
+}
+
 // writeHistogram renders one histogram series with cumulative buckets.
-func writeHistogram(b *strings.Builder, f *family, s *series) {
+func writeHistogram(b *strings.Builder, f *famSnap, s *seriesSnap) {
 	var cum int64
 	join := func(extra string) string {
 		if s.labels == "" {
@@ -331,16 +458,16 @@ func writeHistogram(b *strings.Builder, f *family, s *series) {
 		return s.labels + "," + extra
 	}
 	for i, le := range f.buckets {
-		cum += atomic.LoadInt64(&s.bucket[i])
+		cum += s.bucket[i]
 		fmt.Fprintf(b, "%s_bucket{%s} %d\n", f.name, join(`le="`+formatLe(le)+`"`), cum)
 	}
-	cum += atomic.LoadInt64(&s.bucket[len(f.buckets)])
+	cum += s.bucket[len(f.buckets)]
 	fmt.Fprintf(b, "%s_bucket{%s} %d\n", f.name, join(`le="+Inf"`), cum)
 	if lbl := join(""); lbl == "" {
-		fmt.Fprintf(b, "%s_sum %s\n", f.name, formatMicro(atomic.LoadInt64(&s.sumMic)))
-		fmt.Fprintf(b, "%s_count %d\n", f.name, atomic.LoadInt64(&s.val))
+		fmt.Fprintf(b, "%s_sum %s\n", f.name, formatMicro(s.sumMic))
+		fmt.Fprintf(b, "%s_count %d\n", f.name, s.val)
 	} else {
-		fmt.Fprintf(b, "%s_sum{%s} %s\n", f.name, lbl, formatMicro(atomic.LoadInt64(&s.sumMic)))
-		fmt.Fprintf(b, "%s_count{%s} %d\n", f.name, lbl, atomic.LoadInt64(&s.val))
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", f.name, lbl, formatMicro(s.sumMic))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", f.name, lbl, s.val)
 	}
 }

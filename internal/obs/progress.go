@@ -1,18 +1,29 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 )
 
-// StartProgress spawns a goroutine that writes a one-line status summary
-// of the named counter families to w every interval, returning a stop
-// function that must be called (it prints a final line and waits for the
-// goroutine to exit). Progress lines use the wall clock for pacing and
-// elapsed time — they go to stderr, not to a determinism artifact.
+// StartProgress is StartProgressCtx with a background context — the
+// ticker then stops only through the returned stop function.
 func (r *Recorder) StartProgress(w io.Writer, interval time.Duration, families ...string) (stop func()) {
+	return r.StartProgressCtx(context.Background(), w, interval, families...)
+}
+
+// StartProgressCtx spawns a goroutine that writes a one-line status
+// summary of the named counter families to w every interval, returning a
+// stop function that is safe to call more than once (it prints a final
+// line and waits for the goroutine to exit). Cancelling ctx also stops
+// the ticker — commands pass their SIGINT/SIGTERM context so an early
+// exit cannot leak the goroutine, and the daemon's signal handler reuses
+// the same mechanism. Progress lines use the wall clock for pacing and
+// elapsed time — they go to stderr, not to a determinism artifact.
+func (r *Recorder) StartProgressCtx(ctx context.Context, w io.Writer, interval time.Duration, families ...string) (stop func()) {
 	if r == nil || w == nil {
 		return func() {}
 	}
@@ -44,13 +55,17 @@ func (r *Recorder) StartProgress(w io.Writer, interval time.Duration, families .
 			case <-done:
 				line("progress(final):")
 				return
+			case <-ctx.Done():
+				line("progress(final):")
+				return
 			case <-tick.C:
 				line("progress:")
 			}
 		}
 	}()
+	var once sync.Once
 	return func() {
-		close(done)
+		once.Do(func() { close(done) })
 		<-finished
 	}
 }

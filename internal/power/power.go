@@ -50,22 +50,79 @@ func NewModel(spec *arch.Spec) *Model {
 	}
 }
 
-// GPUDynamicWatts returns the dynamic (event-driven) GPU power of an
-// interval with the given event tally and duration in seconds.
-func (m *Model) GPUDynamicWatts(clk *clock.State, ev gpu.Events, duration float64) float64 {
-	if duration <= 0 {
-		return 0
+// Scope names one of the NVML-style power domains a fleet exporter
+// reports: the GPU core domain, the memory domain, or the whole module
+// (their sum) — the label values of the live gpuperf_power_watts family.
+type Scope string
+
+// The three reporting domains, mirroring NVML's power scopes
+// (NVML_POWER_SCOPE_GPU / _MEMORY / _MODULE).
+const (
+	ScopeGPU    Scope = "gpu"
+	ScopeMemory Scope = "memory"
+	ScopeModule Scope = "module"
+)
+
+// Scopes returns the reporting domains in exposition order.
+func Scopes() []Scope { return []Scope{ScopeGPU, ScopeMemory, ScopeModule} }
+
+// Breakdown is per-domain GPU power (or energy, when integrated): the
+// core domain (SMs, caches up to L1, shared memory) and the memory
+// domain (L2 and DRAM). The module scope is their sum.
+type Breakdown struct {
+	GPU    float64
+	Memory float64
+}
+
+// Module returns the whole-module value — the sum of both domains.
+func (b Breakdown) Module() float64 { return b.GPU + b.Memory }
+
+// Scope selects one domain by its exposition name.
+func (b Breakdown) Scope(s Scope) float64 {
+	switch s {
+	case ScopeGPU:
+		return b.GPU
+	case ScopeMemory:
+		return b.Memory
+	default:
+		return b.Module()
 	}
+}
+
+// Add returns the component-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{GPU: b.GPU + o.GPU, Memory: b.Memory + o.Memory}
+}
+
+// Scale returns the breakdown scaled by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{GPU: b.GPU * f, Memory: b.Memory * f}
+}
+
+// dynamicJoules splits an interval's dynamic switching energy by clock
+// domain: core-side events (issue, ALU/SFU/DP, LSU, shared, L1) against
+// memory-side events (L2, DRAM).
+func (m *Model) dynamicJoules(clk *clock.State, ev gpu.Events) (coreJ, memJ float64) {
 	s := m.Spec
-	coreJ := (ev.Issue*s.EnergyPerWarpInst +
+	coreJ = (ev.Issue*s.EnergyPerWarpInst +
 		ev.ALU*s.EnergyPerALU +
 		ev.SFU*s.EnergyPerSFU +
 		ev.DP*s.EnergyPerDP +
 		ev.LSU*s.EnergyPerLSU +
 		ev.Shared*s.EnergyPerSharedAcc +
 		ev.L1*s.EnergyPerL1Access) * 1e-9 * clk.CoreEnergyScale()
-	memJ := (ev.L2*s.EnergyPerL2Access +
+	memJ = (ev.L2*s.EnergyPerL2Access +
 		ev.DRAM*s.EnergyPerDRAMTxn) * 1e-9 * clk.MemEnergyScale()
+	return coreJ, memJ
+}
+
+// GPUDynamicWatts returns the dynamic (event-driven) GPU power of an
+// interval with the given event tally and duration in seconds.
+func (m *Model) GPUDynamicWatts(clk *clock.State, ev gpu.Events, duration float64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	coreJ, memJ := m.dynamicJoules(clk, ev)
 	return (coreJ + memJ) / duration
 }
 
@@ -82,6 +139,34 @@ func (m *Model) GPUStaticWatts(clk *clock.State) float64 {
 // GPUWatts returns total GPU power over an interval.
 func (m *Model) GPUWatts(clk *clock.State, ev gpu.Events, duration float64) float64 {
 	return m.GPUDynamicWatts(clk, ev, duration) + m.GPUStaticWatts(clk)
+}
+
+// IdleScopeWatts returns the static (leakage + background) power split by
+// domain at the given DVFS state — what each scope reports between
+// kernels.
+func (m *Model) IdleScopeWatts(clk *clock.State) Breakdown {
+	s := m.Spec
+	return Breakdown{
+		GPU:    s.CoreLeakWatts*clk.CoreLeakScale() + s.CoreIdleWatts*clk.CoreIdleScale(),
+		Memory: s.MemLeakWatts*clk.MemLeakScale() + s.MemIdleWatts*clk.MemIdleScale(),
+	}
+}
+
+// ScopeWatts returns total GPU power over an interval split by domain:
+// dynamic switching power assigned to its clock domain plus that domain's
+// static power. Scope sums agree with GPUWatts (up to floating-point
+// association), so the live per-scope exposition and the artifact-path
+// wall model describe the same hardware.
+func (m *Model) ScopeWatts(clk *clock.State, ev gpu.Events, duration float64) Breakdown {
+	idle := m.IdleScopeWatts(clk)
+	if duration <= 0 {
+		return idle
+	}
+	coreJ, memJ := m.dynamicJoules(clk, ev)
+	return Breakdown{
+		GPU:    coreJ/duration + idle.GPU,
+		Memory: memJ/duration + idle.Memory,
+	}
 }
 
 // PSUEfficiency returns the power supply's conversion efficiency at a DC

@@ -168,3 +168,72 @@ func TestMemoryTrafficCostsMemoryPower(t *testing.T) {
 		t.Error("DRAM traffic added no power")
 	}
 }
+
+func TestScopeWattsSumToGPUWatts(t *testing.T) {
+	// The per-scope split must conserve total GPU power: gpu + memory ==
+	// module == GPUWatts, for every board at every valid pair.
+	for _, spec := range arch.AllBoards() {
+		m := NewModel(spec)
+		for _, p := range clock.ValidPairs(spec) {
+			ev, dur, clk := runFullLoad(t, spec, p)
+			bd := m.ScopeWatts(clk, ev, dur)
+			total := m.GPUWatts(clk, ev, dur)
+			if diff := bd.Module() - total; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s %s: scope sum %.9f != GPUWatts %.9f", spec.Name, p, bd.Module(), total)
+			}
+			if bd.GPU <= 0 || bd.Memory <= 0 {
+				t.Errorf("%s %s: non-positive scope power %+v", spec.Name, p, bd)
+			}
+		}
+	}
+}
+
+func TestIdleScopeWattsSumToStatic(t *testing.T) {
+	spec := arch.GTX480()
+	m := NewModel(spec)
+	clk := clock.NewState(spec)
+	idle := m.IdleScopeWatts(clk)
+	if diff := idle.Module() - m.GPUStaticWatts(clk); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("idle scope sum %.12f != static %.12f", idle.Module(), m.GPUStaticWatts(clk))
+	}
+	// Zero duration degrades to the idle split.
+	bd := m.ScopeWatts(clk, gpu.Events{}, 0)
+	if bd != idle {
+		t.Fatalf("zero-duration ScopeWatts %+v != idle %+v", bd, idle)
+	}
+}
+
+func TestBreakdownScopeSelectors(t *testing.T) {
+	b := Breakdown{GPU: 100, Memory: 40}
+	if b.Scope(ScopeGPU) != 100 || b.Scope(ScopeMemory) != 40 || b.Scope(ScopeModule) != 140 {
+		t.Fatalf("selector mismatch: %+v", b)
+	}
+	if got := b.Add(Breakdown{GPU: 1, Memory: 2}); got != (Breakdown{GPU: 101, Memory: 42}) {
+		t.Fatalf("Add: %+v", got)
+	}
+	if got := b.Scale(0.5); got != (Breakdown{GPU: 50, Memory: 20}) {
+		t.Fatalf("Scale: %+v", got)
+	}
+	if n := len(Scopes()); n != 3 {
+		t.Fatalf("Scopes() returned %d entries", n)
+	}
+}
+
+func TestMemoryBoundKernelShiftsScopeShare(t *testing.T) {
+	// A memory-heavy tally must put a larger share of dynamic power in the
+	// memory scope than a compute-heavy one — the split tracks the event
+	// mix, not a fixed ratio.
+	spec := arch.GTX480()
+	m := NewModel(spec)
+	clk := clock.NewState(spec)
+	compute := gpu.Events{Issue: 1e9, ALU: 8e8}
+	memory := gpu.Events{Issue: 1e9, L2: 5e8, DRAM: 5e8}
+	shareOf := func(ev gpu.Events) float64 {
+		bd := m.ScopeWatts(clk, ev, 0.01)
+		return bd.Memory / bd.Module()
+	}
+	if shareOf(memory) <= shareOf(compute) {
+		t.Fatalf("memory-bound share %.3f not above compute-bound %.3f",
+			shareOf(memory), shareOf(compute))
+	}
+}

@@ -41,10 +41,12 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/characterize"
+	"gpuperf/internal/clock"
 	"gpuperf/internal/core"
 	"gpuperf/internal/driver"
 	"gpuperf/internal/fault"
@@ -101,6 +103,16 @@ type Config struct {
 	// CodeVersion overrides the cohort's code-version stamp; empty
 	// resolves the running binary's VCS revision (or "unknown").
 	CodeVersion string
+
+	// PowerFanout, when non-nil, receives live scope-tagged power samples
+	// from every metered run of the session's campaigns (see
+	// driver.PowerFanout) — the hook a serving daemon's collector uses.
+	// Live-only: it never changes measurements or artifacts.
+	PowerFanout driver.PowerFanout
+	// TrackPrefix namespaces the session's sweep track names (e.g.
+	// "campaign/3"), so many sessions can share one recorder without
+	// track collisions. Empty keeps the engine default ("sweep").
+	TrackPrefix string
 }
 
 // DefaultConfig mirrors the paper's configuration.
@@ -174,6 +186,18 @@ func WithTriageOut(path string) Option { return func(c *Config) { c.TriageOut = 
 // WithCodeVersion pins the cohort's code-version stamp (tests mostly).
 func WithCodeVersion(v string) Option { return func(c *Config) { c.CodeVersion = v } }
 
+// WithPowerFanout attaches a live scope-tagged power-sample sink to every
+// metered run of the session's campaigns.
+func WithPowerFanout(f driver.PowerFanout) Option {
+	return func(c *Config) { c.PowerFanout = f }
+}
+
+// WithTrackPrefix namespaces the session's sweep track names (see
+// Config.TrackPrefix).
+func WithTrackPrefix(prefix string) Option {
+	return func(c *Config) { c.TrackPrefix = prefix }
+}
+
 // Session owns one campaign stack. Build with New, release with Close.
 // A Session is safe for concurrent campaign calls — the engines share no
 // mutable state beyond the session's own resilience policy and journal,
@@ -187,6 +211,65 @@ type Session struct {
 
 	restoreCache func()
 	closed       bool
+
+	// Progress introspection (see Progress): planned is accumulated when a
+	// sweep starts, the others by the engine's per-cell hook. Atomics so a
+	// serving layer can poll them while the campaign runs.
+	planned     atomic.Int64
+	done        atomic.Int64
+	replayed    atomic.Int64
+	quarantined atomic.Int64
+}
+
+// Progress is a point-in-time view of the session's sweep progress,
+// readable concurrently with a running campaign.
+type Progress struct {
+	// Planned is the total number of (board, benchmark, pair, repetition)
+	// cells the session's sweeps set out to measure.
+	Planned int64 `json:"planned"`
+	// Done counts resolved cells — measured, replayed or quarantined.
+	Done int64 `json:"done"`
+	// Replayed counts cells satisfied from the checkpoint journal.
+	Replayed int64 `json:"replayed"`
+	// Quarantined counts cells that exhausted their retry budget.
+	Quarantined int64 `json:"quarantined"`
+}
+
+// Progress returns the session's current sweep progress. Safe to call
+// from any goroutine while campaigns run.
+func (s *Session) Progress() Progress {
+	return Progress{
+		Planned:     s.planned.Load(),
+		Done:        s.done.Load(),
+		Replayed:    s.replayed.Load(),
+		Quarantined: s.quarantined.Load(),
+	}
+}
+
+// onCell is the engine hook feeding the progress counters.
+func (s *Session) onCell(_, _ string, pr characterize.PairResult, replayed bool) {
+	s.done.Add(1)
+	if replayed {
+		s.replayed.Add(1)
+	}
+	if pr.Quarantined {
+		s.quarantined.Add(1)
+	}
+}
+
+// plan accounts a sweep's cell total before it starts: every valid pair
+// of every board, per benchmark, per repetition.
+func (s *Session) plan(boardNames []string, nBenches, reps int) {
+	if reps < 1 {
+		reps = 1
+	}
+	var cells int64
+	for _, name := range boardNames {
+		if spec := arch.BoardByName(name); spec != nil {
+			cells += int64(len(clock.ValidPairs(spec)))
+		}
+	}
+	s.planned.Add(cells * int64(nBenches) * int64(reps))
 }
 
 // New validates the options, resolves the board set, builds the fault
@@ -334,8 +417,12 @@ func (s *Session) NewTriage() *validity.Triage {
 	return validity.NewTriage(s.cohort, s.cfg.Repetitions, s.cfg.MinValid, 0)
 }
 
-// sweepOptions assembles the engine options shared by every sweep.
+// sweepOptions assembles the engine options shared by every sweep. An
+// empty trackPrefix falls back to the session's configured prefix.
 func (s *Session) sweepOptions(trackPrefix string) characterize.SweepOptions {
+	if trackPrefix == "" {
+		trackPrefix = s.cfg.TrackPrefix
+	}
 	return characterize.SweepOptions{
 		Seed:        s.cfg.Seed,
 		Workers:     s.cfg.Workers,
@@ -343,6 +430,8 @@ func (s *Session) sweepOptions(trackPrefix string) characterize.SweepOptions {
 		Journal:     s.journal,
 		Obs:         s.cfg.Obs,
 		TrackPrefix: trackPrefix,
+		Fanout:      s.cfg.PowerFanout,
+		OnCell:      s.onCell,
 	}
 }
 
@@ -352,6 +441,7 @@ func (s *Session) sweepOptions(trackPrefix string) characterize.SweepOptions {
 //
 //gpulint:deterministic
 func (s *Session) Sweep(ctx context.Context, benches []*workloads.Benchmark) (map[string][]*characterize.BenchResult, error) {
+	s.plan(s.BoardNames(), len(benches), 1)
 	return characterize.Sweep(ctx, s.BoardNames(), benches, s.sweepOptions(""))
 }
 
@@ -362,12 +452,14 @@ func (s *Session) Sweep(ctx context.Context, benches []*workloads.Benchmark) (ma
 // so the marginal cost of a repetition is metering, not simulation).
 // Feed the result to a triage engine with characterize.ObserveTriageReps.
 func (s *Session) Repeat(ctx context.Context, benches []*workloads.Benchmark) ([]map[string][]*characterize.BenchResult, error) {
+	s.plan(s.BoardNames(), len(benches), s.cfg.Repetitions)
 	return characterize.SweepReps(ctx, s.BoardNames(), benches, s.sweepOptions(""), s.cfg.Repetitions)
 }
 
 // SweepBoard sweeps one board's benchmarks; the board need not be in the
 // session's resolved set.
 func (s *Session) SweepBoard(ctx context.Context, boardName string, benches []*workloads.Benchmark) ([]*characterize.BenchResult, error) {
+	s.plan([]string{boardName}, len(benches), 1)
 	m, err := characterize.Sweep(ctx, []string{boardName}, benches, s.sweepOptions(""))
 	if err != nil {
 		return nil, err
@@ -401,6 +493,7 @@ func (s *Session) Device(boardName string) (*driver.Device, error) {
 	if s.cfg.Obs != nil {
 		dev.Observe(s.cfg.Obs, "device/"+boardName)
 	}
+	dev.SetPowerFanout(s.cfg.PowerFanout)
 	return dev, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gpuperf/internal/arch"
 	"gpuperf/internal/characterize"
@@ -36,6 +37,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV where available")
 	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
 	board := flag.String("board", "", "restrict to one board")
+	bench := flag.String("bench", "",
+		"comma-separated benchmark restriction for fleet campaigns (default: the Table IV set)")
 	camp := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -64,6 +67,34 @@ func main() {
 	defer camp.StartProgress(ctx, cfg.Obs, os.Stderr,
 		"characterize_cells_total", "fault_retries_total",
 		"characterize_cells_quarantined_total", "driver_launch_cache_hits_total")()
+
+	if cfg.FleetSize >= 1 {
+		// Fleet campaigns replace the per-board artifacts with the
+		// population report; the other selection flags don't apply.
+		benches := workloads.Table4()
+		if *bench != "" {
+			benches = nil
+			for _, name := range strings.Split(*bench, ",") {
+				b := workloads.ByName(strings.TrimSpace(name))
+				if b == nil {
+					cliflags.Usage("characterize", fmt.Errorf("unknown benchmark %q", name))
+				}
+				benches = append(benches, b)
+			}
+		}
+		rep, err := s.Fleet(ctx, benches)
+		if err != nil {
+			cliflags.Fatal("characterize", err)
+		}
+		fmt.Print(report.FleetSummary(rep))
+		if err := camp.WriteArtifacts(cfg.Obs); err != nil {
+			cliflags.Fatal("characterize", err)
+		}
+		return
+	}
+	if *bench != "" {
+		cliflags.Usage("characterize", fmt.Errorf("-bench requires -fleet-size ≥ 1"))
+	}
 
 	if *table == 0 && *fig == 0 && !*suite {
 		*all = true

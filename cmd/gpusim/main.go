@@ -61,6 +61,7 @@ func main() {
 		return
 	}
 
+	camp.NoFleet("gpusim")
 	cfg, err := camp.Config(*board)
 	if err != nil {
 		cliflags.Usage("gpusim", err)

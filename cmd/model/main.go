@@ -49,6 +49,7 @@ func main() {
 	if *board != "" {
 		restrict = []string{*board}
 	}
+	camp.NoFleet("model")
 	cfg, err := camp.Config(restrict...)
 	if err != nil {
 		cliflags.Usage("model", err)

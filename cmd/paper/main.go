@@ -27,8 +27,10 @@ import (
 	"os"
 
 	"gpuperf/internal/cliflags"
+	"gpuperf/internal/report"
 	"gpuperf/internal/reproduce"
 	"gpuperf/internal/session"
+	"gpuperf/internal/workloads"
 )
 
 func main() {
@@ -75,6 +77,19 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if cfg.FleetSize >= 1 {
+		// A fleet campaign replaces the paper reproduction with the
+		// population report over the Table IV set.
+		rep, err := s.Fleet(ctx, workloads.Table4())
+		if err != nil {
+			cliflags.Fatal("paper", err)
+		}
+		fmt.Fprint(w, report.FleetSummary(rep))
+		if err := camp.WriteArtifacts(cfg.Obs); err != nil {
+			cliflags.Fatal("paper", err)
+		}
+		return
 	}
 	var tweaks []func(*reproduce.Options)
 	if *quick {

@@ -42,6 +42,7 @@ func main() {
 		jobs[i] = strings.TrimSpace(jobs[i])
 	}
 
+	camp.NoFleet("sched")
 	cfg, err := camp.Config(*board)
 	if err != nil {
 		cliflags.Usage("sched", err)

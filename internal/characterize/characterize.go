@@ -250,62 +250,6 @@ func sweepOneBoard(boardName string, benches []*workloads.Benchmark, opts SweepO
 	return m[boardName], nil
 }
 
-// sweepPool runs `jobs` measurements through a bounded worker pool and
-// returns the results in job order; run maps a job index to its sweep.
-// Both channels are buffered to the job count so every goroutine can
-// always complete: the workers drain a pre-filled job queue and deliver
-// into spare capacity even if a consumer were to stop reading early (the
-// leak-proofing audit of core.collect, applied from the start).
-//
-// Cancellation is checked before each job: remaining jobs fail with the
-// wrapped cause while in-flight ones run to completion, so the pool stops
-// within one job of the cancel and still reports the lowest-index error.
-func sweepPool(ctx context.Context, run func(int) (*BenchResult, error), workers, jobs int) ([]*BenchResult, error) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > jobs {
-		workers = jobs
-	}
-	type done struct {
-		idx int
-		res *BenchResult
-		err error
-	}
-	queue := make(chan int, jobs)
-	for i := 0; i < jobs; i++ {
-		queue <- i
-	}
-	close(queue)
-	results := make(chan done, jobs)
-	for w := 0; w < workers; w++ {
-		go func() {
-			for idx := range queue {
-				if ctx.Err() != nil {
-					results <- done{idx: idx, err: cancelled(ctx)}
-					continue
-				}
-				r, err := run(idx)
-				results <- done{idx: idx, res: r, err: err}
-			}
-		}()
-	}
-	out := make([]*BenchResult, jobs)
-	var firstErr error
-	firstIdx := jobs
-	for i := 0; i < jobs; i++ {
-		d := <-results
-		if d.err != nil && d.idx < firstIdx {
-			firstErr, firstIdx = d.err, d.idx
-		}
-		out[d.idx] = d.res
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
-}
-
 // SweepBoards sweeps the benches on every named board through one shared
 // worker pool over (board, benchmark) jobs.
 //

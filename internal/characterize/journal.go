@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -348,6 +349,51 @@ func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return len(j.cells)
+}
+
+// ErrForeignJournal marks a journal file that cannot be attributed to
+// the asking cohort at all — no parseable header, an unknown format
+// version, or a legacy header recorded under different (seed, profile).
+// Distinct from *CohortMismatchError, which proves the file belongs to a
+// *different* cohort: a foreign file is unreadable evidence. The fleet
+// shard-journal merge quarantines foreign shards on this sentinel.
+var ErrForeignJournal = errors.New("characterize: checkpoint: journal belongs to no identifiable cohort")
+
+// CellRecord is one decoded checkpoint cell, addressed the way the
+// journal keys it.
+type CellRecord struct {
+	Board  string
+	Bench  string
+	Rep    int
+	Result PairResult
+}
+
+// ReadJournalCells decodes a journal's salvageable cells without opening
+// it for writing, using the same torn-line-safe codec as
+// OpenJournalCohort: corrupt interior lines cost only themselves. Cells
+// return in the journal's stable (board, bench, rep, pair) order. A v2
+// journal bound to a different cohort returns *CohortMismatchError; an
+// unattributable file returns ErrForeignJournal. The fleet orchestrator
+// reads per-shard journals through this to merge checkpoints on resume.
+func ReadJournalCells(path string, cfg JournalConfig) ([]CellRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("characterize: checkpoint: %w", err)
+	}
+	j := &Journal{cells: make(map[string]PairResult)}
+	keep, err := j.load(path, data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !keep {
+		return nil, fmt.Errorf("%w: %s", ErrForeignJournal, path)
+	}
+	lines := j.lines()
+	out := make([]CellRecord, len(lines))
+	for i, l := range lines {
+		out[i] = CellRecord{Board: l.Board, Bench: l.Bench, Rep: l.Rep, Result: l.Result}
+	}
+	return out, nil
 }
 
 // Close flushes and closes the journal file.

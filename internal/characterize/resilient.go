@@ -65,6 +65,22 @@ type SweepOptions struct {
 	// for concurrent use. Progress introspection only: it must not mutate
 	// the result.
 	OnCell func(board, bench string, pr PairResult, replayed bool)
+	// Sink, when non-nil, receives the sweep as a row stream: one
+	// ConsumeRow per resolved cell (the OnCell contract) and one
+	// ConsumeBench per completed (board, benchmark) job. Called from
+	// every sweep worker; must be safe for concurrent use. This is how
+	// SweepStream consumers — the fleet aggregator — fold a campaign
+	// without materializing it.
+	Sink RowSink
+	// Boot, when non-nil, replaces the device-open path; the injector may
+	// be nil on a fault-free attempt. The fleet orchestrator boots
+	// jittered per-device specs through this seam. Defaults to
+	// driver.OpenBoardWithFaults.
+	Boot func(boardName string, in *fault.Injector) (*driver.Device, error)
+	// SpecOf, when non-nil, resolves a board name to its spec — the
+	// quarantine path needs the pair grid of a device that never booted.
+	// Defaults to arch.BoardByName.
+	SpecOf func(boardName string) *arch.Spec
 }
 
 func (o *SweepOptions) res() *fault.Resilience {
@@ -72,6 +88,32 @@ func (o *SweepOptions) res() *fault.Resilience {
 		return o.Res
 	}
 	return &fault.Resilience{}
+}
+
+func (o *SweepOptions) boot() func(string, *fault.Injector) (*driver.Device, error) {
+	if o.Boot != nil {
+		return o.Boot
+	}
+	return driver.OpenBoardWithFaults
+}
+
+func (o *SweepOptions) specOf(boardName string) *arch.Spec {
+	if o.SpecOf != nil {
+		return o.SpecOf(boardName)
+	}
+	return arch.BoardByName(boardName)
+}
+
+// emitCell fans one resolved cell out to both progress hooks — the
+// single emission point every resolution path (measure, journal replay,
+// boot quarantine) goes through.
+func (o *SweepOptions) emitCell(board, bench string, pr PairResult, replayed bool) {
+	if o.OnCell != nil {
+		o.OnCell(board, bench, pr, replayed)
+	}
+	if o.Sink != nil {
+		o.Sink.ConsumeRow(Row{Board: board, Bench: bench, Rep: o.Rep, Replayed: replayed, Result: pr})
+	}
 }
 
 // Sweep is the unified sweep engine: every sequential, parallel and
@@ -90,41 +132,42 @@ func (o *SweepOptions) res() *fault.Resilience {
 // only the rest, byte-identical to an uninterrupted run.
 func Sweep(ctx context.Context, boardNames []string, benches []*workloads.Benchmark, opts SweepOptions) (map[string][]*BenchResult, error) {
 	nb := len(benches)
-	jobs := len(boardNames) * nb
-	if jobs == 0 {
+	if len(boardNames)*nb == 0 {
 		return map[string][]*BenchResult{}, nil
 	}
-	if opts.Obs != nil {
-		// Wire the recorder through the resilience policy before the pool
-		// starts (Observe must not race with workers). opts is a copy, so
-		// defaulting Res here never leaks to the caller.
-		if opts.Res == nil {
-			opts.Res = &fault.Resilience{}
-		}
-		if opts.Res.Obs == nil {
-			opts.Res.Obs = opts.Obs
-		}
-		opts.Res.Observe()
-		w := opts.Workers
-		if w < 1 {
-			w = 1
-		}
-		if w > jobs {
-			w = jobs
-		}
-		observePool(opts.Obs, w)
-	}
-	flat, err := sweepPool(ctx, func(idx int) (*BenchResult, error) {
-		return sweepBenchR(ctx, boardNames[idx/nb], benches[idx%nb], opts)
-	}, opts.Workers, jobs)
-	if err != nil {
+	// Sweep is one fold over the row stream: collect every completed
+	// BenchResult into its [board][benchmark] slot, chaining to any sink
+	// the caller attached.
+	fold := newResultFold(boardNames, benches, opts.Sink)
+	opts.Sink = fold
+	if err := SweepStream(ctx, boardNames, benches, opts); err != nil {
 		return nil, err
 	}
-	out := make(map[string][]*BenchResult, len(boardNames))
-	for bi, name := range boardNames {
-		out[name] = flat[bi*nb : (bi+1)*nb]
+	return fold.results(boardNames, nb), nil
+}
+
+// prepareSweepObs wires the recorder through the resilience policy before
+// the pool starts (Observe must not race with workers). opts is the
+// engine's private copy, so defaulting Res here never leaks to callers.
+func prepareSweepObs(opts *SweepOptions, jobs int) {
+	if opts.Obs == nil {
+		return
 	}
-	return out, nil
+	if opts.Res == nil {
+		opts.Res = &fault.Resilience{}
+	}
+	if opts.Res.Obs == nil {
+		opts.Res.Obs = opts.Obs
+	}
+	opts.Res.Observe()
+	w := opts.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > jobs {
+		w = jobs
+	}
+	observePool(opts.Obs, w)
 }
 
 // SweepBoardsR is SweepBoards under the fault harness.
@@ -144,17 +187,19 @@ func SweepBoardR(boardName string, benches []*workloads.Benchmark, opts SweepOpt
 	return sweepOneBoard(boardName, benches, opts)
 }
 
-// bootR boots the board inside the retry loop. A boot that exhausts its
-// budget returns the fault that kept failing with a nil device — the
-// caller quarantines the benchmark's cells.
-func bootR(ctx context.Context, boardName, scope string, res *fault.Resilience, track *obs.Track) (*driver.Device, fault.Point, error) {
+// bootR boots the board inside the retry loop through the open seam
+// (driver.OpenBoardWithFaults by default; the fleet's jittered-spec boot
+// otherwise). A boot that exhausts its budget returns the fault that
+// kept failing with a nil device — the caller quarantines the
+// benchmark's cells.
+func bootR(ctx context.Context, boardName, scope string, open func(string, *fault.Injector) (*driver.Device, error), res *fault.Resilience, track *obs.Track) (*driver.Device, fault.Point, error) {
 	var lastPt fault.Point
 	for attempt := 0; attempt < res.Attempts(); attempt++ {
 		if ctx.Err() != nil {
 			return nil, "", cancelled(ctx)
 		}
 		in := res.Injector("boot|"+scope, attempt)
-		dev, err := driver.OpenBoardWithFaults(boardName, in)
+		dev, err := open(boardName, in)
 		if err == nil {
 			return dev, "", nil
 		}
@@ -174,9 +219,8 @@ func bootR(ctx context.Context, boardName, scope string, res *fault.Resilience, 
 
 // quarantineAll marks every valid pair of the board as quarantined — the
 // degradation shape of a benchmark whose device never booted.
-func quarantineAll(boardName, bench string, pt fault.Point, retries int) *BenchResult {
+func quarantineAll(boardName, bench string, spec *arch.Spec, pt fault.Point, retries int) *BenchResult {
 	out := &BenchResult{Benchmark: bench, Board: boardName}
-	spec := arch.BoardByName(boardName)
 	if spec == nil {
 		return out
 	}
@@ -203,20 +247,18 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 	track := opts.Obs.Track(opts.trackName(boardName, b.Name))
 	span := track.Begin("sweep "+b.Name, obs.Arg{Key: "board", Value: boardName})
 	defer span.End()
-	dev, failPt, err := bootR(ctx, boardName, scope, res, track)
+	dev, failPt, err := bootR(ctx, boardName, scope, opts.boot(), res, track)
 	if err != nil {
 		return nil, err
 	}
 	if dev == nil {
-		out := quarantineAll(boardName, b.Name, failPt, res.Attempts()-1)
+		out := quarantineAll(boardName, b.Name, opts.specOf(boardName), failPt, res.Attempts()-1)
 		if so != nil {
 			so.quarantined.With(string(failPt)).Add(int64(len(out.Pairs)))
 			track.Instant("quarantined (boot failed)", obs.Arg{Key: "point", Value: string(failPt)})
 		}
-		if opts.OnCell != nil {
-			for _, pr := range out.Pairs {
-				opts.OnCell(boardName, b.Name, pr, false)
-			}
+		for _, pr := range out.Pairs {
+			opts.emitCell(boardName, b.Name, pr, false)
 		}
 		return out, nil
 	}
@@ -259,9 +301,7 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 					so.journalHits.Inc()
 					track.Instant("journal replay", obs.Arg{Key: "pair", Value: p.String()})
 				}
-				if opts.OnCell != nil {
-					opts.OnCell(boardName, b.Name, cell, true)
-				}
+				opts.emitCell(boardName, b.Name, cell, true)
 				continue
 			}
 		}
@@ -281,9 +321,7 @@ func sweepBenchR(ctx context.Context, boardName string, b *workloads.Benchmark, 
 					obs.Arg{Key: "point", Value: string(cell.FailPoint)})
 			}
 		}
-		if opts.OnCell != nil {
-			opts.OnCell(boardName, b.Name, cell, false)
-		}
+		opts.emitCell(boardName, b.Name, cell, false)
 		if opts.Journal != nil {
 			if err := opts.Journal.Record(boardName, b.Name, opts.Rep, cell); err != nil {
 				return nil, err

@@ -1,0 +1,196 @@
+package characterize
+
+import (
+	"context"
+	"sync"
+
+	"gpuperf/internal/workloads"
+)
+
+// The row-stream layer turns the sweep engine inside out: instead of
+// materializing every result and handing the caller a map, the engine
+// emits each resolved cell (a Row) and each completed (board, benchmark)
+// job (a BenchResult) into a RowSink as soon as it exists. A consumer
+// that only needs aggregates — the fleet orchestrator folding population
+// statistics over ten thousand devices — holds O(aggregate) memory
+// instead of O(cells). Sweep itself is now one fold over this stream
+// (collect every BenchResult into the classic map), so the materializing
+// path and the streaming path cannot drift apart.
+
+// Row is one resolved sweep cell as a stream element: the cell's
+// measurement plus enough identity (board, benchmark, repetition) to
+// fold it without any surrounding map. Replayed marks cells restored
+// from a checkpoint journal rather than measured.
+type Row struct {
+	Board    string
+	Bench    string
+	Rep      int
+	Replayed bool
+	Result   PairResult
+}
+
+// RowSink consumes a sweep as a stream. Both methods are called from
+// every sweep worker, so implementations must be safe for concurrent
+// use. The stream is unordered across jobs — cells of different
+// (board, benchmark) jobs interleave arbitrarily — but within one job
+// ConsumeRow is called in Table III pair order and ConsumeBench last.
+// Byte-identity therefore requires folds that are associative and
+// commutative across jobs (see internal/fleet for the canonical
+// integer-fold aggregator).
+//
+// ConsumeBench transfers ownership: after the call the engine neither
+// retains nor mutates the BenchResult, and the sink may keep it.
+type RowSink interface {
+	ConsumeRow(Row)
+	ConsumeBench(*BenchResult)
+}
+
+// SinkFuncs adapts plain functions to a RowSink; nil fields are no-ops.
+type SinkFuncs struct {
+	Row   func(Row)
+	Bench func(*BenchResult)
+}
+
+// ConsumeRow implements RowSink.
+func (s SinkFuncs) ConsumeRow(r Row) {
+	if s.Row != nil {
+		s.Row(r)
+	}
+}
+
+// ConsumeBench implements RowSink.
+func (s SinkFuncs) ConsumeBench(b *BenchResult) {
+	if s.Bench != nil {
+		s.Bench(b)
+	}
+}
+
+// SweepStream is the streaming form of Sweep: identical engine, identical
+// cells, but results are emitted into opts.Sink instead of being
+// materialized — the sweep itself holds one in-flight BenchResult per
+// worker regardless of how many jobs it runs. Everything documented on
+// Sweep (determinism at any worker count, cell-boundary cancellation,
+// journal replay) holds unchanged; Sweep is this function plus a
+// collecting fold.
+func SweepStream(ctx context.Context, boardNames []string, benches []*workloads.Benchmark, opts SweepOptions) error {
+	nb := len(benches)
+	jobs := len(boardNames) * nb
+	if jobs == 0 {
+		return nil
+	}
+	prepareSweepObs(&opts, jobs)
+	return streamPool(ctx, func(idx int) error {
+		r, err := sweepBenchR(ctx, boardNames[idx/nb], benches[idx%nb], opts)
+		if err != nil {
+			return err
+		}
+		if opts.Sink != nil {
+			opts.Sink.ConsumeBench(r)
+		}
+		return nil
+	}, opts.Workers, jobs)
+}
+
+// streamPool runs `jobs` through a bounded worker pool and reports only
+// the lowest-index error — results leave through the sink, never through
+// the pool. Both channels are buffered to the job count so every
+// goroutine can always complete (the leak-proofing audit of
+// core.collect); cancellation is checked before each job, so remaining
+// jobs fail with the wrapped cause while in-flight ones run to
+// completion.
+func streamPool(ctx context.Context, run func(int) error, workers, jobs int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	type done struct {
+		idx int
+		err error
+	}
+	queue := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		queue <- i
+	}
+	close(queue)
+	results := make(chan done, jobs)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for idx := range queue {
+				if ctx.Err() != nil {
+					results <- done{idx: idx, err: cancelled(ctx)}
+					continue
+				}
+				results <- done{idx: idx, err: run(idx)}
+			}
+		}()
+	}
+	var firstErr error
+	firstIdx := jobs
+	for i := 0; i < jobs; i++ {
+		d := <-results
+		if d.err != nil && d.idx < firstIdx {
+			firstErr, firstIdx = d.err, d.idx
+		}
+	}
+	return firstErr
+}
+
+// resultFold is the collecting RowSink behind Sweep: it places every
+// completed BenchResult into its precomputed [board][benchmark] slot and
+// chains to the caller's sink so attaching one never changes what Sweep
+// returns. Duplicate board names get a queue of slots; results for the
+// same (board, benchmark) are byte-identical by the determinism
+// contract, so which duplicate lands where is unobservable.
+type resultFold struct {
+	mu    sync.Mutex
+	slots map[string][]int
+	flat  []*BenchResult
+	next  RowSink
+}
+
+func newResultFold(boardNames []string, benches []*workloads.Benchmark, next RowSink) *resultFold {
+	nb := len(benches)
+	f := &resultFold{
+		slots: make(map[string][]int, len(boardNames)*nb),
+		flat:  make([]*BenchResult, len(boardNames)*nb),
+		next:  next,
+	}
+	for bi, board := range boardNames {
+		for bj, b := range benches {
+			k := board + "\x00" + b.Name
+			f.slots[k] = append(f.slots[k], bi*nb+bj)
+		}
+	}
+	return f
+}
+
+func (f *resultFold) ConsumeRow(r Row) {
+	if f.next != nil {
+		f.next.ConsumeRow(r)
+	}
+}
+
+func (f *resultFold) ConsumeBench(b *BenchResult) {
+	k := b.Board + "\x00" + b.Benchmark
+	f.mu.Lock()
+	if q := f.slots[k]; len(q) > 0 {
+		f.flat[q[0]] = b
+		f.slots[k] = q[1:]
+	}
+	f.mu.Unlock()
+	if f.next != nil {
+		f.next.ConsumeBench(b)
+	}
+}
+
+// results reshapes the flat slice into the classic [board][benchmark]
+// map, sharing the backing array exactly like the pre-stream engine.
+func (f *resultFold) results(boardNames []string, nb int) map[string][]*BenchResult {
+	out := make(map[string][]*BenchResult, len(boardNames))
+	for bi, name := range boardNames {
+		out[name] = f.flat[bi*nb : (bi+1)*nb]
+	}
+	return out
+}

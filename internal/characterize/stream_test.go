@@ -1,0 +1,123 @@
+package characterize
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// recordingSink captures the row stream for comparison against the
+// materialized sweep result.
+type recordingSink struct {
+	mu      sync.Mutex
+	rows    []Row
+	benches []*BenchResult
+}
+
+func (s *recordingSink) ConsumeRow(r Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, r)
+}
+
+func (s *recordingSink) ConsumeBench(b *BenchResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.benches = append(s.benches, b)
+}
+
+// TestSweepSinkMatchesResults: Sweep is a fold over the row stream, so
+// the stream a chained sink observes must carry exactly the cells of the
+// returned result map — same pairs, same values, one BenchResult per
+// (board, benchmark) job.
+func TestSweepSinkMatchesResults(t *testing.T) {
+	benches := sweepSet(t, 3)
+	boards := []string{"GTX 680", "GTX 285"}
+	sink := &recordingSink{}
+	got, err := Sweep(context.Background(), boards, benches,
+		SweepOptions{Seed: 42, Workers: 4, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 0
+	for _, board := range boards {
+		for bi, b := range benches {
+			r := got[board][bi]
+			wantRows += len(r.Pairs)
+			// The streamed BenchResult for this job is the same object the
+			// result map holds (ownership transfers through the fold).
+			found := false
+			for _, sb := range sink.benches {
+				if sb == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s/%s: streamed BenchResult is not the returned one", board, b.Name)
+			}
+		}
+	}
+	if len(sink.rows) != wantRows {
+		t.Fatalf("sink saw %d rows, results hold %d cells", len(sink.rows), wantRows)
+	}
+	if len(sink.benches) != len(boards)*len(benches) {
+		t.Fatalf("sink saw %d bench results, want %d", len(sink.benches), len(boards)*len(benches))
+	}
+	for _, row := range sink.rows {
+		bi := -1
+		for i, b := range benches {
+			if b.Name == row.Bench {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			t.Fatalf("row for unknown bench %q", row.Bench)
+		}
+		cell := got[row.Board][bi].ByPair(row.Result.Pair)
+		if cell == nil || !reflect.DeepEqual(*cell, row.Result) {
+			t.Fatalf("%s/%s %s: streamed row differs from result cell", row.Board, row.Bench, row.Result.Pair)
+		}
+	}
+}
+
+// TestSweepStreamMatchesSweep: the sink-only pipeline and the
+// materializing wrapper observe identical streams at any worker count —
+// row content is a pure function of (seed, board, bench, pair).
+func TestSweepStreamMatchesSweep(t *testing.T) {
+	benches := sweepSet(t, 3)
+	boards := []string{"GTX 480", "GTX 680"}
+
+	ref := &recordingSink{}
+	if _, err := Sweep(context.Background(), boards, benches,
+		SweepOptions{Seed: 42, Workers: 1, Sink: ref}); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		sink := &recordingSink{}
+		err := SweepStream(context.Background(), boards, benches,
+			SweepOptions{Seed: 42, Workers: workers, Sink: sink})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sortRows(sink.rows), sortRows(ref.rows)) {
+			t.Fatalf("workers=%d: SweepStream rows differ from Sweep rows", workers)
+		}
+	}
+}
+
+func sortRows(rows []Row) []Row {
+	out := append([]Row(nil), rows...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Board != out[b].Board {
+			return out[a].Board < out[b].Board
+		}
+		if out[a].Bench != out[b].Bench {
+			return out[a].Bench < out[b].Bench
+		}
+		return out[a].Result.Pair.String() < out[b].Result.Pair.String()
+	})
+	return out
+}

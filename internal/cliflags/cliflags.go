@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gpuperf/internal/fault"
+	"gpuperf/internal/fleet"
 	"gpuperf/internal/obs"
 	"gpuperf/internal/session"
 	"gpuperf/internal/trace"
@@ -45,6 +46,9 @@ type Campaign struct {
 	Progress      bool
 	CPUProfile    string
 	MemProfile    string
+	FleetSize     int
+	Shards        int
+	JitterProfile string
 }
 
 // Register installs the shared campaign flag block on fs (flag.CommandLine
@@ -83,6 +87,12 @@ func Register(fs *flag.FlagSet) *Campaign {
 		"write a pprof CPU profile of the campaign to this path")
 	fs.StringVar(&c.MemProfile, "memprofile", "",
 		"write a pprof heap profile at campaign exit to this path")
+	fs.IntVar(&c.FleetSize, "fleet-size", 0,
+		"run a fleet campaign over N jittered devices generated from the board set (0: the classic per-board campaign)")
+	fs.IntVar(&c.Shards, "shards", 1,
+		"partition fleet devices across N shard pipelines, each with its own checkpoint journal (the report is byte-identical at any shard count)")
+	fs.StringVar(&c.JitterProfile, "jitter-profile", "",
+		`per-device parameter spread for fleet campaigns: a preset (default, none, tight, loose) or "key:fraction" pairs, e.g. "corevolt:0.03,leak:0.08"`)
 	return c
 }
 
@@ -161,10 +171,36 @@ func (c *Campaign) Config(boards ...string) (session.Config, error) {
 		}
 		cfg.Faults = p
 	}
+	if c.FleetSize < 0 {
+		return cfg, fmt.Errorf("-fleet-size must be ≥ 0 (got %d)", c.FleetSize)
+	}
+	if c.Shards < 1 {
+		return cfg, fmt.Errorf("-shards must be ≥ 1 (got %d)", c.Shards)
+	}
+	if c.FleetSize == 0 && (c.Shards > 1 || c.JitterProfile != "") {
+		return cfg, fmt.Errorf("-shards/-jitter-profile require -fleet-size ≥ 1")
+	}
+	if c.FleetSize >= 1 {
+		if _, err := fleet.ParseJitterProfile(c.JitterProfile); err != nil {
+			return cfg, err
+		}
+		cfg.FleetSize = c.FleetSize
+		cfg.FleetShards = c.Shards
+		cfg.FleetJitter = c.JitterProfile
+	}
 	if c.Instrumented() {
 		cfg.Obs = obs.New()
 	}
 	return cfg, nil
+}
+
+// NoFleet rejects the fleet flag block for commands that have no fleet
+// campaign path (model, gpusim, sched), with the usage exit code. Call
+// after fs.Parse, before Config.
+func (c *Campaign) NoFleet(cmd string) {
+	if c.FleetSize != 0 || c.Shards != 1 || c.JitterProfile != "" {
+		Usage(cmd, fmt.Errorf("fleet campaigns are not supported by %s; use characterize or paper", cmd))
+	}
 }
 
 // Instrumented reports whether any flag asked for an observability

@@ -1,0 +1,59 @@
+package cliflags
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// parse registers the shared block on a fresh FlagSet and parses args —
+// the exact path every campaign command takes before Config.
+func parse(t *testing.T, args ...string) *Campaign {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return c
+}
+
+func TestConfigFleetValidation(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr string
+	}{
+		{args: nil},
+		{args: []string{"-fleet-size", "100"}},
+		{args: []string{"-fleet-size", "100", "-shards", "8", "-jitter-profile", "tight"}},
+		{args: []string{"-fleet-size", "100", "-jitter-profile", "corevolt:0.05,meter:0.02"}},
+		{args: []string{"-fleet-size", "-1"}, wantErr: "-fleet-size"},
+		{args: []string{"-shards", "0"}, wantErr: "-shards"},
+		{args: []string{"-fleet-size", "10", "-shards", "0"}, wantErr: "-shards"},
+		{args: []string{"-shards", "4"}, wantErr: "require -fleet-size"},
+		{args: []string{"-jitter-profile", "tight"}, wantErr: "require -fleet-size"},
+		{args: []string{"-fleet-size", "10", "-jitter-profile", "bogus:0.1"}, wantErr: "unknown"},
+		{args: []string{"-fleet-size", "10", "-jitter-profile", "corevolt:1.5"}, wantErr: "[0, 1]"},
+	}
+	for _, c := range cases {
+		camp := parse(t, c.args...)
+		cfg, err := camp.Config()
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("Config(%v) err = %v, want containing %q", c.args, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Config(%v): %v", c.args, err)
+			continue
+		}
+		if camp.FleetSize >= 1 {
+			if cfg.FleetSize != camp.FleetSize || cfg.FleetShards != camp.Shards || cfg.FleetJitter != camp.JitterProfile {
+				t.Errorf("Config(%v) did not thread fleet fields: %+v", c.args, cfg)
+			}
+		} else if cfg.FleetSize != 0 {
+			t.Errorf("Config(%v) set FleetSize %d without the flag", c.args, cfg.FleetSize)
+		}
+	}
+}

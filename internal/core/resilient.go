@@ -56,77 +56,14 @@ func cancelled(ctx context.Context) error {
 // a cancel aborts the collection within one in-flight pass per worker and
 // returns the cause wrapped in the error.
 func CollectCtx(ctx context.Context, boardName string, benches []*workloads.Benchmark, opts CollectOptions) (*Dataset, error) {
-	res := opts.Res
-	if res == nil {
-		res = &fault.Resilience{}
-	}
-	res.Observe()
-	co := newCollectObs(res.Obs, boardName)
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	probe, err := driver.OpenBoard(boardName)
+	// The materialized dataset is one fold over the row stream; the
+	// engine itself lives in CollectStream.
+	fold := NewDatasetFold(len(benches))
+	st, err := CollectStream(ctx, boardName, benches, opts, fold)
 	if err != nil {
 		return nil, err
 	}
-	ds := &Dataset{
-		Board: boardName,
-		Spec:  probe.Spec(),
-		Set:   probe.CounterSet(),
-	}
-
-	type chunk struct {
-		idx     int
-		rows    []Observation
-		samples int
-		retries int
-		dropped *DroppedBench
-		err     error
-	}
-	// Buffered to the benchmark count: no goroutine can ever block on
-	// delivery, so the error path leaks nothing. Cancellation is checked
-	// before each job — remaining jobs fail with the wrapped cause while
-	// in-flight ones stop at their own pass boundaries.
-	if workers > len(benches) {
-		workers = len(benches)
-	}
-	jobs := make(chan int, len(benches))
-	for i := range benches {
-		jobs <- i
-	}
-	close(jobs)
-	results := make(chan chunk, len(benches))
-	for w := 0; w < workers; w++ {
-		go func() {
-			for idx := range jobs {
-				if ctx.Err() != nil {
-					results <- chunk{idx: idx, err: cancelled(ctx)}
-					continue
-				}
-				rows, samples, retries, dropped, err := collectBench(ctx, boardName, benches[idx], opts.Seed, res, co)
-				results <- chunk{idx: idx, rows: rows, samples: samples, retries: retries, dropped: dropped, err: err}
-			}
-		}()
-	}
-	ordered := make([]chunk, len(benches))
-	for range benches {
-		c := <-results
-		ordered[c.idx] = c
-	}
-	for _, c := range ordered {
-		if c.err != nil {
-			return nil, c.err
-		}
-		ds.Retries += c.retries
-		if c.dropped != nil {
-			ds.Dropped = append(ds.Dropped, *c.dropped)
-			continue
-		}
-		ds.Rows = append(ds.Rows, c.rows...)
-		ds.Samples += c.samples
-	}
-	return ds, nil
+	return fold.Dataset(st), nil
 }
 
 // CollectResilient is CollectParallel under the fault harness.

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// countingSink wraps a DatasetFold and counts rows, to pin the
+// benchmark-granularity emission contract.
+type countingSink struct {
+	fold *DatasetFold
+	mu   sync.Mutex
+	rows int
+}
+
+func (s *countingSink) ConsumeRow(r Row) {
+	s.mu.Lock()
+	s.rows++
+	s.mu.Unlock()
+	s.fold.ConsumeRow(r)
+}
+
+// TestCollectStreamFoldsToCollectCtx: feeding the stream into a
+// DatasetFold reproduces CollectCtx's dataset exactly at any worker
+// count, and the stream carries exactly Samples rows.
+func TestCollectStreamFoldsToCollectCtx(t *testing.T) {
+	benches := modelBenches(t, 4)
+	want, err := CollectCtx(context.Background(), "GTX 480", benches, CollectOptions{Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		fold := NewDatasetFold(len(benches))
+		sink := &countingSink{fold: fold}
+		st, err := CollectStream(context.Background(), "GTX 480", benches,
+			CollectOptions{Seed: 42, Workers: workers}, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fold.Dataset(st)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: streamed dataset differs from CollectCtx", workers)
+		}
+		if sink.rows != len(want.Rows) {
+			t.Fatalf("workers=%d: sink saw %d rows, dataset holds %d",
+				workers, sink.rows, len(want.Rows))
+		}
+	}
+}

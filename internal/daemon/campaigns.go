@@ -14,6 +14,7 @@ import (
 	"gpuperf/internal/characterize"
 	"gpuperf/internal/core"
 	"gpuperf/internal/fault"
+	"gpuperf/internal/fleet"
 	"gpuperf/internal/report"
 	"gpuperf/internal/session"
 	"gpuperf/internal/validity"
@@ -24,6 +25,7 @@ import (
 const (
 	KindSweep = "sweep" // Table IV characterization sweep (repetition cohort)
 	KindModel = "model" // per-board modeling collection + unified models
+	KindFleet = "fleet" // sharded fleet campaign over jittered devices
 )
 
 // Campaign states. A campaign moves pending → running → one of the
@@ -67,6 +69,13 @@ type CampaignRequest struct {
 	// NoCache is rejected: the daemon's campaigns share one process-wide
 	// launch cache; per-campaign cache opt-out would toggle a global.
 	NoCache bool `json:"nocache,omitempty"`
+	// FleetSize / Shards / JitterProfile configure "fleet" campaigns:
+	// FleetSize jittered devices generated from the board set, partitioned
+	// across Shards pipelines (0: 1). The report is byte-identical at any
+	// shard count. Rejected for other kinds.
+	FleetSize     int    `json:"fleet_size,omitempty"`
+	Shards        int    `json:"shards,omitempty"`
+	JitterProfile string `json:"jitter_profile,omitempty"`
 }
 
 // TriageStatus is the validity verdict summary embedded in a campaign's
@@ -87,6 +96,8 @@ type CampaignStatus struct {
 	Checkpoint string           `json:"checkpoint"`
 	Error      string           `json:"error,omitempty"`
 	Triage     *TriageStatus    `json:"triage,omitempty"`
+	// Shards is the per-shard fleet progress, fleet campaigns only.
+	Shards []fleet.ShardProgress `json:"shards,omitempty"`
 }
 
 // Campaign is one submitted job: a session.Session run by a dedicated
@@ -98,13 +109,14 @@ type Campaign struct {
 	cancel     context.CancelFunc
 	done       chan struct{}
 
-	mu     sync.Mutex
-	state  string
-	errMsg string
-	sess   *session.Session // set while running (progress introspection)
-	final  session.Progress // last progress snapshot after the session closed
-	report string           // rendered report, terminal states only
-	triage *validity.Report
+	mu          sync.Mutex
+	state       string
+	errMsg      string
+	sess        *session.Session      // set while running (progress introspection)
+	final       session.Progress      // last progress snapshot after the session closed
+	finalShards []fleet.ShardProgress // last per-shard snapshot, fleet campaigns only
+	report      string                // rendered report, terminal states only
+	triage      *validity.Report
 }
 
 // Status snapshots the campaign for its status JSON.
@@ -121,8 +133,12 @@ func (c *Campaign) Status() CampaignStatus {
 	}
 	if c.sess != nil {
 		st.Progress = c.sess.Progress()
+		if sp, ok := c.sess.FleetProgress(); ok {
+			st.Shards = sp
+		}
 	} else {
 		st.Progress = c.final
+		st.Shards = c.finalShards
 	}
 	if c.triage != nil {
 		counts := make(map[string]int, len(c.triage.Counts))
@@ -178,21 +194,37 @@ func (s *Server) Submit(req CampaignRequest) (*Campaign, error) {
 	if req.Kind == "" {
 		req.Kind = KindSweep
 	}
-	if req.Kind != KindSweep && req.Kind != KindModel {
+	if req.Kind != KindSweep && req.Kind != KindModel && req.Kind != KindFleet {
 		return nil, reqErrf("unknown campaign kind %q", req.Kind)
 	}
 	if req.NoCache {
 		return nil, reqErrf("nocache campaigns are not served: the daemon shares one launch cache across campaigns")
 	}
-	fleet := make(map[string]bool, len(s.cfg.Boards))
+	if req.Kind == KindFleet {
+		if req.FleetSize < 1 {
+			return nil, reqErrf("fleet campaigns require fleet_size ≥ 1")
+		}
+		if req.Shards < 0 {
+			return nil, reqErrf("shards must be ≥ 0 (0: one shard)")
+		}
+		if _, err := fleet.ParseJitterProfile(req.JitterProfile); err != nil {
+			return nil, reqErrf("jitter_profile: %v", err)
+		}
+		if req.Repetitions > 1 {
+			return nil, reqErrf("fleet campaigns do not take repetitions")
+		}
+	} else if req.FleetSize != 0 || req.Shards != 0 || req.JitterProfile != "" {
+		return nil, reqErrf(`fleet_size/shards/jitter_profile require kind "fleet"`)
+	}
+	served := make(map[string]bool, len(s.cfg.Boards))
 	for _, b := range s.cfg.Boards {
-		fleet[b] = true
+		served[b] = true
 	}
 	for _, b := range req.Boards {
 		if arch.BoardByName(b) == nil {
 			return nil, reqErrf("unknown board %q", b)
 		}
-		if !fleet[b] {
+		if !served[b] {
 			return nil, reqErrf("board %q is not in the served fleet", b)
 		}
 	}
@@ -295,6 +327,11 @@ func (s *Server) sessionConfig(c *Campaign, profile *fault.Profile) session.Conf
 	cfg.Obs = s.rec
 	cfg.PowerFanout = s.col
 	cfg.TrackPrefix = "campaign/" + c.id
+	if c.req.Kind == KindFleet {
+		cfg.FleetSize = c.req.FleetSize
+		cfg.FleetShards = c.req.Shards
+		cfg.FleetJitter = c.req.JitterProfile
+	}
 	return cfg
 }
 
@@ -312,6 +349,9 @@ func (s *Server) run(ctx context.Context, c *Campaign, profile *fault.Profile, b
 		}
 		if c.sess != nil {
 			c.final = c.sess.Progress()
+			if sp, ok := c.sess.FleetProgress(); ok {
+				c.finalShards = sp
+			}
 		}
 		c.sess = nil
 		c.mu.Unlock()
@@ -333,6 +373,10 @@ func (s *Server) run(ctx context.Context, c *Campaign, profile *fault.Profile, b
 	switch c.req.Kind {
 	case KindModel:
 		rendered, err = runModel(ctx, sess, benches)
+	case KindFleet:
+		stopPoll := s.pollFleet(sess)
+		rendered, err = runFleet(ctx, sess, benches)
+		stopPoll()
 	default:
 		rendered, trep, err = runSweep(ctx, sess, benches)
 	}
@@ -355,8 +399,81 @@ func (s *Server) run(ctx context.Context, c *Campaign, profile *fault.Profile, b
 	c.report = rendered
 	c.triage = trep
 	c.final = sess.Progress() // stays visible after the session closes
+	if sp, ok := sess.FleetProgress(); ok {
+		c.finalShards = sp
+	}
 	c.sess = nil
 	c.mu.Unlock()
+}
+
+// runFleet is the fleet campaign path: the session's sharded fleet sweep
+// rendered as the population summary — byte-identical to the same
+// campaign run through cmd/characterize -fleet-size at the same seed.
+func runFleet(ctx context.Context, sess *session.Session, benches []*workloads.Benchmark) (string, error) {
+	rep, err := sess.Fleet(ctx, benches)
+	if err != nil {
+		return "", err
+	}
+	return report.FleetSummary(rep), nil
+}
+
+// pollFleet feeds the gpuperf_fleet_* families from the session's shard
+// tracker while a fleet campaign runs. The returned stop flushes a final
+// snapshot and waits for the goroutine, so terminal metric values are
+// consistent with the campaign's final status JSON.
+func (s *Server) pollFleet(sess *session.Session) (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		prevCells := make(map[int]int64)
+		var prevRows int64
+		update := func() {
+			sp, ok := sess.FleetProgress()
+			if !ok {
+				return
+			}
+			var planned, devDone, rows int64
+			var minC, maxC int64
+			for i, p := range sp {
+				planned += p.DevicesPlanned
+				devDone += p.DevicesDone
+				rows += p.RowsFolded
+				if i == 0 || p.CellsDone < minC {
+					minC = p.CellsDone
+				}
+				if i == 0 || p.CellsDone > maxC {
+					maxC = p.CellsDone
+				}
+				if d := p.CellsDone - prevCells[p.Shard]; d > 0 {
+					s.fleetM.shardCells.With(strconv.Itoa(p.Shard)).Add(d)
+					prevCells[p.Shard] = p.CellsDone
+				}
+			}
+			s.fleetM.devicesPlanned.Set(planned)
+			s.fleetM.devicesDone.Set(devDone)
+			s.fleetM.shardLag.Set(maxC - minC)
+			if d := rows - prevRows; d > 0 {
+				s.fleetM.rowsFolded.Add(d)
+				prevRows = rows
+			}
+		}
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				update()
+				return
+			case <-t.C:
+				update()
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-done
+	}
 }
 
 // runSweep is the Table IV path, mirroring cmd/characterize -table 4:

@@ -58,13 +58,26 @@ type Config struct {
 	SampleInterval time.Duration
 }
 
+// fleetMetrics is the gpuperf_fleet_* exposition: live progress of the
+// daemon's fleet campaigns, fed by each fleet runner's poller. Gauges
+// reflect the most recently updated fleet campaign; the counters
+// accumulate across campaigns.
+type fleetMetrics struct {
+	devicesPlanned *obs.Gauge
+	devicesDone    *obs.Gauge
+	shardLag       *obs.Gauge
+	rowsFolded     *obs.Counter
+	shardCells     *obs.CounterVec
+}
+
 // Server is one running daemon: the shared recorder, the telemetry
 // collector and the campaign table. Build with New, shut down with
 // Drain. Safe for concurrent use by the HTTP stack.
 type Server struct {
-	cfg Config
-	rec *obs.Recorder
-	col *collector.Collector
+	cfg    Config
+	rec    *obs.Recorder
+	col    *collector.Collector
+	fleetM *fleetMetrics
 
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
@@ -96,10 +109,23 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("daemon: %w", err)
 	}
+	m := rec.Metrics()
 	s := &Server{
-		cfg:       cfg,
-		rec:       rec,
-		col:       col,
+		cfg: cfg,
+		rec: rec,
+		col: col,
+		fleetM: &fleetMetrics{
+			devicesPlanned: m.Gauge("gpuperf_fleet_devices_planned",
+				"devices the current fleet campaign set out to sweep"),
+			devicesDone: m.Gauge("gpuperf_fleet_devices_done",
+				"devices the current fleet campaign has completed"),
+			shardLag: m.Gauge("gpuperf_fleet_shard_lag_cells",
+				"cells-done gap between the fastest and slowest fleet shard"),
+			rowsFolded: m.Counter("gpuperf_fleet_rows_folded_total",
+				"rows folded into fleet aggregates across all fleet campaigns"),
+			shardCells: m.CounterVec("gpuperf_fleet_shard_cells_total",
+				"fleet sweep cells resolved, by shard", "shard"),
+		},
 		campaigns: make(map[string]*Campaign),
 	}
 	interval := cfg.SampleInterval

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"sort"
+)
+
+// Dist summarizes a population distribution, finalized from the exact
+// integer folds.
+type Dist struct {
+	N      int64
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	P90    float64
+}
+
+// PairSummary is one (benchmark, pair) population cell.
+type PairSummary struct {
+	Pair        string
+	Cells       int64
+	Quarantined int64
+	MeanTimeS   float64
+	MeanWatts   float64
+	MeanEnergyJ float64
+	StdEnergyJ  float64
+}
+
+// PairCount is one best-pair tally row.
+type PairCount struct {
+	Pair    string
+	Devices int64
+}
+
+// Outlier is one device flagged beyond the 3σ band of its benchmark's
+// improvement distribution.
+type Outlier struct {
+	Board          string
+	ImprovementPct float64
+	Sigma          float64 // signed distance from the mean, in σ
+}
+
+// BenchReport is one benchmark's population summary.
+type BenchReport struct {
+	Bench      string
+	Devices    int64
+	Cells      int64
+	NoBaseline int64
+	Pairs      []PairSummary // sorted by pair key
+	BestPairs  []PairCount   // sorted by devices desc, then pair
+	Improve    Dist          // best-over-default efficiency gain, %
+	PerfLoss   Dist
+	Outliers   []Outlier // flagged devices, most extreme first (≤ 2·extremeK)
+}
+
+// Report is the finalized fleet campaign result: pure data, rendered by
+// internal/report.FleetSummary. Deliberately free of shard or worker
+// counts — the report is a function of (seed, fleet, benches) only, and
+// the byte-identity tests compare it across shard layouts.
+type Report struct {
+	Seed       int64
+	Devices    int
+	BaseBoards []string
+	Jitter     string
+	Cells      int64
+	Benches    []BenchReport // sorted by benchmark name
+}
+
+func finalizeDist(s stat, sk *sketch) Dist {
+	d := Dist{N: s.n, Mean: s.mean(), StdDev: s.stddev()}
+	if s.n == 0 {
+		return d
+	}
+	d.Min = fromMicro(s.minM)
+	d.Max = fromMicro(s.maxM)
+	if sk != nil {
+		d.Q1 = sk.quantile(0.25, d.Min, d.Max)
+		d.Median = sk.quantile(0.5, d.Min, d.Max)
+		d.Q3 = sk.quantile(0.75, d.Min, d.Max)
+		d.P90 = sk.quantile(0.90, d.Min, d.Max)
+	}
+	return d
+}
+
+// Finalize derives the human-facing report from the merged integer
+// state. Every map is walked in sorted key order and every derived float
+// is computed from merged integers, so identical merged state yields an
+// identical Report regardless of how it was sharded or in what order it
+// was folded.
+func (a *Aggregate) Finalize(seed int64, devices int, baseBoards []string, jitter JitterProfile) *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep := &Report{
+		Seed:       seed,
+		Devices:    devices,
+		BaseBoards: append([]string(nil), baseBoards...),
+		Jitter:     jitter.String(),
+		Cells:      a.rows,
+	}
+	benchNames := make([]string, 0, len(a.benches))
+	for name := range a.benches {
+		benchNames = append(benchNames, name)
+	}
+	sort.Strings(benchNames)
+	for _, name := range benchNames {
+		b := a.benches[name]
+		br := BenchReport{
+			Bench:      name,
+			Devices:    b.devices,
+			Cells:      b.cells,
+			NoBaseline: b.noBaseline,
+			Improve:    finalizeDist(b.improve, b.improveSk),
+			PerfLoss:   finalizeDist(b.perfLoss, nil),
+		}
+		pairKeys := make([]string, 0, len(b.pairs))
+		for key := range b.pairs {
+			pairKeys = append(pairKeys, key)
+		}
+		sort.Strings(pairKeys)
+		for _, key := range pairKeys {
+			p := b.pairs[key]
+			br.Pairs = append(br.Pairs, PairSummary{
+				Pair:        key,
+				Cells:       p.cells,
+				Quarantined: p.quarantined,
+				MeanTimeS:   p.time.mean(),
+				MeanWatts:   p.watts.mean(),
+				MeanEnergyJ: p.energy.mean(),
+				StdEnergyJ:  p.energy.stddev(),
+			})
+		}
+		bestKeys := make([]string, 0, len(b.best))
+		for key := range b.best {
+			bestKeys = append(bestKeys, key)
+		}
+		sort.Slice(bestKeys, func(i, j int) bool {
+			if b.best[bestKeys[i]] != b.best[bestKeys[j]] {
+				return b.best[bestKeys[i]] > b.best[bestKeys[j]]
+			}
+			return bestKeys[i] < bestKeys[j]
+		})
+		for _, key := range bestKeys {
+			br.BestPairs = append(br.BestPairs, PairCount{Pair: key, Devices: b.best[key]})
+		}
+		br.Outliers = flagOutliers(b)
+		rep.Benches = append(rep.Benches, br)
+	}
+	return rep
+}
+
+// flagOutliers returns the devices whose improvement sits beyond 3σ of
+// the benchmark's population mean, drawn from the trimmed extreme lists
+// (so at most extremeK per side — the K cap is documented on extremeK).
+// High outliers first (descending), then low (ascending): the order the
+// extreme lists already carry.
+func flagOutliers(b *benchAgg) []Outlier {
+	sigma := b.improve.stddev()
+	if sigma <= 0 || b.improve.n < 2 {
+		return nil
+	}
+	mean := b.improve.mean()
+	var out []Outlier
+	for _, v := range b.ext.top {
+		imp := fromMicro(v.Micro)
+		if d := (imp - mean) / sigma; d > 3 {
+			out = append(out, Outlier{Board: v.Board, ImprovementPct: imp, Sigma: d})
+		}
+	}
+	for _, v := range b.ext.bottom {
+		imp := fromMicro(v.Micro)
+		if d := (imp - mean) / sigma; d < -3 {
+			out = append(out, Outlier{Board: v.Board, ImprovementPct: imp, Sigma: d})
+		}
+	}
+	return out
+}

@@ -143,6 +143,27 @@ var randConstructors = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
+// seededSplit reports whether fn is one of the module's seeded RNG
+// constructors: internal/fastrng's New/NewRand (the splitmix chain every
+// campaign generator derives from) and the fleet's per-device split
+// (Device/DeviceName derive a generator from seed ^ hash(index), a pure
+// function of the cohort). These are deterministic by construction, so
+// the taint pass treats them as leaves rather than following their call
+// graph — the same standing math/rand's constructors get above.
+func seededSplit(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch {
+	case strings.HasSuffix(pkg.Path(), "internal/fastrng"):
+		return strings.HasPrefix(fn.Name(), "New")
+	case strings.HasSuffix(pkg.Path(), "internal/fleet"):
+		return fn.Name() == "Device" || fn.Name() == "DeviceName"
+	}
+	return false
+}
+
 // callSource classifies a statically resolved callee as a nondeterminism
 // source, or returns nil.
 func callSource(fn *types.Func, pos token.Pos) *Source {
@@ -199,7 +220,7 @@ func scanBody(pkg *Package, fd *ast.FuncDecl, node *CGNode) {
 			if fn := staticCallee(info, n); fn != nil {
 				if src := callSource(fn, n.Pos()); src != nil {
 					node.Sources = append(node.Sources, *src)
-				} else {
+				} else if !seededSplit(fn) {
 					node.Callees = append(node.Callees, CGEdge{To: fn, Pos: n.Pos()})
 				}
 			}
@@ -405,6 +426,14 @@ func sinkRole(pkg *Package, fn *types.Func) string {
 			if strings.HasPrefix(name, "Write") || name == "Finalize" {
 				return "triage report writer"
 			}
+		case strings.HasSuffix(pkg.Path, "internal/fleet"):
+			// The fleet shard-count byte-identity contract: everything the
+			// streaming aggregator folds or merges lands verbatim in the
+			// fleet report, so the fold/merge/finalize surface is a sink.
+			if name == "Finalize" || name == "Merge" ||
+				strings.HasPrefix(name, "Consume") || strings.HasPrefix(name, "Write") {
+				return "fleet aggregate writer"
+			}
 		}
 		return ""
 	}
@@ -416,6 +445,9 @@ func sinkRole(pkg *Package, fn *types.Func) string {
 	}
 	if recv == "Journal" || strings.Contains(name, "Journal") {
 		return "checkpoint journal codec"
+	}
+	if name == "Finalize" || name == "Merge" {
+		return "fleet aggregate writer"
 	}
 	return ""
 }

@@ -1,0 +1,52 @@
+// Package fleetdet_bad is a lint fixture: fleet-shaped sinks (the
+// aggregate Merge/Finalize surface) reached by nondeterminism. Every
+// line marked with a want comment must be flagged — these are exactly
+// the shapes that would make a fleet report differ across shard counts.
+package fleetdet_bad
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Agg is a toy shard aggregate.
+type Agg struct {
+	counts map[string]int
+}
+
+// Merge gathers shard results in arrival order: whichever shard's
+// goroutine finishes first wins the append — byte-identity breaks on
+// every reschedule.
+func (a *Agg) Merge(shards []*Agg) []*Agg {
+	ch := make(chan *Agg, len(shards))
+	for _, s := range shards {
+		go func() { ch <- s }()
+	}
+	var merged []*Agg
+	for range shards {
+		merged = append(merged, <-ch) // want:determinism "fan-in"
+	}
+	return merged
+}
+
+// Finalize emits the aggregate in map order and stamps it through a
+// helper one hop down.
+func (a *Agg) Finalize() string {
+	var b strings.Builder
+	for k, v := range a.counts { // want:determinism "map range"
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	b.WriteString(stamp())
+	return b.String()
+}
+
+// stamp sits one call hop below the Finalize sink: the clock and the
+// process-shared generator both poison the report.
+func stamp() string {
+	return fmt.Sprint(
+		time.Now(),     // want:determinism "time.Now"
+		rand.Float64(), // want:determinism "math/rand"
+	)
+}

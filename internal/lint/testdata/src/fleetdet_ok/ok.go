@@ -1,0 +1,50 @@
+// Package fleetdet_ok is a lint fixture for the fleet slice of the
+// determinism pass: the clean shapes the shard-count byte-identity
+// contract depends on — a per-device RNG split derived purely from
+// (seed, index), an associative merge, and a finalize that walks its
+// maps in sorted order.
+package fleetdet_ok
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Agg is a toy shard aggregate: per-benchmark counts.
+type Agg struct {
+	counts map[string]int
+}
+
+// Merge folds another shard's aggregate in: pure integer addition, the
+// associative shape that makes the shard count invisible in the report.
+func (a *Agg) Merge(o *Agg) {
+	for k, v := range o.counts {
+		a.counts[k] += v // map range is fine: += into a map is order-independent
+	}
+}
+
+// Finalize renders the merged aggregate in sorted key order — the only
+// iteration order that survives a reshard.
+func (a *Agg) Finalize() string {
+	keys := make([]string, 0, len(a.counts))
+	for k := range a.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, a.counts[k])
+	}
+	b.WriteString(fmt.Sprint(deviceJitter(42, 7)))
+	return b.String()
+}
+
+// deviceJitter is the fleet RNG split: a generator derived from
+// (seed, device index) alone — a seeded constructor, not the global
+// math/rand, so the taint pass must stay silent.
+func deviceJitter(seed int64, device int) float64 {
+	r := rand.New(rand.NewSource(seed ^ int64(device)*0x9e3779b9))
+	return r.Float64()
+}

@@ -123,6 +123,13 @@ type Meter struct {
 	// RangeWatts is the selected measurement range; readings clip there
 	// and set Measurement.Overloaded. Zero means auto-range (no clipping).
 	RangeWatts float64
+	// Gain is the channel's calibration gain: every reading (noise
+	// included, range clipping excluded) is scaled by it, modeling the
+	// per-instrument calibration drift a real fleet of meters exhibits.
+	// Zero means 1.0 — a perfectly calibrated channel — so existing
+	// meters and all single-board goldens are untouched. The fleet
+	// generator draws each device's gain from its jitter profile.
+	Gain float64
 	// Faults, when non-nil, injects instrument failures (sample dropout,
 	// transient spikes, stuck readings) into every measurement — see
 	// faults.go. The injector's streams are independent of the sampling-
@@ -238,6 +245,9 @@ func (m *Meter) Measure(trace Trace, rng *rand.Rand) (*Measurement, error) {
 		w := joules / m.SamplePeriod
 		if rng != nil && m.NoiseStdDev > 0 {
 			w += m.NoiseStdDev * rng.NormFloat64()
+		}
+		if m.Gain != 0 {
+			w *= m.Gain
 		}
 		if m.RangeWatts > 0 && w > m.RangeWatts {
 			w = m.RangeWatts

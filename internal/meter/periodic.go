@@ -162,6 +162,9 @@ func (m *Meter) MeasurePeriodic(p Periodic, rng *rand.Rand) (*Measurement, error
 		if rng != nil && m.NoiseStdDev > 0 {
 			w += m.NoiseStdDev * rng.NormFloat64()
 		}
+		if m.Gain != 0 {
+			w *= m.Gain
+		}
 		if m.RangeWatts > 0 && w > m.RangeWatts {
 			w = m.RangeWatts
 			out.Overloaded = true

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuperf/internal/fleet"
+)
+
+// FleetSummary renders a fleet campaign report: the population header,
+// per-benchmark best-pair tallies, the improvement distribution as a
+// box-and-whisker line over the population range, per-pair energy
+// means, and flagged outlier devices. Pure function of the Report —
+// the fleet byte-identity CI job cmp's this exact text across shard
+// counts.
+func FleetSummary(r *fleet.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet campaign: %d devices over %s (seed %d)\n",
+		r.Devices, strings.Join(r.BaseBoards, ", "), r.Seed)
+	fmt.Fprintf(&b, "Jitter: %s\n", r.Jitter)
+	fmt.Fprintf(&b, "Cells folded: %d\n", r.Cells)
+
+	for _, br := range r.Benches {
+		fmt.Fprintf(&b, "\n== %s: %d devices, %d cells", br.Bench, br.Devices, br.Cells)
+		if br.NoBaseline > 0 {
+			fmt.Fprintf(&b, " (%d devices without baseline)", br.NoBaseline)
+		}
+		b.WriteString(" ==\n")
+
+		if len(br.BestPairs) > 0 {
+			t := NewTable("Best pair across the population", "pair", "devices", "share")
+			for _, p := range br.BestPairs {
+				frac := 0.0
+				if br.Devices > 0 {
+					frac = float64(p.Devices) / float64(br.Devices)
+				}
+				t.AddRow(p.Pair, fmt.Sprintf("%d", p.Devices),
+					fmt.Sprintf("%5.1f%% %s", 100*frac, Bar(frac, 24)))
+			}
+			b.WriteString(t.String())
+		}
+
+		if br.Improve.N > 0 {
+			d := br.Improve
+			fmt.Fprintf(&b, "Energy savings at best pair, %% over default (n=%d):\n", d.N)
+			fmt.Fprintf(&b, "  mean %6.2f  sd %5.2f  min %6.2f  q1 %6.2f  med %6.2f  q3 %6.2f  p90 %6.2f  max %6.2f\n",
+				d.Mean, d.StdDev, d.Min, d.Q1, d.Median, d.Q3, d.P90, d.Max)
+			fmt.Fprintf(&b, "  %6.2f %s %6.2f\n", d.Min, BoxLine(d.Min, d.Q1, d.Median, d.Q3, d.Max, d.Min, d.Max, 48), d.Max)
+			p := br.PerfLoss
+			fmt.Fprintf(&b, "Perf loss at best pair, %%: mean %.2f  sd %.2f  range [%.2f, %.2f]\n",
+				p.Mean, p.StdDev, p.Min, p.Max)
+		}
+
+		if len(br.Pairs) > 0 {
+			t := NewTable("Population means per pair", "pair", "cells", "quar", "time s", "watts", "energy J", "sd(E)")
+			for _, p := range br.Pairs {
+				t.AddRow(p.Pair, fmt.Sprintf("%d", p.Cells), fmt.Sprintf("%d", p.Quarantined),
+					fmt.Sprintf("%.4f", p.MeanTimeS), fmt.Sprintf("%.2f", p.MeanWatts),
+					fmt.Sprintf("%.4f", p.MeanEnergyJ), fmt.Sprintf("%.4f", p.StdEnergyJ))
+			}
+			b.WriteString(t.String())
+		}
+
+		if len(br.Outliers) > 0 {
+			t := NewTable("Outlier devices (beyond 3σ)", "device", "savings %", "σ")
+			for _, o := range br.Outliers {
+				t.AddRow(o.Board, fmt.Sprintf("%.2f", o.ImprovementPct), fmt.Sprintf("%+.1f", o.Sigma))
+			}
+			b.WriteString(t.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"gpuperf/internal/fleet"
+)
+
+func TestFleetSummary(t *testing.T) {
+	r := &fleet.Report{
+		Seed:       42,
+		Devices:    100,
+		BaseBoards: []string{"GTX 680", "GTX 480"},
+		Jitter:     "corevolt:0.03,memvolt:0.02,vexp:0.05,leak:0.08,meter:0.01",
+		Cells:      1400,
+		Benches: []fleet.BenchReport{{
+			Bench:      "backprop",
+			Devices:    100,
+			Cells:      1400,
+			NoBaseline: 2,
+			Pairs: []fleet.PairSummary{
+				{Pair: "(H-H)", Cells: 100, MeanTimeS: 0.0123, MeanWatts: 141.5, MeanEnergyJ: 1.74, StdEnergyJ: 0.09},
+				{Pair: "(L-H)", Cells: 100, Quarantined: 3, MeanTimeS: 0.0150, MeanWatts: 110.2, MeanEnergyJ: 1.65, StdEnergyJ: 0.08},
+			},
+			BestPairs: []fleet.PairCount{
+				{Pair: "(L-H)", Devices: 80},
+				{Pair: "(H-H)", Devices: 18},
+			},
+			Improve:  fleet.Dist{N: 98, Mean: 5.2, StdDev: 1.1, Min: 1.9, Max: 11.4, Q1: 4.4, Median: 5.1, Q3: 5.9, P90: 6.8},
+			PerfLoss: fleet.Dist{N: 98, Mean: 17.1, StdDev: 2.0, Min: 11.0, Max: 22.5},
+			Outliers: []fleet.Outlier{{Board: "GTX 680#0042", ImprovementPct: 11.4, Sigma: 5.6}},
+		}},
+	}
+	s := FleetSummary(r)
+	for _, want := range []string{
+		"100 devices over GTX 680, GTX 480 (seed 42)",
+		"Cells folded: 1400",
+		"== backprop: 100 devices, 1400 cells (2 devices without baseline) ==",
+		"(L-H)", "80", "18",
+		"Energy savings at best pair",
+		"mean   5.20",
+		"Perf loss at best pair",
+		"GTX 680#0042", "+5.6",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FleetSummary missing %q:\n%s", want, s)
+		}
+	}
+	// The box line renders between its min/max labels.
+	if !strings.Contains(s, "[") || !strings.Contains(s, "+") {
+		t.Errorf("box line not rendered:\n%s", s)
+	}
+}

@@ -1,0 +1,84 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"gpuperf/internal/workloads"
+)
+
+func TestOpenRejectsBadFleetConfig(t *testing.T) {
+	cases := []Option{
+		WithFleet(-1, 1, ""),
+		WithFleet(0, 4, ""),      // shards without a fleet
+		WithFleet(0, 1, "tight"), // jitter without a fleet
+		WithFleet(10, 1, "corevolt:2"),
+		WithFleet(10, 1, "bogus:0.1"),
+	}
+	for i, opt := range cases {
+		if _, err := New(opt); err == nil {
+			t.Errorf("case %d: bad fleet config accepted", i)
+		}
+	}
+}
+
+func TestSessionFleetCampaign(t *testing.T) {
+	bench := workloads.ByName("backprop")
+	if bench == nil {
+		t.Fatal("backprop not registered")
+	}
+	var want []byte
+	for _, shards := range []int{1, 3} {
+		s, err := New(WithBoards("GTX 680"), WithWorkers(2), WithFleet(6, shards, "tight"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Fleet(context.Background(), []*workloads.Benchmark{bench})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := s.Progress()
+		if prog.Done != rep.Cells || prog.Planned != rep.Cells {
+			t.Errorf("shards=%d: progress done=%d planned=%d, report cells=%d",
+				shards, prog.Done, prog.Planned, rep.Cells)
+		}
+		shardProg, ok := s.FleetProgress()
+		if !ok || len(shardProg) != shards {
+			t.Fatalf("shards=%d: FleetProgress = %v, %v", shards, shardProg, ok)
+		}
+		var cells int64
+		for _, sp := range shardProg {
+			cells += sp.CellsDone
+		}
+		if cells != rep.Cells {
+			t.Errorf("shards=%d: shard cells %d != report cells %d", shards, cells, rep.Cells)
+		}
+		got, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Errorf("shards=%d: session fleet report differs from shards=1", shards)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A classic session has no fleet progress and rejects Fleet.
+	s, err := New(WithBoards("GTX 680"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.FleetProgress(); ok {
+		t.Error("classic session reports fleet progress")
+	}
+	if _, err := s.Fleet(context.Background(), []*workloads.Benchmark{bench}); err == nil {
+		t.Error("classic session accepted Fleet")
+	}
+}

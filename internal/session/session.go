@@ -50,6 +50,7 @@ import (
 	"gpuperf/internal/core"
 	"gpuperf/internal/driver"
 	"gpuperf/internal/fault"
+	"gpuperf/internal/fleet"
 	"gpuperf/internal/obs"
 	"gpuperf/internal/reproduce"
 	"gpuperf/internal/validity"
@@ -113,6 +114,19 @@ type Config struct {
 	// "campaign/3"), so many sessions can share one recorder without
 	// track collisions. Empty keeps the engine default ("sweep").
 	TrackPrefix string
+
+	// FleetSize, when ≥ 1, turns the session into a fleet campaign: the
+	// Boards become the base population and the Fleet method sweeps
+	// FleetSize jittered devices. 0 is the classic four-board session.
+	FleetSize int
+	// FleetShards partitions fleet devices across shard pipelines, each
+	// with its own checkpoint journal (<Checkpoint>.shard<N>). The report
+	// does not depend on it; 0 means 1.
+	FleetShards int
+	// FleetJitter selects the per-device spread: a preset name or a
+	// "key:fraction" list (see fleet.ParseJitterProfile). Empty is the
+	// default profile.
+	FleetJitter string
 }
 
 // DefaultConfig mirrors the paper's configuration.
@@ -194,6 +208,16 @@ func WithPowerFanout(f driver.PowerFanout) Option {
 
 // WithTrackPrefix namespaces the session's sweep track names (see
 // Config.TrackPrefix).
+// WithFleet configures a fleet campaign: size jittered devices over the
+// session's boards, swept across shards pipelines.
+func WithFleet(size, shards int, jitter string) Option {
+	return func(c *Config) {
+		c.FleetSize = size
+		c.FleetShards = shards
+		c.FleetJitter = jitter
+	}
+}
+
 func WithTrackPrefix(prefix string) Option {
 	return func(c *Config) { c.TrackPrefix = prefix }
 }
@@ -208,6 +232,12 @@ type Session struct {
 	cohort  validity.Cohort
 	res     *fault.Resilience
 	journal *characterize.Journal
+
+	// Fleet mode (cfg.FleetSize ≥ 1): the parsed jitter profile and the
+	// per-shard progress tracker, sized at Open so a serving layer can
+	// poll shard progress while Fleet runs.
+	fleetJitter  fleet.JitterProfile
+	fleetTracker *fleet.Tracker
 
 	restoreCache func()
 	closed       bool
@@ -309,6 +339,20 @@ func Open(cfg Config) (*Session, error) {
 		cfg.CodeVersion = validity.ResolveCodeVersion()
 	}
 	s := &Session{cfg: cfg, boards: boards}
+	if cfg.FleetSize < 0 {
+		return nil, fmt.Errorf("session: fleet size %d < 0", cfg.FleetSize)
+	}
+	if cfg.FleetSize == 0 && (cfg.FleetShards > 1 || cfg.FleetJitter != "") {
+		return nil, fmt.Errorf("session: fleet shards/jitter configured without a fleet size")
+	}
+	if cfg.FleetSize >= 1 {
+		jit, err := fleet.ParseJitterProfile(cfg.FleetJitter)
+		if err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+		s.fleetJitter = jit
+		s.fleetTracker = fleet.NewTracker(fleet.ClampShards(cfg.FleetShards, cfg.FleetSize))
+	}
 	spec := ""
 	if cfg.Faults != nil {
 		spec = cfg.Faults.String()
@@ -332,10 +376,11 @@ func Open(cfg Config) (*Session, error) {
 		}
 		s.res.Observe()
 	}
-	if cfg.Checkpoint != "" {
+	if cfg.Checkpoint != "" && cfg.FleetSize < 1 {
 		// The journal is bound to the full cohort: resuming under any other
 		// configuration is a hard *characterize.CohortMismatchError, with
-		// the journal preserved on disk.
+		// the journal preserved on disk. Fleet campaigns skip this: the
+		// orchestrator owns per-shard journals under the fleet cohort.
 		j, err := characterize.OpenJournalCohort(cfg.Checkpoint, characterize.JournalConfig{Cohort: s.cohort})
 		if err != nil {
 			return nil, err
@@ -454,6 +499,67 @@ func (s *Session) Sweep(ctx context.Context, benches []*workloads.Benchmark) (ma
 func (s *Session) Repeat(ctx context.Context, benches []*workloads.Benchmark) ([]map[string][]*characterize.BenchResult, error) {
 	s.plan(s.BoardNames(), len(benches), s.cfg.Repetitions)
 	return characterize.SweepReps(ctx, s.BoardNames(), benches, s.sweepOptions(""), s.cfg.Repetitions)
+}
+
+// Fleet runs the session's fleet campaign: Config.FleetSize jittered
+// devices over the session boards, partitioned across
+// Config.FleetShards shard pipelines and folded into one associative
+// aggregate. The report is byte-identical at a fixed seed for any shard
+// and worker count. Requires Config.FleetSize ≥ 1.
+//
+//gpulint:deterministic
+func (s *Session) Fleet(ctx context.Context, benches []*workloads.Benchmark) (*fleet.Report, error) {
+	if s.cfg.FleetSize < 1 {
+		return nil, fmt.Errorf("session: Fleet called without a fleet size (WithFleet)")
+	}
+	s.planFleet(len(benches))
+	faultSpec := ""
+	if s.cfg.Faults != nil {
+		faultSpec = s.cfg.Faults.String()
+	}
+	return fleet.Run(ctx, fleet.Options{
+		Seed:         s.cfg.Seed,
+		Size:         s.cfg.FleetSize,
+		Shards:       s.cfg.FleetShards,
+		Workers:      s.cfg.Workers,
+		Jitter:       s.fleetJitter,
+		BaseBoards:   s.BoardNames(),
+		Benches:      benches,
+		Checkpoint:   s.cfg.Checkpoint,
+		Res:          s.res,
+		FaultProfile: faultSpec,
+		Obs:          s.cfg.Obs,
+		TrackPrefix:  s.cfg.TrackPrefix,
+		CodeVersion:  s.cfg.CodeVersion,
+		Tracker:      s.fleetTracker,
+		OnCell: func(_ int, row characterize.Row) {
+			s.onCell(row.Board, row.Bench, row.Result, row.Replayed)
+		},
+	})
+}
+
+// planFleet accounts the fleet campaign's cell total into the session
+// progress counters (jitter never changes a device's pair grid, so the
+// base boards' grids are the per-device cell counts).
+func (s *Session) planFleet(nBenches int) {
+	names := s.BoardNames()
+	var cells int64
+	for i := 0; i < s.cfg.FleetSize; i++ {
+		if spec := arch.BoardByName(names[i%len(names)]); spec != nil {
+			cells += int64(len(clock.ValidPairs(spec)))
+		}
+	}
+	s.planned.Add(cells * int64(nBenches))
+}
+
+// FleetProgress reports the per-shard progress of the session's fleet
+// campaign; ok is false for classic (non-fleet) sessions. Safe to poll
+// while Fleet runs.
+func (s *Session) FleetProgress() ([]fleet.ShardProgress, bool) {
+	if s.fleetTracker == nil {
+		return nil, false
+	}
+	return s.fleetTracker.Snapshot(), true
 }
 
 // SweepBoard sweeps one board's benchmarks; the board need not be in the
